@@ -1,0 +1,148 @@
+// Command yycore runs the Yin-Yang geodynamo simulation: thermal
+// convection of a rotating, electrically conducting compressible fluid in
+// a spherical shell, with a seed magnetic field amplified by dynamo
+// action (the paper's simulation, scaled to the local machine).
+//
+// Examples:
+//
+//	yycore -nr 25 -nt 25 -steps 200 -every 20
+//	yycore -nr 17 -nt 17 -steps 100 -procs 8       # goroutine-parallel
+//	yycore -nr 25 -nt 25 -steps 300 -slice out.ppm # equatorial T slice
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/mhd"
+	"repro/internal/sph"
+	"repro/internal/viz"
+)
+
+func main() {
+	var (
+		nr      = flag.Int("nr", 17, "radial nodes per panel")
+		nt      = flag.Int("nt", 17, "latitudinal nodes per panel (longitudinal = 3(nt-1)+1)")
+		steps   = flag.Int("steps", 100, "time steps to run")
+		every   = flag.Int("every", 10, "diagnostics interval in steps")
+		procs   = flag.Int("procs", 0, "run decomposed over this many goroutine ranks (0 = serial)")
+		slice   = flag.String("slice", "", "write an equatorial temperature slice PPM at the end")
+		ckptOut = flag.String("checkpoint", "", "write a restart checkpoint at the end")
+		restore = flag.String("restore", "", "restore from a checkpoint instead of initializing")
+		export  = flag.String("export", "", "write a section-V visualization export at the end")
+		sliceQ  = flag.String("quantity", "T", "slice quantity: T, rho, p, vr, vphi, vortz, br")
+		omega   = flag.Float64("omega", mhd.Default().Omega, "rotation rate")
+		tin     = flag.Float64("tin", mhd.Default().TIn, "inner-wall temperature (outer = 1)")
+		mu      = flag.Float64("mu", mhd.Default().Mu, "viscosity")
+		kappa   = flag.Float64("kappa", mhd.Default().Kappa, "thermal conductivity")
+		eta     = flag.Float64("eta", mhd.Default().Eta, "resistivity")
+		seedB   = flag.Float64("seedb", mhd.DefaultIC().SeedBAmp, "magnetic seed amplitude")
+		perturb = flag.Float64("perturb", mhd.DefaultIC().PerturbAmp, "temperature perturbation amplitude")
+	)
+	flag.Parse()
+
+	prm := mhd.Default()
+	prm.Omega = *omega
+	prm.TIn = *tin
+	prm.Mu = *mu
+	prm.Kappa = *kappa
+	prm.Eta = *eta
+	ic := mhd.DefaultIC()
+	ic.SeedBAmp = *seedB
+	ic.PerturbAmp = *perturb
+	cfg := core.Config{Nr: *nr, Nt: *nt, Params: &prm, IC: &ic}
+
+	if *procs > 0 {
+		fmt.Printf("running %d steps on %d goroutine ranks (2 panels x 2-D grid)\n", *steps, *procs)
+		hist, err := core.RunParallel(cfg, *procs, *steps, *every, 0)
+		if err != nil {
+			fail(err)
+		}
+		for _, d := range hist {
+			fmt.Println(d)
+		}
+		return
+	}
+
+	var sim *core.Simulation
+	var err error
+	if *restore != "" {
+		f, ferr := os.Open(*restore)
+		if ferr != nil {
+			fail(ferr)
+		}
+		sim, err = core.Restore(f)
+		f.Close()
+		if err == nil {
+			fmt.Printf("restored checkpoint at t=%.5f step=%d\n", sim.Time(), sim.Solver.Step)
+		}
+	} else {
+		sim, err = core.New(cfg)
+	}
+	if err != nil {
+		fail(err)
+	}
+	spec := sim.Solver.Spec
+	runPrm := sim.Solver.Prm
+	fmt.Printf("yycore: grid %d x %d x %d x 2 = %d points, Ra~%.3g, Ekman~%.3g\n",
+		spec.Nr, spec.Nt, spec.Np, spec.TotalPoints(),
+		runPrm.RayleighEstimate(spec.RO-spec.RI), runPrm.Ekman(spec.RO-spec.RI))
+	fmt.Println(sim.Diagnostics())
+	for done := 0; done < *steps; done += *every {
+		n := *every
+		if *steps-done < n {
+			n = *steps - done
+		}
+		if err := sim.Step(n); err != nil {
+			fail(err)
+		}
+		d := sim.Diagnostics()
+		m := sph.MagneticMoment(sim.Solver)
+		fmt.Printf("%s dipole=%.4g\n", d, sph.MomentMagnitude(m))
+	}
+
+	if *ckptOut != "" {
+		f, err := os.Create(*ckptOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := sim.WriteCheckpoint(f); err != nil {
+			fail(err)
+		}
+		f.Close()
+		fmt.Printf("wrote checkpoint %s\n", *ckptOut)
+	}
+	if *export != "" {
+		f, err := os.Create(*export)
+		if err != nil {
+			fail(err)
+		}
+		if err := sim.ExportViz(f, 2); err != nil {
+			fail(err)
+		}
+		f.Close()
+		fmt.Printf("wrote viz export %s\n", *export)
+	}
+	if *slice != "" {
+		q := map[string]viz.Quantity{
+			"T": viz.Temperature, "rho": viz.Density, "p": viz.Pressure,
+			"vr": viz.VRadial, "vphi": viz.VPhi, "vortz": viz.VortZ, "br": viz.BRadial,
+		}[*sliceQ]
+		f, err := os.Create(*slice)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := sim.WriteEquatorialPPM(f, q, 256); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s\n", *slice)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "yycore:", err)
+	os.Exit(1)
+}

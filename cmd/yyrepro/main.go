@@ -1,0 +1,142 @@
+// Command yyrepro runs the complete paper reproduction in one shot and
+// writes a report directory: every table, the MPIPROGINF listing, the
+// ablations, both figures as PPM images, and the physics experiment
+// summaries. This is the "make everything" entry point of the
+// repository.
+//
+//	yyrepro -out report/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bench"
+	"repro/internal/grid"
+	"repro/internal/viz"
+)
+
+func main() {
+	var (
+		out     = flag.String("out", "report", "output directory")
+		measure = flag.Bool("measure", true, "measure the live step profile (slower, more faithful)")
+		nr      = flag.Int("nr", 17, "physics-run radial nodes")
+		nt      = flag.Int("nt", 17, "physics-run latitudinal nodes")
+		steps   = flag.Int("steps", 120, "physics-run steps")
+	)
+	flag.Parse()
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fail(err)
+	}
+
+	// Performance section.
+	withFile(*out, "table1.txt", func(f *os.File) error {
+		bench.RunTable1(f)
+		return nil
+	})
+	withFile(*out, "table2.txt", func(f *os.File) error {
+		return bench.RunTable2(f, *measure)
+	})
+	withFile(*out, "table3.txt", func(f *os.File) error {
+		return bench.RunTable3(f, *measure)
+	})
+	withFile(*out, "list1.txt", func(f *os.File) error {
+		return bench.RunList1(f, *measure)
+	})
+	withFile(*out, "io_volume.txt", func(f *os.File) error {
+		bench.RunIOVolume(f)
+		return nil
+	})
+	withFile(*out, "scaling.txt", func(f *os.File) error {
+		return bench.RunScalingCurve(f, *measure)
+	})
+	withFile(*out, "ablations.txt", func(f *os.File) error {
+		bench.AblationA1(f)
+		fmt.Fprintln(f)
+		if err := bench.AblationA2(f, *measure); err != nil {
+			return err
+		}
+		fmt.Fprintln(f)
+		if err := bench.AblationA3(f); err != nil {
+			return err
+		}
+		fmt.Fprintln(f)
+		if err := bench.AblationA4(f, *measure); err != nil {
+			return err
+		}
+		fmt.Fprintln(f)
+		if err := bench.AblationA5(f, *measure); err != nil {
+			return err
+		}
+		fmt.Fprintln(f)
+		bench.AblationA6(f)
+		fmt.Fprintln(f)
+		if err := bench.AblationA7(f, *measure); err != nil {
+			return err
+		}
+		fmt.Fprintln(f)
+		if err := bench.AblationA8(f); err != nil {
+			return err
+		}
+		fmt.Fprintln(f)
+		return bench.RunWallClock(f, *measure)
+	})
+
+	// Figure 1.
+	im := viz.CoverageMap(256, 512)
+	withFile(*out, "fig1-coverage.ppm", func(f *os.File) error {
+		return viz.WritePPM(f, im)
+	})
+	withFile(*out, "fig1-summary.txt", func(f *os.File) error {
+		fmt.Fprintf(f, "Yin-Yang coverage: overlap %.4f of sphere (analytic %.4f; paper: about 6%%)\n",
+			viz.OverlapPixelFraction(im), grid.OverlapFraction())
+		return nil
+	})
+
+	// Figure 2 + section V physics.
+	res, err := bench.RunFig2(*nr, *nt, *steps, 256)
+	if err != nil {
+		fail(err)
+	}
+	withFile(*out, "fig2-vortz.ppm", func(f *os.File) error {
+		return viz.WritePPM(f, res.VortSlice)
+	})
+	withFile(*out, "fig2-temperature.ppm", func(f *os.File) error {
+		return viz.WritePPM(f, res.TempSlice)
+	})
+	withFile(*out, "fig2-summary.txt", func(f *os.File) error {
+		fmt.Fprintf(f, "steps=%d kineticE=%.4g columns: %d cyclonic, %d anti-cyclonic\n",
+			res.Steps, res.KineticEnergy, res.Cyclonic, res.Anticyclonic)
+		return nil
+	})
+	hist, err := bench.RunEnergyGrowth(*nr, *nt, *steps, 10)
+	if err != nil {
+		fail(err)
+	}
+	withFile(*out, "energy_series.csv", func(f *os.File) error {
+		bench.FormatEnergySeries(f, hist)
+		return nil
+	})
+
+	fmt.Printf("reproduction report written to %s/\n", *out)
+}
+
+func withFile(dir, name string, fn func(*os.File) error) {
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	if err := fn(f); err != nil {
+		fail(fmt.Errorf("%s: %w", name, err))
+	}
+	fmt.Println("wrote", path)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "yyrepro:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,70 @@
+// Command yyviz regenerates the paper's figures: the Yin-Yang grid
+// coverage of Fig. 1 and the columnar convection structure of Fig. 2,
+// written as PPM images plus a textual summary.
+//
+// Examples:
+//
+//	yyviz -fig 1 -out fig1.ppm
+//	yyviz -fig 2 -out fig2 -nr 21 -nt 21 -steps 150
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/grid"
+	"repro/internal/viz"
+)
+
+func main() {
+	var (
+		fig   = flag.Int("fig", 1, "figure to regenerate: 1 or 2")
+		out   = flag.String("out", "fig", "output path (fig 1) or prefix (fig 2)")
+		nr    = flag.Int("nr", 17, "radial nodes (fig 2)")
+		nt    = flag.Int("nt", 17, "latitudinal nodes (fig 2)")
+		steps = flag.Int("steps", 80, "spin-up steps (fig 2)")
+		pix   = flag.Int("pix", 256, "image size in pixels")
+	)
+	flag.Parse()
+
+	switch *fig {
+	case 1:
+		im := viz.CoverageMap(*pix/2, *pix)
+		frac := viz.OverlapPixelFraction(im)
+		fmt.Printf("Fig 1: Yin-Yang coverage map; overlap fraction %.4f (analytic %.4f, paper: about 6%%)\n",
+			frac, grid.OverlapFraction())
+		writePPM(*out, im)
+	case 2:
+		res, err := bench.RunFig2(*nr, *nt, *steps, *pix)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("Fig 2: %d steps, kinetic energy %.4g\n", res.Steps, res.KineticEnergy)
+		fmt.Printf("  convection columns in the equatorial plane: %d cyclonic, %d anti-cyclonic\n",
+			res.Cyclonic, res.Anticyclonic)
+		writePPM(*out+"-vortz.ppm", res.VortSlice)
+		writePPM(*out+"-temperature.ppm", res.TempSlice)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func writePPM(path string, im *viz.Image) {
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	if err := viz.WritePPM(f, im); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %s (%dx%d)\n", path, im.W, im.H)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "yyviz:", err)
+	os.Exit(1)
+}

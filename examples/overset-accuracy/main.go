@@ -1,0 +1,92 @@
+// Overset-accuracy: a numerical study of the Yin-Yang machinery itself.
+// Solves the same surface advection-diffusion problem on the traditional
+// lat-lon grid and on the Yin-Yang pair, comparing accuracy against the
+// analytic solution at several resolutions, and reports the stable
+// time-step advantage of the pole-free patches — the quantitative form of
+// the paper's motivation (section II).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/coords"
+	"repro/internal/latlon"
+)
+
+func main() {
+	const kappa = 0.02
+	const tEnd = 0.5
+
+	fmt.Println("Surface diffusion of the dipole harmonic Y10 (exact decay exp(-2 kappa t)):")
+	fmt.Printf("%-8s %-14s %-14s %-12s %-12s\n", "nt", "latlon err", "yinyang err", "latlon dt", "yinyang dt")
+	for _, nt := range []int{16, 32, 64} {
+		llErr, llDt := runLatLon(nt, kappa, tEnd)
+		yyErr, yyDt := runYinYang(nt/2+1, kappa, tEnd)
+		fmt.Printf("%-8d %-14.3e %-14.3e %-12.3e %-12.3e\n", nt, llErr, yyErr, llDt, yyDt)
+	}
+
+	fmt.Println()
+	fmt.Println("Stable time-step ratio (Yin-Yang / lat-lon) with advection, growing with resolution:")
+	for _, nt := range []int{32, 64, 128, 256} {
+		g, err := latlon.NewSurfaceGrid(nt, 2*nt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		yy, err := latlon.NewYYSurface(nt/2+1, kappa, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  nt=%-4d ratio=%.1f\n", nt, yy.MaxStableDt(kappa, 1)/g.MaxStableDt(kappa, 1))
+	}
+}
+
+func runLatLon(nt int, kappa, tEnd float64) (maxErr, dt float64) {
+	g, err := latlon.NewSurfaceGrid(nt, 2*nt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := latlon.NewHeatSolver(g, kappa, 0)
+	s.SetFromFunc(func(th, ph float64) float64 { return math.Cos(th) })
+	dt = g.MaxStableDt(kappa, 0) * 0.5
+	steps := int(math.Ceil(tEnd / dt))
+	dt = tEnd / float64(steps)
+	for n := 0; n < steps; n++ {
+		s.Step(dt)
+	}
+	decay := math.Exp(-2 * kappa * tEnd)
+	for j := 0; j < g.Nt; j++ {
+		for k := 0; k < g.Np; k++ {
+			want := math.Cos(g.Theta[j]) * decay
+			if e := math.Abs(s.F[j*g.Np+k] - want); e > maxErr {
+				maxErr = e
+			}
+		}
+	}
+	return maxErr, dt
+}
+
+func runYinYang(nt int, kappa, tEnd float64) (maxErr, dt float64) {
+	yy, err := latlon.NewYYSurface(nt, kappa, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	yy.SetFromGlobalFunc(func(c coords.Cartesian) float64 { return c.Z })
+	dt = yy.MaxStableDt(kappa, 0) * 0.5
+	steps := int(math.Ceil(tEnd / dt))
+	dt = tEnd / float64(steps)
+	for n := 0; n < steps; n++ {
+		yy.Step(dt)
+	}
+	decay := math.Exp(-2 * kappa * tEnd)
+	for _, pt := range [][2]float64{
+		{0.3, 0.1}, {0.8, 1.2}, {1.5, -2.5}, {2.1, 3.0}, {2.8, 0.0}, {1.0, -0.5},
+	} {
+		want := math.Cos(pt[0]) * decay
+		if e := math.Abs(yy.SampleAt(pt[0], pt[1]) - want); e > maxErr {
+			maxErr = e
+		}
+	}
+	return maxErr, dt
+}

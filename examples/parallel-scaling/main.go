@@ -1,0 +1,64 @@
+// Parallel-scaling: measures the strong scaling of THIS implementation —
+// the goroutine-rank decomposed solver on the host machine — next to the
+// Earth Simulator model's prediction for the same decomposition
+// structure. The Go runtime is not a vector supercomputer, but the same
+// effects appear: throughput grows with ranks until the per-rank blocks
+// are too small and communication/synchronization dominates.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"repro/internal/decomp"
+	"repro/internal/grid"
+	"repro/internal/mhd"
+	"repro/internal/mpi"
+)
+
+func main() {
+	var (
+		nr    = flag.Int("nr", 21, "radial nodes")
+		nt    = flag.Int("nt", 21, "latitudinal nodes")
+		steps = flag.Int("steps", 10, "steps per measurement")
+	)
+	flag.Parse()
+
+	spec := grid.NewSpec(*nr, *nt)
+	points := float64(spec.TotalPoints())
+	fmt.Printf("strong scaling, grid %d x %d x %d x 2 = %.3g points, %d host cores\n",
+		spec.Nr, spec.Nt, spec.Np, points, runtime.NumCPU())
+	fmt.Printf("%-8s %-12s %-14s %-10s\n", "ranks", "s/step", "Mpoints/s", "speedup")
+
+	var base float64
+	for _, nProcs := range []int{2, 4, 8, 16} {
+		layout, err := decomp.NewLayout(spec, nProcs)
+		if err != nil {
+			fmt.Printf("%-8d (does not tile: %v)\n", nProcs, err)
+			continue
+		}
+		start := time.Now()
+		err = mpi.Run(nProcs, func(w *mpi.Comm) {
+			r, err := decomp.NewRank(w, layout, mhd.Default(), mhd.DefaultIC())
+			if err != nil {
+				log.Fatal(err)
+			}
+			dt := r.EstimateDT(0.3)
+			for n := 0; n < *steps; n++ {
+				r.Advance(dt)
+			}
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		perStep := time.Since(start).Seconds() / float64(*steps)
+		rate := points / perStep / 1e6
+		if base == 0 {
+			base = perStep
+		}
+		fmt.Printf("%-8d %-12.4f %-14.2f %-10.2f\n", nProcs, perStep, rate, base/perStep)
+	}
+}

@@ -1,0 +1,34 @@
+// Quickstart: the smallest complete yygo run. Builds a laptop-sized
+// Yin-Yang geodynamo simulation with default parameters, advances it,
+// and prints the global diagnostics — total mass, kinetic / magnetic /
+// internal energy, peak speeds — after each batch of steps.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+func main() {
+	sim, err := core.New(core.Config{Nr: 17, Nt: 17})
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := sim.Cfg.Spec()
+	fmt.Printf("quickstart: Yin-Yang grid %d x %d x %d x 2 (%d points)\n",
+		spec.Nr, spec.Nt, spec.Np, spec.TotalPoints())
+
+	for batch := 0; batch < 5; batch++ {
+		if err := sim.Step(10); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(sim.Diagnostics())
+	}
+
+	// The two component grids hold a "double solution" in their overlap;
+	// the paper notes it stays within discretization error.
+	fmt.Printf("double-solution disagreement in the overlap: %.2e (relative)\n",
+		sim.OverlapDisagreement())
+}

@@ -1,0 +1,162 @@
+// Package coords implements the coordinate geometry underlying the
+// Yin-Yang grid: spherical and Cartesian points, basis transforms for
+// vector components, and the Yin<->Yang mapping of eq. (1) of the paper,
+//
+//	(xe, ye, ze) = (-xn, zn, yn),   (xn, yn, zn) = (-xe, ze, ye),
+//
+// where subscript n denotes the Yin frame and e the Yang frame. The
+// forward and inverse maps have the same form, reflecting the complemental
+// symmetry of the two component grids: the same routine converts Yin
+// coordinates to Yang coordinates and vice versa.
+package coords
+
+import "math"
+
+// Cartesian is a point or vector in Cartesian coordinates.
+type Cartesian struct {
+	X, Y, Z float64
+}
+
+// Spherical is a point in spherical polar coordinates: radius R,
+// colatitude Theta in [0, pi] measured from the +z axis, and longitude Phi
+// in (-pi, pi] measured from the +x axis.
+type Spherical struct {
+	R, Theta, Phi float64
+}
+
+// SphVec holds the spherical components of a vector at some point:
+// radial VR, colatitudinal VT (toward increasing theta, i.e. southward),
+// and azimuthal VP (toward increasing phi, i.e. eastward).
+type SphVec struct {
+	VR, VT, VP float64
+}
+
+// ToCartesian converts a spherical point to Cartesian coordinates.
+func (s Spherical) ToCartesian() Cartesian {
+	st, ct := math.Sincos(s.Theta)
+	sp, cp := math.Sincos(s.Phi)
+	return Cartesian{
+		X: s.R * st * cp,
+		Y: s.R * st * sp,
+		Z: s.R * ct,
+	}
+}
+
+// ToSpherical converts a Cartesian point to spherical coordinates. The
+// origin maps to {0, 0, 0}; points on the z axis get Phi = 0.
+func (c Cartesian) ToSpherical() Spherical {
+	r := math.Sqrt(c.X*c.X + c.Y*c.Y + c.Z*c.Z)
+	if r == 0 {
+		return Spherical{}
+	}
+	theta := math.Acos(clamp(c.Z/r, -1, 1))
+	phi := math.Atan2(c.Y, c.X)
+	return Spherical{R: r, Theta: theta, Phi: phi}
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// YinYang maps a Cartesian point (or vector: the map is linear and
+// orthogonal) between the Yin and Yang frames. It is an involution:
+// applying it twice returns the argument. This is eq. (1) of the paper.
+func YinYang(c Cartesian) Cartesian {
+	return Cartesian{X: -c.X, Y: c.Z, Z: c.Y}
+}
+
+// YinYangSph maps a spherical point between the Yin and Yang frames.
+func YinYangSph(s Spherical) Spherical {
+	return YinYang(s.ToCartesian()).ToSpherical()
+}
+
+// YinYangAngles maps colatitude/longitude between the Yin and Yang frames
+// without touching the radius, which is shared by both frames.
+func YinYangAngles(theta, phi float64) (thetaOut, phiOut float64) {
+	p := YinYangSph(Spherical{R: 1, Theta: theta, Phi: phi})
+	return p.Theta, p.Phi
+}
+
+// UnitVectors returns the Cartesian components of the local spherical unit
+// vectors (rhat, thetahat, phihat) at the point with colatitude theta and
+// longitude phi.
+func UnitVectors(theta, phi float64) (rhat, that, phat Cartesian) {
+	st, ct := math.Sincos(theta)
+	sp, cp := math.Sincos(phi)
+	rhat = Cartesian{st * cp, st * sp, ct}
+	that = Cartesian{ct * cp, ct * sp, -st}
+	phat = Cartesian{-sp, cp, 0}
+	return rhat, that, phat
+}
+
+// SphToCartVec converts the spherical components v of a vector at the
+// point (theta, phi) into Cartesian components.
+func SphToCartVec(theta, phi float64, v SphVec) Cartesian {
+	rhat, that, phat := UnitVectors(theta, phi)
+	return Cartesian{
+		X: v.VR*rhat.X + v.VT*that.X + v.VP*phat.X,
+		Y: v.VR*rhat.Y + v.VT*that.Y + v.VP*phat.Y,
+		Z: v.VR*rhat.Z + v.VT*that.Z + v.VP*phat.Z,
+	}
+}
+
+// CartToSphVec converts the Cartesian components c of a vector at the
+// point (theta, phi) into spherical components.
+func CartToSphVec(theta, phi float64, c Cartesian) SphVec {
+	rhat, that, phat := UnitVectors(theta, phi)
+	return SphVec{
+		VR: c.X*rhat.X + c.Y*rhat.Y + c.Z*rhat.Z,
+		VT: c.X*that.X + c.Y*that.Y + c.Z*that.Z,
+		VP: c.X*phat.X + c.Y*phat.Y + c.Z*phat.Z,
+	}
+}
+
+// VecRotation is the 2x2 rotation that maps the tangential (theta, phi)
+// vector components expressed in the donor frame at donor angles
+// (thetaD, phiD) into components in the receiver frame at the image point.
+// The radial component is invariant under the Yin<->Yang map, so a full
+// vector transforms as
+//
+//	vrRecv = vrDonor
+//	vtRecv = Ctt*vtDonor + Ctp*vpDonor
+//	vpRecv = Cpt*vtDonor + Cpp*vpDonor
+//
+// Because the Yin->Yang and Yang->Yin maps are the same linear map, the
+// same rotation serves both directions.
+type VecRotation struct {
+	Ctt, Ctp, Cpt, Cpp float64
+}
+
+// RotationAt computes the tangential-component rotation for a donor point
+// at (thetaD, phiD) in the donor frame. The receiver-frame angles of the
+// same physical point are obtained with YinYangAngles.
+func RotationAt(thetaD, phiD float64) VecRotation {
+	thetaR, phiR := YinYangAngles(thetaD, phiD)
+	// Donor basis vectors in donor Cartesian frame.
+	_, thatD, phatD := UnitVectors(thetaD, phiD)
+	// Map them into the receiver Cartesian frame.
+	thatDrecv := YinYang(thatD)
+	phatDrecv := YinYang(phatD)
+	// Receiver basis vectors in receiver Cartesian frame.
+	_, thatR, phatR := UnitVectors(thetaR, phiR)
+	return VecRotation{
+		Ctt: dot(thatDrecv, thatR),
+		Ctp: dot(phatDrecv, thatR),
+		Cpt: dot(thatDrecv, phatR),
+		Cpp: dot(phatDrecv, phatR),
+	}
+}
+
+// Apply rotates the tangential components (vt, vp) from the donor frame to
+// the receiver frame.
+func (m VecRotation) Apply(vt, vp float64) (vtOut, vpOut float64) {
+	return m.Ctt*vt + m.Ctp*vp, m.Cpt*vt + m.Cpp*vp
+}
+
+func dot(a, b Cartesian) float64 { return a.X*b.X + a.Y*b.Y + a.Z*b.Z }

@@ -1,0 +1,221 @@
+package coords
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-12
+
+func near(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func randSph(r *rand.Rand) Spherical {
+	return Spherical{
+		R:     0.5 + r.Float64(),
+		Theta: 1e-3 + r.Float64()*(math.Pi-2e-3),
+		Phi:   -math.Pi + 1e-3 + r.Float64()*(2*math.Pi-2e-3),
+	}
+}
+
+func TestSphericalCartesianRoundTrip(t *testing.T) {
+	f := func(rr, th, ph float64) bool {
+		s := Spherical{
+			R:     0.5 + math.Abs(math.Mod(rr, 2)),
+			Theta: 0.01 + math.Abs(math.Mod(th, math.Pi-0.02)),
+			Phi:   math.Mod(ph, math.Pi),
+		}
+		got := s.ToCartesian().ToSpherical()
+		return near(got.R, s.R, 1e-10) && near(got.Theta, s.Theta, 1e-10) && near(got.Phi, s.Phi, 1e-10)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCartesianOrigin(t *testing.T) {
+	got := Cartesian{}.ToSpherical()
+	if got != (Spherical{}) {
+		t.Errorf("origin maps to %+v, want zero", got)
+	}
+}
+
+func TestPolarAxisPoints(t *testing.T) {
+	np := Cartesian{0, 0, 2}.ToSpherical()
+	if !near(np.Theta, 0, eps) || !near(np.R, 2, eps) {
+		t.Errorf("north pole: %+v", np)
+	}
+	sp := Cartesian{0, 0, -3}.ToSpherical()
+	if !near(sp.Theta, math.Pi, eps) || !near(sp.R, 3, eps) {
+		t.Errorf("south pole: %+v", sp)
+	}
+}
+
+// TestYinYangInvolution verifies the complemental symmetry of eq. (1):
+// the forward and inverse transforms are the same map.
+func TestYinYangInvolution(t *testing.T) {
+	f := func(x, y, z float64) bool {
+		c := Cartesian{x, y, z}
+		got := YinYang(YinYang(c))
+		return got == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestYinYangIsOrthogonal(t *testing.T) {
+	f := func(x, y, z float64) bool {
+		c := Cartesian{math.Mod(x, 10), math.Mod(y, 10), math.Mod(z, 10)}
+		m := YinYang(c)
+		n2 := func(v Cartesian) float64 { return v.X*v.X + v.Y*v.Y + v.Z*v.Z }
+		return near(n2(m), n2(c), 1e-9*(1+n2(c)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestYangPoleOnYinEquator: the virtual north pole of the Yang grid
+// (z_e axis) lies on the equator of the Yin grid.
+func TestYangPoleOnYinEquator(t *testing.T) {
+	// The point with theta_e = 0 maps to Yin coordinates via the same map.
+	pole := Spherical{R: 1, Theta: 0, Phi: 0}.ToCartesian()
+	inYin := YinYang(pole).ToSpherical()
+	if !near(inYin.Theta, math.Pi/2, eps) {
+		t.Errorf("Yang pole at Yin colatitude %v, want pi/2", inYin.Theta)
+	}
+}
+
+func TestYinYangSphPreservesRadius(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		s := randSph(r)
+		got := YinYangSph(s)
+		if !near(got.R, s.R, 1e-12) {
+			t.Fatalf("radius changed: %v -> %v", s.R, got.R)
+		}
+	}
+}
+
+func TestUnitVectorsOrthonormal(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		s := randSph(r)
+		rh, th, ph := UnitVectors(s.Theta, s.Phi)
+		checks := []struct {
+			name string
+			got  float64
+			want float64
+		}{
+			{"r.r", dot(rh, rh), 1}, {"t.t", dot(th, th), 1}, {"p.p", dot(ph, ph), 1},
+			{"r.t", dot(rh, th), 0}, {"r.p", dot(rh, ph), 0}, {"t.p", dot(th, ph), 0},
+		}
+		for _, c := range checks {
+			if !near(c.got, c.want, 1e-12) {
+				t.Fatalf("%s = %v, want %v at %+v", c.name, c.got, c.want, s)
+			}
+		}
+	}
+}
+
+// TestUnitVectorsRightHanded: rhat x thetahat = phihat.
+func TestUnitVectorsRightHanded(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	cross := func(a, b Cartesian) Cartesian {
+		return Cartesian{a.Y*b.Z - a.Z*b.Y, a.Z*b.X - a.X*b.Z, a.X*b.Y - a.Y*b.X}
+	}
+	for i := 0; i < 100; i++ {
+		s := randSph(r)
+		rh, th, ph := UnitVectors(s.Theta, s.Phi)
+		c := cross(rh, th)
+		if !near(c.X, ph.X, 1e-12) || !near(c.Y, ph.Y, 1e-12) || !near(c.Z, ph.Z, 1e-12) {
+			t.Fatalf("rhat x thetahat != phihat at %+v", s)
+		}
+	}
+}
+
+func TestVectorComponentRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		s := randSph(r)
+		v := SphVec{r.NormFloat64(), r.NormFloat64(), r.NormFloat64()}
+		back := CartToSphVec(s.Theta, s.Phi, SphToCartVec(s.Theta, s.Phi, v))
+		if !near(back.VR, v.VR, 1e-12) || !near(back.VT, v.VT, 1e-12) || !near(back.VP, v.VP, 1e-12) {
+			t.Fatalf("round trip %+v -> %+v", v, back)
+		}
+	}
+}
+
+// TestRotationMatchesCartesianPath: rotating tangential components with
+// RotationAt must agree with the long way around (spherical -> Cartesian ->
+// YinYang -> spherical components in the image frame).
+func TestRotationMatchesCartesianPath(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 300; i++ {
+		s := randSph(r)
+		v := SphVec{r.NormFloat64(), r.NormFloat64(), r.NormFloat64()}
+
+		// Long path.
+		cart := SphToCartVec(s.Theta, s.Phi, v)
+		cartRecv := YinYang(cart)
+		thR, phR := YinYangAngles(s.Theta, s.Phi)
+		want := CartToSphVec(thR, phR, cartRecv)
+
+		// Short path.
+		rot := RotationAt(s.Theta, s.Phi)
+		vt, vp := rot.Apply(v.VT, v.VP)
+
+		if !near(v.VR, want.VR, 1e-9) {
+			t.Fatalf("radial component not invariant: %v vs %v", v.VR, want.VR)
+		}
+		if !near(vt, want.VT, 1e-9) || !near(vp, want.VP, 1e-9) {
+			t.Fatalf("rotation mismatch at %+v: got (%v,%v) want (%v,%v)", s, vt, vp, want.VT, want.VP)
+		}
+	}
+}
+
+// TestRotationIsOrthogonal: the 2x2 tangential rotation preserves length.
+func TestRotationIsOrthogonal(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for i := 0; i < 200; i++ {
+		s := randSph(r)
+		m := RotationAt(s.Theta, s.Phi)
+		det := m.Ctt*m.Cpp - m.Ctp*m.Cpt
+		if !near(math.Abs(det), 1, 1e-9) {
+			t.Fatalf("|det| = %v at %+v", det, s)
+		}
+		n1 := m.Ctt*m.Ctt + m.Cpt*m.Cpt
+		n2 := m.Ctp*m.Ctp + m.Cpp*m.Cpp
+		if !near(n1, 1, 1e-9) || !near(n2, 1, 1e-9) {
+			t.Fatalf("columns not unit: %v %v at %+v", n1, n2, s)
+		}
+	}
+}
+
+func TestYinYangAnglesKnownPoints(t *testing.T) {
+	cases := []struct {
+		name         string
+		theta, phi   float64
+		wantT, wantP float64
+	}{
+		// Yin (theta=pi/2, phi=0) is Cartesian (1,0,0); maps to (-1,0,0):
+		// theta=pi/2, phi=pi.
+		{"equator-front", math.Pi / 2, 0, math.Pi / 2, math.Pi},
+		// Yin north pole (0,0,1) maps to (0,1,0): theta=pi/2, phi=pi/2.
+		{"north-pole", 0, 0, math.Pi / 2, math.Pi / 2},
+		// Yin (pi/2, pi/2) is (0,1,0); maps to (0,0,1): the Yang pole.
+		{"east-equator", math.Pi / 2, math.Pi / 2, 0, 0},
+	}
+	for _, c := range cases {
+		gt, gp := YinYangAngles(c.theta, c.phi)
+		if !near(gt, c.wantT, eps) {
+			t.Errorf("%s: theta = %v, want %v", c.name, gt, c.wantT)
+		}
+		// Phi is undefined at the pole.
+		if c.wantT != 0 && !near(gp, c.wantP, eps) {
+			t.Errorf("%s: phi = %v, want %v", c.name, gp, c.wantP)
+		}
+	}
+}

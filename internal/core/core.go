@@ -1,0 +1,321 @@
+// Package core is the public face of the yygo library: it assembles the
+// Yin-Yang grid, the compressible MHD solver, the diagnostics and the
+// visualization into a single Simulation type, and provides a one-call
+// parallel runner over the goroutine message-passing runtime.
+//
+// A minimal use:
+//
+//	sim, err := core.New(core.Config{Nr: 33, Nt: 33})
+//	...
+//	for !done {
+//	    sim.Step(10)
+//	    fmt.Println(sim.Diagnostics())
+//	}
+package core
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/coords"
+	"repro/internal/decomp"
+	"repro/internal/grid"
+	"repro/internal/mhd"
+	"repro/internal/mpi"
+	"repro/internal/snapshot"
+	"repro/internal/sph"
+	"repro/internal/viz"
+)
+
+// Config selects the grid resolution, the physical parameters and the
+// initial conditions of a run. Zero values select defaults.
+type Config struct {
+	// Nr, Nt are the radial and latitudinal node counts of each panel;
+	// the longitudinal count is 3(Nt-1)+1 for equal angular spacing. The
+	// paper's flagship grid is Nr=511, Nt=514 (Np=1538).
+	Nr, Nt int
+	// RI, RO are the shell radii (defaults 0.35, 1 — the Earth's
+	// inner-core to core-mantle ratio, normalized).
+	RI, RO float64
+	// Params are the MHD free parameters (defaults mhd.Default()).
+	Params *mhd.Params
+	// IC are the initial conditions (defaults mhd.DefaultIC()).
+	IC *mhd.InitialConditions
+	// SafetyFactor scales the automatic time step (default 0.3).
+	SafetyFactor float64
+	// Concurrent steps the two panels on separate goroutines (bit-exact
+	// versus sequential; roughly 2x on multicore hosts).
+	Concurrent bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nr == 0 {
+		c.Nr = 17
+	}
+	if c.Nt == 0 {
+		c.Nt = 17
+	}
+	if c.RI == 0 {
+		c.RI = 0.35
+	}
+	if c.RO == 0 {
+		c.RO = 1
+	}
+	if c.Params == nil {
+		p := mhd.Default()
+		c.Params = &p
+	}
+	if c.IC == nil {
+		ic := mhd.DefaultIC()
+		c.IC = &ic
+	}
+	if c.SafetyFactor == 0 {
+		c.SafetyFactor = 0.3
+	}
+	return c
+}
+
+// Spec returns the grid spec the config describes.
+func (c Config) Spec() grid.Spec {
+	c = c.withDefaults()
+	s := grid.NewSpec(c.Nr, c.Nt)
+	s.RI, s.RO = c.RI, c.RO
+	return s
+}
+
+// Simulation is a serial two-panel geodynamo run.
+type Simulation struct {
+	Cfg    Config
+	Solver *mhd.Solver
+
+	dt      float64
+	history []mhd.Diagnostics
+}
+
+// New builds and initializes a simulation.
+func New(cfg Config) (*Simulation, error) {
+	cfg = cfg.withDefaults()
+	sv, err := mhd.NewSolver(cfg.Spec(), *cfg.Params, *cfg.IC)
+	if err != nil {
+		return nil, err
+	}
+	sv.Concurrent = cfg.Concurrent
+	sim := &Simulation{Cfg: cfg, Solver: sv}
+	sim.history = append(sim.history, sv.Diagnose())
+	return sim, nil
+}
+
+// Step advances n time steps with the automatically estimated stable
+// time step, recording diagnostics after the batch.
+func (s *Simulation) Step(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("core: step count must be positive, got %d", n)
+	}
+	s.dt = s.Solver.EstimateDT(s.Cfg.SafetyFactor)
+	for i := 0; i < n; i++ {
+		s.Solver.Advance(s.dt)
+	}
+	if err := s.Solver.CheckFinite(); err != nil {
+		return err
+	}
+	s.history = append(s.history, s.Solver.Diagnose())
+	return nil
+}
+
+// DT returns the last time step used.
+func (s *Simulation) DT() float64 { return s.dt }
+
+// Time returns the simulated time.
+func (s *Simulation) Time() float64 { return s.Solver.Time }
+
+// Diagnostics returns the latest recorded global diagnostics.
+func (s *Simulation) Diagnostics() mhd.Diagnostics {
+	return s.history[len(s.history)-1]
+}
+
+// History returns all recorded diagnostics, one entry per Step call plus
+// the initial state.
+func (s *Simulation) History() []mhd.Diagnostics { return s.history }
+
+// DipoleMoment returns the magnetic dipole moment of the internal
+// currents in geographic Cartesian components.
+func (s *Simulation) DipoleMoment() coords.Cartesian {
+	return sph.MagneticMoment(s.Solver)
+}
+
+// Sampler returns a point sampler over the current state.
+func (s *Simulation) Sampler() *viz.Sampler { return viz.NewSampler(s.Solver) }
+
+// WriteEquatorialPPM renders an equatorial slice of the quantity to w.
+func (s *Simulation) WriteEquatorialPPM(w io.Writer, q viz.Quantity, n int) error {
+	im := viz.EquatorialSlice(s.Sampler(), q, n)
+	return viz.WritePPM(w, im)
+}
+
+// ColumnCount detects cyclonic and anti-cyclonic convection columns on
+// the equatorial vorticity slice (Fig. 2 of the paper).
+func (s *Simulation) ColumnCount(n int, threshold float64) (cyclonic, anticyclonic int) {
+	im := viz.EquatorialSlice(s.Sampler(), viz.VortZ, n)
+	return viz.CountColumns(im, threshold)
+}
+
+// OverlapDisagreement reports the relative "double solution" difference
+// between the panels in the overlap region.
+func (s *Simulation) OverlapDisagreement() float64 {
+	return mhd.OverlapDisagreement(s.Solver)
+}
+
+// WriteCheckpoint serializes the full state for bit-exact restart.
+func (s *Simulation) WriteCheckpoint(w io.Writer) error {
+	return snapshot.WriteCheckpoint(w, s.Solver)
+}
+
+// Restore rebuilds a Simulation from a checkpoint stream.
+func Restore(r io.Reader) (*Simulation, error) {
+	sv, err := snapshot.ReadCheckpoint(r)
+	if err != nil {
+		return nil, err
+	}
+	sim := &Simulation{
+		Cfg: Config{
+			Nr: sv.Spec.Nr, Nt: sv.Spec.Nt, RI: sv.Spec.RI, RO: sv.Spec.RO,
+			Params: &sv.Prm, IC: &sv.IC, SafetyFactor: 0.3,
+		},
+		Solver: sv,
+	}
+	sim.history = append(sim.history, sv.Diagnose())
+	return sim, nil
+}
+
+// ExportViz builds the section-V visualization product (Cartesian B, v,
+// omega and T, single precision, optionally subsampled).
+func (s *Simulation) ExportViz(w io.Writer, subsample int) error {
+	ex, err := snapshot.BuildVizExport(s.Solver, subsample)
+	if err != nil {
+		return err
+	}
+	return snapshot.WriteVizExport(w, ex)
+}
+
+// RunParallel executes the same simulation decomposed over nProcs
+// goroutine ranks (2 panels x 2-D process grid, exactly the paper's
+// parallelization) for the given number of steps, and returns the
+// diagnostics recorded every recordEvery steps by rank 0. A fixed dt <= 0
+// selects the automatic estimate.
+func RunParallel(cfg Config, nProcs, steps, recordEvery int, dt float64) ([]mhd.Diagnostics, error) {
+	cfg = cfg.withDefaults()
+	if recordEvery <= 0 {
+		recordEvery = steps
+	}
+	layout, err := decomp.NewLayout(cfg.Spec(), nProcs)
+	if err != nil {
+		return nil, err
+	}
+	var mu sync.Mutex
+	var out []mhd.Diagnostics
+	var rankErr error
+	err = mpi.Run(nProcs, func(w *mpi.Comm) {
+		r, err := decomp.NewRank(w, layout, *cfg.Params, *cfg.IC)
+		if err != nil {
+			mu.Lock()
+			rankErr = err
+			mu.Unlock()
+			return
+		}
+		step := dt
+		if step <= 0 {
+			step = r.EstimateDT(cfg.SafetyFactor)
+		}
+		for n := 1; n <= steps; n++ {
+			r.Advance(step)
+			if n%recordEvery == 0 || n == steps {
+				d := r.Diagnose()
+				if w.Rank() == 0 {
+					mu.Lock()
+					out = append(out, d)
+					mu.Unlock()
+				}
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if rankErr != nil {
+		return nil, rankErr
+	}
+	return out, nil
+}
+
+// DipoleSeries records the axial dipole moment after every batch of
+// steps; feed it to sph.DetectReversals to hunt for polarity flips in
+// long campaigns (the goal runs of section V).
+func (s *Simulation) DipoleSeries(batches, stepsPerBatch int) ([]float64, error) {
+	out := make([]float64, 0, batches+1)
+	out = append(out, s.DipoleMoment().Z)
+	for b := 0; b < batches; b++ {
+		if err := s.Step(stepsPerBatch); err != nil {
+			return out, err
+		}
+		out = append(out, s.DipoleMoment().Z)
+	}
+	return out, nil
+}
+
+// Reversals runs DetectReversals over a recorded axial-moment series.
+func Reversals(mz []float64, persist int, floor float64) []sph.ReversalEvent {
+	return sph.DetectReversals(mz, persist, floor)
+}
+
+// RunParallelWithCheckpoint runs the decomposed simulation like
+// RunParallel and, at the end, gathers the global state on rank 0 and
+// writes a checkpoint to w — the persistence path of a decomposed
+// campaign (its counterpart, decomp.ScatterState, restarts one).
+func RunParallelWithCheckpoint(cfg Config, nProcs, steps int, dt float64, w io.Writer) ([]mhd.Diagnostics, error) {
+	cfg = cfg.withDefaults()
+	layout, err := decomp.NewLayout(cfg.Spec(), nProcs)
+	if err != nil {
+		return nil, err
+	}
+	var mu sync.Mutex
+	var out []mhd.Diagnostics
+	var runErr error
+	err = mpi.Run(nProcs, func(wc *mpi.Comm) {
+		r, err := decomp.NewRank(wc, layout, *cfg.Params, *cfg.IC)
+		if err != nil {
+			mu.Lock()
+			runErr = err
+			mu.Unlock()
+			return
+		}
+		step := dt
+		if step <= 0 {
+			step = r.EstimateDT(cfg.SafetyFactor)
+		}
+		for n := 0; n < steps; n++ {
+			r.Advance(step)
+		}
+		d := r.Diagnose()
+		sv, err := r.GatherState()
+		if wc.Rank() == 0 {
+			mu.Lock()
+			defer mu.Unlock()
+			out = append(out, d)
+			if err != nil {
+				runErr = err
+				return
+			}
+			if err := snapshot.WriteCheckpoint(w, sv); err != nil {
+				runErr = err
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	return out, nil
+}

@@ -1,0 +1,137 @@
+package decomp
+
+import (
+	"fmt"
+
+	"repro/internal/mhd"
+)
+
+const tagGatherBase = 200
+
+// GatherState assembles the full two-panel state on world rank 0 and
+// returns it as a serial-equivalent solver (nil on every other rank).
+// The assembled solver matches what a serial run of the same trajectory
+// would hold at every patch node, so it can be checkpointed, analyzed or
+// continued serially.
+func (r *Rank) GatherState() (*mhd.Solver, error) {
+	me := r.World.Rank()
+	p := r.PL.Patch
+	h := p.H
+
+	// Pack this rank's interior block: 8 variables, radial-fastest over
+	// the block's interior nodes.
+	scalars := r.PL.U.Scalars()
+	blockLen := p.Nr * p.Nt * p.Np
+	buf := make([]float64, 0, 8*blockLen)
+	for _, s := range scalars {
+		for k := h; k < h+p.Np; k++ {
+			for j := h; j < h+p.Nt; j++ {
+				row := s.Row(j, k)
+				buf = append(buf, row[h:h+p.Nr]...)
+			}
+		}
+	}
+	if me != 0 {
+		r.World.Send(0, tagGatherBase, buf)
+		return nil, nil
+	}
+
+	// Rank 0: rebuild a serial solver and fill every block.
+	sv, err := mhd.NewSolver(r.Layout.Spec, r.Prm, mhd.InitialConditions{})
+	if err != nil {
+		return nil, err
+	}
+	place := func(world int, data []float64) {
+		panel := r.Layout.PanelOf(world)
+		patch := r.Layout.SubPatch(world, 1)
+		dst := sv.Panels[panel].U.Scalars()
+		pos := 0
+		for _, s := range dst {
+			for k := 0; k < patch.Np; k++ {
+				for j := 0; j < patch.Nt; j++ {
+					row := s.Row(j+patch.JOff+1, k+patch.KOff+1)
+					copy(row[1:1+patch.Nr], data[pos:pos+patch.Nr])
+					pos += patch.Nr
+				}
+			}
+		}
+	}
+	place(0, buf)
+	for src := 1; src < r.World.Size(); src++ {
+		patch := r.Layout.SubPatch(src, 1)
+		rbuf := make([]float64, 8*patch.Nr*patch.Nt*patch.Np)
+		r.World.Recv(src, tagGatherBase, rbuf)
+		place(src, rbuf)
+	}
+	sv.Time = r.Time
+	sv.Step = r.StepN
+	return sv, nil
+}
+
+const tagScatterBase = 210
+
+// ScatterState distributes a full two-panel state (e.g. one read from a
+// checkpoint) from world rank 0 into every rank's local block — the
+// restart path of a decomposed campaign. On rank 0, src must hold the
+// global state; other ranks pass nil. Halos, walls and rims are
+// re-established by a constraint application afterwards.
+func (r *Rank) ScatterState(src *mhd.Solver) error {
+	me := r.World.Rank()
+	if me == 0 {
+		if src == nil {
+			return fmt.Errorf("decomp: rank 0 needs the source state")
+		}
+		if src.Spec != r.Layout.Spec {
+			return fmt.Errorf("decomp: checkpoint grid %+v does not match layout %+v", src.Spec, r.Layout.Spec)
+		}
+		for dst := r.World.Size() - 1; dst >= 0; dst-- {
+			patch := r.Layout.SubPatch(dst, 1)
+			panel := r.Layout.PanelOf(dst)
+			buf := make([]float64, 0, 8*patch.Nr*patch.Nt*patch.Np)
+			for _, s := range src.Panels[panel].U.Scalars() {
+				for k := 0; k < patch.Np; k++ {
+					for j := 0; j < patch.Nt; j++ {
+						row := s.Row(j+patch.JOff+1, k+patch.KOff+1)
+						buf = append(buf, row[1:1+patch.Nr]...)
+					}
+				}
+			}
+			if dst == 0 {
+				r.unpackBlock(buf)
+				continue
+			}
+			r.World.Send(dst, tagScatterBase, buf)
+		}
+	} else {
+		p := r.PL.Patch
+		buf := make([]float64, 8*p.Nr*p.Nt*p.Np)
+		r.World.Recv(0, tagScatterBase, buf)
+		r.unpackBlock(buf)
+	}
+	if src != nil && me == 0 {
+		r.Time = src.Time
+		r.StepN = src.Step
+	}
+	// Share the clock and re-establish halos/rims/walls.
+	clock := []float64{r.Time, float64(r.StepN)}
+	r.World.Bcast(0, clock)
+	r.Time = clock[0]
+	r.StepN = int(clock[1])
+	r.applyConstraints()
+	return nil
+}
+
+func (r *Rank) unpackBlock(buf []float64) {
+	p := r.PL.Patch
+	h := p.H
+	pos := 0
+	for _, s := range r.PL.U.Scalars() {
+		for k := h; k < h+p.Np; k++ {
+			for j := h; j < h+p.Nt; j++ {
+				row := s.Row(j, k)
+				copy(row[h:h+p.Nr], buf[pos:pos+p.Nr])
+				pos += p.Nr
+			}
+		}
+	}
+}

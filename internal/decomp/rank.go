@@ -1,0 +1,488 @@
+package decomp
+
+import (
+	"fmt"
+
+	"repro/internal/field"
+	"repro/internal/grid"
+	"repro/internal/mhd"
+	"repro/internal/mpi"
+	"repro/internal/overset"
+)
+
+// Tag spaces for the three communication phases of a stage.
+const (
+	tagHaloBase    = 0   // +0..3 by direction
+	tagHaloBBase   = 8   // +0..3, magnetic-field halo refresh
+	tagHaloAuxBase = 16  // +0..3, differentiated-intermediate halo refresh
+	tagRimBase     = 24  // +0..3, post-overset rim-crossing cell refresh
+	tagOversetBase = 100 // + receiver-specific is unnecessary: one msg per peer
+)
+
+// Rank is one process of the parallel yycore run: a block of one panel,
+// with its neighbour links, halo buffers, and its share of the overset
+// exchange plan.
+type Rank struct {
+	World  *mpi.Comm
+	Cart   *mpi.Cart
+	Layout *Layout
+	Panel  grid.Panel
+	PL     *mhd.Panel
+	Prm    mhd.Params
+
+	Time  float64
+	StepN int
+
+	// Overset plan, grouped by peer world rank; target order follows the
+	// global plan order on both sides, so messages pack and unpack
+	// identically without coordination.
+	oversetSend map[int][]overset.Target
+	oversetRecv map[int][]overset.Target
+	peersSend   []int // sorted peer lists for deterministic iteration
+	peersRecv   []int
+
+	nrP int // padded radial extent (column length)
+}
+
+// NewRank builds the rank-local solver for world rank w of the layout,
+// splits the world into panels, creates the panel's Cartesian process
+// grid, initializes the local state, and applies all constraints.
+func NewRank(world *mpi.Comm, l *Layout, prm mhd.Params, ic mhd.InitialConditions) (*Rank, error) {
+	if world.Size() != l.NProcs {
+		return nil, fmt.Errorf("decomp: layout wants %d processes, world has %d", l.NProcs, world.Size())
+	}
+	panel := l.PanelOf(world.Rank())
+	// MPI_COMM_SPLIT into the Yin and Yang panels.
+	pcomm := world.Split(int(panel), world.Rank())
+	// MPI_CART_CREATE within the panel.
+	cart, err := pcomm.CartCreate2D(l.PT, l.PP)
+	if err != nil {
+		return nil, err
+	}
+	patch := l.SubPatch(world.Rank(), 1)
+	pl := mhd.NewPanel(patch, prm.Omega)
+	mhd.InitPanel(pl, prm, ic)
+
+	r := &Rank{
+		World:  world,
+		Cart:   cart,
+		Layout: l,
+		Panel:  panel,
+		PL:     pl,
+		Prm:    prm,
+		nrP:    l.Spec.Nr + 2*patch.H,
+	}
+	if err := r.buildOversetPlan(); err != nil {
+		return nil, err
+	}
+	r.applyConstraints()
+	return r, nil
+}
+
+// buildOversetPlan computes the global rim-interpolation plan (identical
+// on every rank) and keeps the entries where this rank is the donor or
+// the receiver, grouped by the peer's world rank.
+func (r *Rank) buildOversetPlan() error {
+	plan, err := overset.NewPlan(r.Layout.Spec)
+	if err != nil {
+		return err
+	}
+	r.oversetSend = map[int][]overset.Target{}
+	r.oversetRecv = map[int][]overset.Target{}
+	me := r.World.Rank()
+	for _, t := range plan.Targets {
+		for _, p := range []grid.Panel{grid.Yin, grid.Yang} {
+			recvRank := r.Layout.OwnerOf(p, t.Recv.J, t.Recv.K)
+			donorRank := r.Layout.OwnerOf(p.Other(), t.DJ, t.DK)
+			if me == donorRank {
+				r.oversetSend[recvRank] = append(r.oversetSend[recvRank], t)
+			}
+			if me == recvRank {
+				r.oversetRecv[donorRank] = append(r.oversetRecv[donorRank], t)
+			}
+		}
+	}
+	r.peersSend = sortedKeys(r.oversetSend)
+	r.peersRecv = sortedKeys(r.oversetRecv)
+	return nil
+}
+
+func sortedKeys(m map[int][]overset.Target) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// exchangeHalos swaps one halo layer of every field with the four
+// nearest neighbours inside the panel (MPI_SEND / MPI_IRECV between
+// MPI_CART_SHIFT neighbours in the paper). Theta-direction messages span
+// the interior phi range and vice versa; corner halos are not needed by
+// the axis-aligned stencils.
+func (r *Rank) exchangeHalos(fields []*field.Scalar, tagBase int) {
+	north, south, west, east := r.Cart.Neighbours()
+	p := r.PL.Patch
+	h := p.H
+	nrP := r.nrP
+
+	_, ntP, npP := p.Padded()
+
+	// Theta-direction messages span the FULL padded phi range: the phi
+	// exchange runs first, so the theta messages carry the freshly filled
+	// phi-halo values into the diagonal (corner) halo cells. Corner halos
+	// are not needed by the axis-aligned stencils, but the overset donors
+	// interpolate from 2x2 node cells that can straddle a block corner.
+	packTheta := func(j int) []float64 {
+		buf := make([]float64, 0, len(fields)*npP*nrP)
+		for _, f := range fields {
+			for k := 0; k < npP; k++ {
+				buf = append(buf, f.Row(j, k)...)
+			}
+		}
+		return buf
+	}
+	unpackTheta := func(j int, buf []float64) {
+		pos := 0
+		for _, f := range fields {
+			for k := 0; k < npP; k++ {
+				copy(f.Row(j, k), buf[pos:pos+nrP])
+				pos += nrP
+			}
+		}
+	}
+	packPhi := func(k int) []float64 {
+		buf := make([]float64, 0, len(fields)*ntP*nrP)
+		for _, f := range fields {
+			for j := 0; j < ntP; j++ {
+				buf = append(buf, f.Row(j, k)...)
+			}
+		}
+		return buf
+	}
+	unpackPhi := func(k int, buf []float64) {
+		pos := 0
+		for _, f := range fields {
+			for j := 0; j < ntP; j++ {
+				copy(f.Row(j, k), buf[pos:pos+nrP])
+				pos += nrP
+			}
+		}
+	}
+
+	// Phase 1: phi direction.
+	if west >= 0 {
+		r.Cart.Send(west, tagBase+2, packPhi(h))
+	}
+	if east >= 0 {
+		r.Cart.Send(east, tagBase+3, packPhi(h+p.Np-1))
+	}
+	if east >= 0 {
+		buf := make([]float64, len(fields)*ntP*nrP)
+		r.Cart.Recv(east, tagBase+2, buf)
+		unpackPhi(h+p.Np, buf)
+	}
+	if west >= 0 {
+		buf := make([]float64, len(fields)*ntP*nrP)
+		r.Cart.Recv(west, tagBase+3, buf)
+		unpackPhi(h-1, buf)
+	}
+	// Phase 2: theta direction, now carrying phi halos.
+	if north >= 0 {
+		r.Cart.Send(north, tagBase+0, packTheta(h))
+	}
+	if south >= 0 {
+		r.Cart.Send(south, tagBase+1, packTheta(h+p.Nt-1))
+	}
+	if south >= 0 {
+		buf := make([]float64, len(fields)*npP*nrP)
+		r.Cart.Recv(south, tagBase+0, buf)
+		unpackTheta(h+p.Nt, buf)
+	}
+	if north >= 0 {
+		buf := make([]float64, len(fields)*npP*nrP)
+		r.Cart.Recv(north, tagBase+1, buf)
+		unpackTheta(h-1, buf)
+	}
+}
+
+// oversetExchange performs the distributed Yin<->Yang rim interpolation
+// for the whole state (rho, p, F, A). Donors interpolate columns from
+// their interior-plus-halo data and send one message per receiving peer
+// under the world communicator; receivers scatter into their rim nodes.
+// Eight columns flow per target: two scalars and two rotated vectors.
+func (r *Rank) oversetExchange() {
+	p := r.PL.Patch
+	h := p.H
+	nrP := r.nrP
+	u := &r.PL.U
+
+	// Donate.
+	for _, peer := range r.peersSend {
+		targets := r.oversetSend[peer]
+		buf := make([]float64, 0, len(targets)*8*nrP)
+		col := make([]float64, nrP)
+		colT := make([]float64, nrP)
+		colP := make([]float64, nrP)
+		for _, t := range targets {
+			ldj := t.DJ - p.JOff + h
+			ldk := t.DK - p.KOff + h
+			gather := func(f *field.Scalar, dst []float64) {
+				r0 := f.Row(ldj, ldk)
+				r1 := f.Row(ldj+1, ldk)
+				r2 := f.Row(ldj, ldk+1)
+				r3 := f.Row(ldj+1, ldk+1)
+				for i := range dst {
+					dst[i] = t.W[0]*r0[i] + t.W[1]*r1[i] + t.W[2]*r2[i] + t.W[3]*r3[i]
+				}
+			}
+			gather(u.Rho, col)
+			buf = append(buf, col...)
+			gather(u.P, col)
+			buf = append(buf, col...)
+			for _, v := range []*field.Vector{u.F, u.A} {
+				gather(v.R, col)
+				gather(v.T, colT)
+				gather(v.P, colP)
+				for i := range colT {
+					colT[i], colP[i] = t.Rot.Apply(colT[i], colP[i])
+				}
+				buf = append(buf, col...)
+				buf = append(buf, colT...)
+				buf = append(buf, colP...)
+			}
+		}
+		r.World.Send(peer, tagOversetBase, buf)
+	}
+
+	// Receive.
+	for _, peer := range r.peersRecv {
+		targets := r.oversetRecv[peer]
+		buf := make([]float64, len(targets)*8*nrP)
+		r.World.Recv(peer, tagOversetBase, buf)
+		pos := 0
+		take := func(dst []float64) {
+			copy(dst, buf[pos:pos+nrP])
+			pos += nrP
+		}
+		for _, t := range targets {
+			lj := t.Recv.J - p.JOff + h
+			lk := t.Recv.K - p.KOff + h
+			take(u.Rho.Row(lj, lk))
+			take(u.P.Row(lj, lk))
+			for _, v := range []*field.Vector{u.F, u.A} {
+				take(v.R.Row(lj, lk))
+				take(v.T.Row(lj, lk))
+				take(v.P.Row(lj, lk))
+			}
+		}
+	}
+}
+
+// stateFields lists the eight state scalars for halo exchange.
+func (r *Rank) stateFields() []*field.Scalar {
+	s := r.PL.U.Scalars()
+	return s[:]
+}
+
+// applyConstraints mirrors the serial solver's constraint application:
+// refresh halos (the overset donors interpolate from interior-plus-halo
+// data), impose walls, run the overset exchange, re-impose walls at the
+// rim columns, and refresh halos once more so that halo copies of the
+// partner blocks' rim columns carry their post-overset values — without
+// the second refresh, stencils at block seams adjacent to the panel rim
+// would consume stale rim data that the serial solver never sees.
+func (r *Rank) applyConstraints() {
+	r.exchangeHalos(r.stateFields(), tagHaloBase)
+	mhd.ApplyWallBC(r.PL, r.Prm)
+	r.oversetExchange()
+	mhd.ApplyWallBC(r.PL, r.Prm)
+	// The overset exchange rewrote the panel-rim rows and columns, so
+	// neighbouring blocks' halo copies of rim-crossing cells are stale.
+	// Those cells feed kept results through one chain only: A at a rim
+	// cell -> B = curl A at a rim-column node -> J = curl B at an
+	// adjacent interior node. A thin refresh of just the rim-crossing
+	// cells (at most two radial columns per direction) restores
+	// serial-equivalence at a tiny fraction of a full halo exchange.
+	// The pseudo-vacuum magnetic wall additionally couples wall values
+	// across several columns, so it falls back to the full exchange.
+	if r.Prm.MagBC == mhd.BCConfined {
+		r.rimRefresh()
+		return
+	}
+	// Pseudo-vacuum: the wall recomputation reads angular neighbours of
+	// the wall rows, so it must see post-overset rim data; re-impose the
+	// walls on fresh halos and share the result.
+	r.exchangeHalos(r.stateFields(), tagHaloBase)
+	mhd.ApplyWallBC(r.PL, r.Prm)
+	r.exchangeHalos(r.stateFields(), tagHaloBase)
+}
+
+// rimRefresh re-sends only the halo cells that sit on the panel's global
+// rim rows/columns after the overset exchange rewrote them.
+func (r *Rank) rimRefresh() {
+	north, south, west, east := r.Cart.Neighbours()
+	p := r.PL.Patch
+	h := p.H
+	nrP := r.nrP
+	fields := r.stateFields()
+	spec := r.Layout.Spec
+
+	// Local padded indices of the global rim columns/rows this block owns.
+	var rimCols, rimRows []int
+	if p.KOff == 0 {
+		rimCols = append(rimCols, h)
+	}
+	if p.KOff+p.Np == spec.Np {
+		rimCols = append(rimCols, h+p.Np-1)
+	}
+	if p.JOff == 0 {
+		rimRows = append(rimRows, h)
+	}
+	if p.JOff+p.Nt == spec.Nt {
+		rimRows = append(rimRows, h+p.Nt-1)
+	}
+
+	packRowCells := func(j int) []float64 {
+		buf := make([]float64, 0, len(fields)*len(rimCols)*nrP)
+		for _, f := range fields {
+			for _, k := range rimCols {
+				buf = append(buf, f.Row(j, k)...)
+			}
+		}
+		return buf
+	}
+	unpackRowCells := func(j int, buf []float64) {
+		pos := 0
+		for _, f := range fields {
+			for _, k := range rimCols {
+				copy(f.Row(j, k), buf[pos:pos+nrP])
+				pos += nrP
+			}
+		}
+	}
+	packColCells := func(k int) []float64 {
+		buf := make([]float64, 0, len(fields)*len(rimRows)*nrP)
+		for _, f := range fields {
+			for _, j := range rimRows {
+				buf = append(buf, f.Row(j, k)...)
+			}
+		}
+		return buf
+	}
+	unpackColCells := func(k int, buf []float64) {
+		pos := 0
+		for _, f := range fields {
+			for _, j := range rimRows {
+				copy(f.Row(j, k), buf[pos:pos+nrP])
+				pos += nrP
+			}
+		}
+	}
+
+	// Theta neighbours share this block's column range, so the same
+	// rimCols predicate holds on both sides; likewise for rows in phi.
+	if len(rimCols) > 0 {
+		if north >= 0 {
+			r.Cart.Send(north, tagRimBase+0, packRowCells(h))
+		}
+		if south >= 0 {
+			r.Cart.Send(south, tagRimBase+1, packRowCells(h+p.Nt-1))
+		}
+		if south >= 0 {
+			buf := make([]float64, len(fields)*len(rimCols)*nrP)
+			r.Cart.Recv(south, tagRimBase+0, buf)
+			unpackRowCells(h+p.Nt, buf)
+		}
+		if north >= 0 {
+			buf := make([]float64, len(fields)*len(rimCols)*nrP)
+			r.Cart.Recv(north, tagRimBase+1, buf)
+			unpackRowCells(h-1, buf)
+		}
+	}
+	if len(rimRows) > 0 {
+		if west >= 0 {
+			r.Cart.Send(west, tagRimBase+2, packColCells(h))
+		}
+		if east >= 0 {
+			r.Cart.Send(east, tagRimBase+3, packColCells(h+p.Np-1))
+		}
+		if east >= 0 {
+			buf := make([]float64, len(fields)*len(rimRows)*nrP)
+			r.Cart.Recv(east, tagRimBase+2, buf)
+			unpackColCells(h+p.Np, buf)
+		}
+		if west >= 0 {
+			buf := make([]float64, len(fields)*len(rimRows)*nrP)
+			r.Cart.Recv(west, tagRimBase+3, buf)
+			unpackColCells(h-1, buf)
+		}
+	}
+}
+
+// rhs evaluates the right-hand side into the panel's k state: compute
+// the subsidiary fields, refresh the magnetic-field halos (its curl is
+// differentiated), then finish.
+func (r *Rank) rhs(u, out *mhd.State) {
+	mhd.ComputeVTB(r.PL, u)
+	r.exchangeHalos([]*field.Scalar{r.PL.B.R, r.PL.B.T, r.PL.B.P}, tagHaloBBase)
+	mhd.FinishRHS(r.PL, r.Prm, u, out, func(fs ...*field.Scalar) {
+		r.exchangeHalos(fs, tagHaloAuxBase)
+	})
+}
+
+// Advance performs one RK4 step identical in arithmetic to the serial
+// solver's Advance.
+func (r *Rank) Advance(dt float64) {
+	r.AdvanceScheme(dt, mhd.RK4)
+}
+
+// AdvanceScheme advances one step with an explicit integrator choice,
+// using the same stage tables as the serial solver.
+func (r *Rank) AdvanceScheme(dt float64, scheme mhd.Integrator) {
+	pl := r.PL
+	pl.SaveU0()
+	pl.ZeroAcc()
+	stages, finalCoeff := mhd.SchemeStages(scheme)
+	for si, stg := range stages {
+		r.rhs(&pl.U, pl.K())
+		pl.AccumulateK(stg.AccCoeff)
+		if si < len(stages)-1 {
+			pl.RestoreU0PlusK(stg.StepCoeff * dt)
+			r.applyConstraints()
+		}
+	}
+	pl.RestoreU0PlusAcc(finalCoeff * dt)
+	r.applyConstraints()
+	r.Time += dt
+	r.StepN++
+}
+
+// EstimateDT returns the globally reduced stable time step.
+func (r *Rank) EstimateDT(safety float64) float64 {
+	mhd.ComputeVTB(r.PL, &r.PL.U)
+	v := []float64{mhd.PanelMaxSpeed(r.PL, r.Prm)}
+	r.World.Allreduce(v, mpi.OpMax)
+	return mhd.StableDT(r.Prm, mhd.MinGridSpacing(r.Layout.Spec), v[0], safety)
+}
+
+// Diagnose returns globally reduced diagnostics (identical on every
+// rank).
+func (r *Rank) Diagnose() mhd.Diagnostics {
+	mhd.ComputeVTB(r.PL, &r.PL.U)
+	d := mhd.PanelDiagnostics(r.PL, r.Prm)
+	sums := []float64{d.Mass, d.KineticE, d.MagneticE, d.InternalE}
+	r.World.Allreduce(sums, mpi.OpSum)
+	maxs := []float64{d.MaxV, d.MaxB}
+	r.World.Allreduce(maxs, mpi.OpMax)
+	return mhd.Diagnostics{
+		Time: r.Time, Step: r.StepN,
+		Mass: sums[0], KineticE: sums[1], MagneticE: sums[2], InternalE: sums[3],
+		MaxV: maxs[0], MaxB: maxs[1],
+	}
+}

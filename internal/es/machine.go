@@ -1,0 +1,69 @@
+// Package es models the Earth Simulator — the 640-node, 5120-processor
+// vector-parallel machine of JAMSTEC on which the paper measured 15.2
+// TFlops — and predicts the performance of the yycore algorithm on it.
+//
+// We obviously cannot run on the Earth Simulator; per the substitution
+// policy in DESIGN.md, the machine is replaced by an explicit analytic
+// model: vector-pipeline timing (startup plus element rate, register
+// length 256, memory-bank-conflict penalty for power-of-two leading
+// dimensions), 8 arithmetic processors per node, and the 12.3 GB/s x 2
+// inter-node crossbar. The algorithmic inputs of the model — flops,
+// vector-loop structure and communication volume per step — are measured
+// from the real instrumented solver, so the model's shape (who wins, by
+// what factor, where the knees fall) is driven by the actual code.
+package es
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Machine describes the hardware, Table I of the paper.
+type Machine struct {
+	APPeakFlops   float64 // peak flop rate of one arithmetic processor (AP)
+	APsPerNode    int     // shared-memory APs per processor node (PN)
+	Nodes         int     // total processor nodes
+	VectorRegLen  int     // vector register length (elements)
+	MemPerNodeGB  float64 // shared memory per node
+	LinkBandwidth float64 // inter-node data transfer rate, one direction (bytes/s)
+}
+
+// EarthSimulator returns the machine of Table I.
+func EarthSimulator() Machine {
+	return Machine{
+		APPeakFlops:   8e9,
+		APsPerNode:    8,
+		Nodes:         640,
+		VectorRegLen:  256,
+		MemPerNodeGB:  16,
+		LinkBandwidth: 12.3e9,
+	}
+}
+
+// TotalAPs returns the machine's processor count (5120).
+func (m Machine) TotalAPs() int { return m.APsPerNode * m.Nodes }
+
+// TotalPeakFlops returns the aggregate peak (40 Tflops).
+func (m Machine) TotalPeakFlops() float64 {
+	return m.APPeakFlops * float64(m.TotalAPs())
+}
+
+// TotalMemoryTB returns the aggregate main memory (10 TB).
+func (m Machine) TotalMemoryTB() float64 {
+	return m.MemPerNodeGB * float64(m.Nodes) / 1024
+}
+
+// TableI renders the specification table (Table I of the paper).
+func (m Machine) TableI() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-50s %s\n", "Peak performance of arithmetic processor (AP)", fmt.Sprintf("%.0f Gflops", m.APPeakFlops/1e9))
+	fmt.Fprintf(&b, "%-50s %d\n", "Number of AP in a processor node (PN)", m.APsPerNode)
+	fmt.Fprintf(&b, "%-50s %d\n", "Total number of PN", m.Nodes)
+	fmt.Fprintf(&b, "%-50s %d AP x %d PN = %d\n", "Total number of AP", m.APsPerNode, m.Nodes, m.TotalAPs())
+	fmt.Fprintf(&b, "%-50s %.0f GB\n", "Shared memory size of PN", m.MemPerNodeGB)
+	fmt.Fprintf(&b, "%-50s %.0f Gflops x %d AP = %d Tflops\n", "Total peak performance",
+		m.APPeakFlops/1e9, m.TotalAPs(), int(m.TotalPeakFlops()/1e12))
+	fmt.Fprintf(&b, "%-50s %.0f TB\n", "Total main memory", m.TotalMemoryTB())
+	fmt.Fprintf(&b, "%-50s %.1f GB/s x 2\n", "Inter-node data transfer rate", m.LinkBandwidth/1e9)
+	return b.String()
+}

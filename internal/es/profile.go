@@ -1,0 +1,74 @@
+package es
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+	"repro/internal/mhd"
+	"repro/internal/perfcount"
+)
+
+// StepProfile characterizes one time step of the yycore algorithm,
+// measured from the real instrumented solver on a small grid. The
+// quantities are per-grid-point (or per angular column) ratios of the
+// stencil code, so they transfer to production grid sizes: a finite
+// difference sweep does the same work per point at any resolution.
+type StepProfile struct {
+	// FlopsPerPoint is the floating-point work per grid point per step
+	// (both panels counted, like the hardware counter on the ES).
+	FlopsPerPoint float64
+	// LoopsPerColumn is the number of innermost (radial) vector loops
+	// executed per angular column (theta x phi node, both panels) per
+	// step; each such loop costs one vector startup.
+	LoopsPerColumn float64
+	// ScalarOpsPerColumn is the inherently scalar work per angular
+	// column per step (boundary fix-ups, interpolation bookkeeping).
+	ScalarOpsPerColumn float64
+	// ElemsPerLoopOverNr is VectorElems/(VectorLoops*Nr), close to 1:
+	// how much of each radial row a vector loop actually covers.
+	ElemsPerLoopOverNr float64
+}
+
+// MeasureStepProfile runs the serial two-panel solver for a few steps on
+// a calibration grid and reduces the perfcount deltas to per-point
+// ratios.
+func MeasureStepProfile(s grid.Spec, prm mhd.Params) (StepProfile, error) {
+	sv, err := mhd.NewSolver(s, prm, mhd.DefaultIC())
+	if err != nil {
+		return StepProfile{}, err
+	}
+	dt := sv.EstimateDT(0.2)
+	// Warm-up step so one-time initialization work is excluded.
+	sv.Advance(dt)
+	before := perfcount.Read()
+	const steps = 2
+	for n := 0; n < steps; n++ {
+		sv.Advance(dt)
+	}
+	d := perfcount.Read().Sub(before)
+	points := float64(s.TotalPoints()) * steps
+	columns := float64(2*s.Nt*s.Np) * steps
+	if d.VectorLoops == 0 {
+		return StepProfile{}, fmt.Errorf("es: no vector loops recorded")
+	}
+	return StepProfile{
+		FlopsPerPoint:      float64(d.Flops) / points,
+		LoopsPerColumn:     float64(d.VectorLoops) / columns,
+		ScalarOpsPerColumn: float64(d.ScalarOps) / columns,
+		ElemsPerLoopOverNr: float64(d.VectorElems) / (float64(d.VectorLoops) * float64(s.Nr)),
+	}, nil
+}
+
+// ReferenceProfile returns the profile measured once on a 17x17 panel
+// calibration grid with the default parameters. It is deterministic, so
+// callers that do not want to pay the measurement cost can use it
+// directly; the numbers are refreshed by TestReferenceProfileCurrent
+// whenever the solver's work content changes.
+func ReferenceProfile() StepProfile {
+	return StepProfile{
+		FlopsPerPoint:      2250,
+		LoopsPerColumn:     467,
+		ScalarOpsPerColumn: 18.6,
+		ElemsPerLoopOverNr: 1.03,
+	}
+}

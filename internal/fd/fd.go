@@ -1,0 +1,221 @@
+// Package fd implements the second-order central finite differences of
+// the paper (section III) on patch fields, with second-order one-sided
+// closures at global patch boundaries.
+//
+// Derivatives are evaluated at every node of the padded-interior region
+// [H, H+N) in each dimension. A node adjacent to the storage edge uses the
+// halo value when the patch edge is an interior seam (the halo was filled
+// by a parallel halo exchange), and a one-sided stencil when the edge is a
+// global boundary of the panel (physical radial wall or overset internal
+// boundary), where no halo data exists.
+//
+// All kernels keep the radial index in the innermost loop (unit stride),
+// the vectorization dimension of the paper's yycore code, and report their
+// work to perfcount.
+package fd
+
+import (
+	"repro/internal/field"
+	"repro/internal/grid"
+	"repro/internal/perfcount"
+)
+
+// count charges a full interior sweep with fl flops per node.
+func count(p *grid.Patch, fl int) {
+	n := int64(p.Nr) * int64(p.Nt) * int64(p.Np)
+	perfcount.AddFlops(n * int64(fl))
+	perfcount.AddVectorLoops(int64(p.Nt)*int64(p.Np), n)
+}
+
+// Deriv1R writes the first radial derivative of f into out.
+func Deriv1R(p *grid.Patch, f, out *field.Scalar) {
+	h := p.H
+	c := 1 / (2 * p.Dr)
+	lo, hi := p.GlobalEdge(0), p.GlobalEdge(1)
+	for k := h; k < h+p.Np; k++ {
+		for j := h; j < h+p.Nt; j++ {
+			fr := f.Row(j, k)
+			or := out.Row(j, k)
+			for i := h; i < h+p.Nr; i++ {
+				or[i] = c * (fr[i+1] - fr[i-1])
+			}
+			if lo {
+				i := h
+				or[i] = c * (-3*fr[i] + 4*fr[i+1] - fr[i+2])
+			}
+			if hi {
+				i := h + p.Nr - 1
+				or[i] = c * (3*fr[i] - 4*fr[i-1] + fr[i-2])
+			}
+		}
+	}
+	count(p, 3)
+}
+
+// Deriv2R writes the second radial derivative of f into out. Global
+// boundary nodes use the first-order three-point one-sided formula; those
+// nodes only feed discarded boundary right-hand sides.
+func Deriv2R(p *grid.Patch, f, out *field.Scalar) {
+	h := p.H
+	c := 1 / (p.Dr * p.Dr)
+	lo, hi := p.GlobalEdge(0), p.GlobalEdge(1)
+	for k := h; k < h+p.Np; k++ {
+		for j := h; j < h+p.Nt; j++ {
+			fr := f.Row(j, k)
+			or := out.Row(j, k)
+			for i := h; i < h+p.Nr; i++ {
+				or[i] = c * (fr[i+1] - 2*fr[i] + fr[i-1])
+			}
+			if lo {
+				i := h
+				or[i] = c * (fr[i] - 2*fr[i+1] + fr[i+2])
+			}
+			if hi {
+				i := h + p.Nr - 1
+				or[i] = c * (fr[i] - 2*fr[i-1] + fr[i-2])
+			}
+		}
+	}
+	count(p, 4)
+}
+
+// Deriv1T writes the first colatitudinal derivative of f into out.
+func Deriv1T(p *grid.Patch, f, out *field.Scalar) {
+	h := p.H
+	c := 1 / (2 * p.Dt)
+	lo, hi := p.GlobalEdge(2), p.GlobalEdge(3)
+	for k := h; k < h+p.Np; k++ {
+		for j := h; j < h+p.Nt; j++ {
+			fp := f.Row(j+1, k)
+			fm := f.Row(j-1, k)
+			or := out.Row(j, k)
+			switch {
+			case lo && j == h:
+				f0, f1, f2 := f.Row(j, k), f.Row(j+1, k), f.Row(j+2, k)
+				for i := h; i < h+p.Nr; i++ {
+					or[i] = c * (-3*f0[i] + 4*f1[i] - f2[i])
+				}
+			case hi && j == h+p.Nt-1:
+				f0, f1, f2 := f.Row(j, k), f.Row(j-1, k), f.Row(j-2, k)
+				for i := h; i < h+p.Nr; i++ {
+					or[i] = c * (3*f0[i] - 4*f1[i] + f2[i])
+				}
+			default:
+				for i := h; i < h+p.Nr; i++ {
+					or[i] = c * (fp[i] - fm[i])
+				}
+			}
+		}
+	}
+	count(p, 3)
+}
+
+// Deriv2T writes the second colatitudinal derivative of f into out.
+func Deriv2T(p *grid.Patch, f, out *field.Scalar) {
+	h := p.H
+	c := 1 / (p.Dt * p.Dt)
+	lo, hi := p.GlobalEdge(2), p.GlobalEdge(3)
+	for k := h; k < h+p.Np; k++ {
+		for j := h; j < h+p.Nt; j++ {
+			fc := f.Row(j, k)
+			fp := f.Row(j+1, k)
+			fm := f.Row(j-1, k)
+			or := out.Row(j, k)
+			switch {
+			case lo && j == h:
+				f1, f2 := f.Row(j+1, k), f.Row(j+2, k)
+				for i := h; i < h+p.Nr; i++ {
+					or[i] = c * (fc[i] - 2*f1[i] + f2[i])
+				}
+			case hi && j == h+p.Nt-1:
+				f1, f2 := f.Row(j-1, k), f.Row(j-2, k)
+				for i := h; i < h+p.Nr; i++ {
+					or[i] = c * (fc[i] - 2*f1[i] + f2[i])
+				}
+			default:
+				for i := h; i < h+p.Nr; i++ {
+					or[i] = c * (fp[i] - 2*fc[i] + fm[i])
+				}
+			}
+		}
+	}
+	count(p, 4)
+}
+
+// Deriv1P writes the first azimuthal derivative of f into out.
+func Deriv1P(p *grid.Patch, f, out *field.Scalar) {
+	h := p.H
+	c := 1 / (2 * p.Dp)
+	lo, hi := p.GlobalEdge(4), p.GlobalEdge(5)
+	for k := h; k < h+p.Np; k++ {
+		kp, km := k+1, k-1
+		oneSided := 0
+		switch {
+		case lo && k == h:
+			oneSided = 1
+		case hi && k == h+p.Np-1:
+			oneSided = -1
+		}
+		for j := h; j < h+p.Nt; j++ {
+			or := out.Row(j, k)
+			switch oneSided {
+			case 1:
+				f0, f1, f2 := f.Row(j, k), f.Row(j, k+1), f.Row(j, k+2)
+				for i := h; i < h+p.Nr; i++ {
+					or[i] = c * (-3*f0[i] + 4*f1[i] - f2[i])
+				}
+			case -1:
+				f0, f1, f2 := f.Row(j, k), f.Row(j, k-1), f.Row(j, k-2)
+				for i := h; i < h+p.Nr; i++ {
+					or[i] = c * (3*f0[i] - 4*f1[i] + f2[i])
+				}
+			default:
+				fp := f.Row(j, kp)
+				fm := f.Row(j, km)
+				for i := h; i < h+p.Nr; i++ {
+					or[i] = c * (fp[i] - fm[i])
+				}
+			}
+		}
+	}
+	count(p, 3)
+}
+
+// Deriv2P writes the second azimuthal derivative of f into out.
+func Deriv2P(p *grid.Patch, f, out *field.Scalar) {
+	h := p.H
+	c := 1 / (p.Dp * p.Dp)
+	lo, hi := p.GlobalEdge(4), p.GlobalEdge(5)
+	for k := h; k < h+p.Np; k++ {
+		oneSided := 0
+		switch {
+		case lo && k == h:
+			oneSided = 1
+		case hi && k == h+p.Np-1:
+			oneSided = -1
+		}
+		for j := h; j < h+p.Nt; j++ {
+			or := out.Row(j, k)
+			fc := f.Row(j, k)
+			switch oneSided {
+			case 1:
+				f1, f2 := f.Row(j, k+1), f.Row(j, k+2)
+				for i := h; i < h+p.Nr; i++ {
+					or[i] = c * (fc[i] - 2*f1[i] + f2[i])
+				}
+			case -1:
+				f1, f2 := f.Row(j, k-1), f.Row(j, k-2)
+				for i := h; i < h+p.Nr; i++ {
+					or[i] = c * (fc[i] - 2*f1[i] + f2[i])
+				}
+			default:
+				fp := f.Row(j, k+1)
+				fm := f.Row(j, k-1)
+				for i := h; i < h+p.Nr; i++ {
+					or[i] = c * (fp[i] - 2*fc[i] + fm[i])
+				}
+			}
+		}
+	}
+	count(p, 4)
+}

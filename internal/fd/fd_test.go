@@ -1,0 +1,281 @@
+package fd
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/field"
+	"repro/internal/grid"
+)
+
+// fill evaluates fn at every padded node (halos included).
+func fill(p *grid.Patch, f *field.Scalar, fn func(r, t, ph float64) float64) {
+	nr, nt, np := p.Padded()
+	for k := 0; k < np; k++ {
+		for j := 0; j < nt; j++ {
+			for i := 0; i < nr; i++ {
+				f.Set(i, j, k, fn(p.R[i], p.Theta[j], p.Phi[k]))
+			}
+		}
+	}
+}
+
+// maxErr returns the max abs difference between g and fn over interior
+// nodes, shrunk by margin nodes per side in the axis'th dimension.
+func maxErr(p *grid.Patch, g *field.Scalar, fn func(r, t, ph float64) float64, axis, margin int) float64 {
+	h := p.H
+	var m float64
+	ilo, ihi := h, h+p.Nr
+	jlo, jhi := h, h+p.Nt
+	klo, khi := h, h+p.Np
+	switch axis {
+	case 0:
+		ilo += margin
+		ihi -= margin
+	case 1:
+		jlo += margin
+		jhi -= margin
+	case 2:
+		klo += margin
+		khi -= margin
+	}
+	for k := klo; k < khi; k++ {
+		for j := jlo; j < jhi; j++ {
+			for i := ilo; i < ihi; i++ {
+				e := math.Abs(g.At(i, j, k) - fn(p.R[i], p.Theta[j], p.Phi[k]))
+				if e > m {
+					m = e
+				}
+			}
+		}
+	}
+	return m
+}
+
+func f0(r, t, p float64) float64 { return math.Sin(2*r) * math.Cos(t) * math.Sin(p/2) }
+func dfdr(r, t, p float64) float64 {
+	return 2 * math.Cos(2*r) * math.Cos(t) * math.Sin(p/2)
+}
+func d2fdr2(r, t, p float64) float64 {
+	return -4 * math.Sin(2*r) * math.Cos(t) * math.Sin(p/2)
+}
+func dfdt(r, t, p float64) float64 {
+	return -math.Sin(2*r) * math.Sin(t) * math.Sin(p/2)
+}
+func d2fdt2(r, t, p float64) float64 {
+	return -math.Sin(2*r) * math.Cos(t) * math.Sin(p/2)
+}
+func dfdp(r, t, p float64) float64 {
+	return 0.5 * math.Sin(2*r) * math.Cos(t) * math.Cos(p/2)
+}
+func d2fdp2(r, t, p float64) float64 {
+	return -0.25 * math.Sin(2*r) * math.Cos(t) * math.Sin(p/2)
+}
+
+type op struct {
+	name   string
+	apply  func(*grid.Patch, *field.Scalar, *field.Scalar)
+	exact  func(r, t, p float64) float64
+	axis   int
+	margin int // interior margin for convergence measurement
+	order  float64
+}
+
+func ops() []op {
+	return []op{
+		{"Deriv1R", Deriv1R, dfdr, 0, 0, 2},
+		{"Deriv2R", Deriv2R, d2fdr2, 0, 1, 2},
+		{"Deriv1T", Deriv1T, dfdt, 1, 0, 2},
+		{"Deriv2T", Deriv2T, d2fdt2, 1, 1, 2},
+		{"Deriv1P", Deriv1P, dfdp, 2, 0, 2},
+		{"Deriv2P", Deriv2P, d2fdp2, 2, 1, 2},
+	}
+}
+
+// TestConvergenceOrder verifies second-order convergence on a full panel
+// patch (one-sided closures at every global edge). Second derivatives are
+// measured one node in from the boundary, where the closure is first
+// order by design (those nodes feed discarded right-hand sides).
+func TestConvergenceOrder(t *testing.T) {
+	for _, o := range ops() {
+		errAt := func(nt int) float64 {
+			s := grid.NewSpec(nt, nt)
+			p := grid.NewPatch(s, grid.Yin, 1)
+			f := p.NewScalar()
+			g := p.NewScalar()
+			fill(p, f, f0)
+			o.apply(p, f, g)
+			return maxErr(p, g, o.exact, o.axis, o.margin)
+		}
+		e1 := errAt(17)
+		e2 := errAt(33)
+		rate := math.Log2(e1 / e2)
+		if rate < o.order-0.4 {
+			t.Errorf("%s: convergence rate %.2f, want about %.0f (errors %g -> %g)",
+				o.name, rate, o.order, e1, e2)
+		}
+	}
+}
+
+// TestExactOnQuadratics: centered and one-sided second-order first
+// derivatives are exact for quadratic profiles.
+func TestExactOnQuadratics(t *testing.T) {
+	s := grid.NewSpec(9, 9)
+	p := grid.NewPatch(s, grid.Yin, 1)
+	f := p.NewScalar()
+	g := p.NewScalar()
+
+	fill(p, f, func(r, t, ph float64) float64 { return 3*r*r - 2*r + 1 })
+	Deriv1R(p, f, g)
+	if e := maxErr(p, g, func(r, t, ph float64) float64 { return 6*r - 2 }, 0, 0); e > 1e-11 {
+		t.Errorf("Deriv1R not exact on quadratic: %g", e)
+	}
+	Deriv2R(p, f, g)
+	if e := maxErr(p, g, func(r, t, ph float64) float64 { return 6 }, 0, 0); e > 1e-9 {
+		t.Errorf("Deriv2R not exact on quadratic: %g", e)
+	}
+
+	fill(p, f, func(r, t, ph float64) float64 { return t*t + 4*t })
+	Deriv1T(p, f, g)
+	if e := maxErr(p, g, func(r, t, ph float64) float64 { return 2*t + 4 }, 1, 0); e > 1e-11 {
+		t.Errorf("Deriv1T not exact on quadratic: %g", e)
+	}
+
+	fill(p, f, func(r, t, ph float64) float64 { return ph * ph })
+	Deriv1P(p, f, g)
+	if e := maxErr(p, g, func(r, t, ph float64) float64 { return 2 * ph }, 2, 0); e > 1e-11 {
+		t.Errorf("Deriv1P not exact on quadratic: %g", e)
+	}
+}
+
+// TestSubPatchUsesHalo: on an interior block (no global angular edges),
+// stencils must consume halo values, reproducing the centered result of
+// the full patch.
+func TestSubPatchUsesHalo(t *testing.T) {
+	s := grid.NewSpec(9, 17)
+	full := grid.NewPatch(s, grid.Yin, 1)
+	ff := full.NewScalar()
+	gf := full.NewScalar()
+	fill(full, ff, f0)
+	Deriv1T(full, ff, gf)
+
+	// Interior block in theta and phi.
+	sub := grid.NewSubPatch(s, grid.Yin, 1, 0, s.Nr, 4, 12, 10, 30)
+	fs := sub.NewScalar()
+	gs := sub.NewScalar()
+	fill(sub, fs, f0) // halos filled analytically, as a halo exchange would
+	Deriv1T(sub, fs, gs)
+
+	h := sub.H
+	for k := h; k < h+sub.Np; k++ {
+		for j := h; j < h+sub.Nt; j++ {
+			for i := h; i < h+sub.Nr; i++ {
+				want := gf.At(i, j+sub.JOff, k+sub.KOff)
+				got := gs.At(i, j, k)
+				if math.Abs(got-want) > 1e-13 {
+					t.Fatalf("subpatch derivative differs at (%d,%d,%d): %g vs %g", i, j, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestOneSidedAtSeamNotUsed: a block touching a global edge must apply the
+// one-sided closure there even if its halo contains garbage.
+func TestOneSidedBoundaryIgnoresHalo(t *testing.T) {
+	s := grid.NewSpec(9, 9)
+	p := grid.NewPatch(s, grid.Yin, 1)
+	f := p.NewScalar()
+	g := p.NewScalar()
+	fill(p, f, func(r, t, ph float64) float64 { return r * r })
+	// Poison every halo value.
+	nr, nt, np := p.Padded()
+	h := p.H
+	for k := 0; k < np; k++ {
+		for j := 0; j < nt; j++ {
+			for i := 0; i < nr; i++ {
+				if i < h || i >= h+p.Nr || j < h || j >= h+p.Nt || k < h || k >= h+p.Np {
+					f.Set(i, j, k, math.NaN())
+				}
+			}
+		}
+	}
+	Deriv1R(p, f, g)
+	for k := h; k < h+p.Np; k++ {
+		for j := h; j < h+p.Nt; j++ {
+			for i := h; i < h+p.Nr; i++ {
+				if math.IsNaN(g.At(i, j, k)) {
+					t.Fatalf("halo NaN leaked into derivative at (%d,%d,%d)", i, j, k)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkDeriv1R(b *testing.B) {
+	s := grid.NewSpec(63, 33)
+	p := grid.NewPatch(s, grid.Yin, 1)
+	f := p.NewScalar()
+	g := p.NewScalar()
+	fill(p, f, f0)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		Deriv1R(p, f, g)
+	}
+}
+
+func BenchmarkDeriv1T(b *testing.B) {
+	s := grid.NewSpec(63, 33)
+	p := grid.NewPatch(s, grid.Yin, 1)
+	f := p.NewScalar()
+	g := p.NewScalar()
+	fill(p, f, f0)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		Deriv1T(p, f, g)
+	}
+}
+
+// Property: every derivative operator is linear: D(a f + b g) =
+// a D(f) + b D(g), for random smooth fields and coefficients.
+func TestDerivativeLinearityQuick(t *testing.T) {
+	s := grid.NewSpec(9, 9)
+	p := grid.NewPatch(s, grid.Yin, 1)
+	opsList := []func(*grid.Patch, *field.Scalar, *field.Scalar){
+		Deriv1R, Deriv2R, Deriv1T, Deriv2T, Deriv1P, Deriv2P,
+	}
+	check := func(a, b float64) bool {
+		a = math.Mod(a, 10)
+		b = math.Mod(b, 10)
+		f := p.NewScalar()
+		g := p.NewScalar()
+		fill(p, f, func(r, t, ph float64) float64 { return math.Sin(3*r) * math.Cos(t+ph) })
+		fill(p, g, func(r, t, ph float64) float64 { return r * r * math.Sin(t) * math.Sin(2*ph) })
+		comb := p.NewScalar()
+		comb.LinComb(a, f, b, g)
+		for _, op := range opsList {
+			df := p.NewScalar()
+			dg := p.NewScalar()
+			dc := p.NewScalar()
+			op(p, f, df)
+			op(p, g, dg)
+			op(p, comb, dc)
+			h := p.H
+			for k := h; k < h+p.Np; k++ {
+				for j := h; j < h+p.Nt; j++ {
+					for i := h; i < h+p.Nr; i++ {
+						want := a*df.At(i, j, k) + b*dg.At(i, j, k)
+						if math.Abs(dc.At(i, j, k)-want) > 1e-9*(1+math.Abs(want)) {
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}

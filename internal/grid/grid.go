@@ -1,0 +1,249 @@
+// Package grid builds the spherical-shell grids of the paper: the
+// Yin-Yang overset pair (two identical latitude-longitude patches covering
+// the sphere with partial overlap, Fig. 1) and, as the motivating
+// baseline, the traditional full latitude-longitude grid with polar
+// convergence.
+//
+// A component (Yin or Yang) patch spans colatitude [pi/4, 3pi/4] (90
+// degrees about its equator) and longitude [-3pi/4, 3pi/4] (270 degrees),
+// piled up in radius between the inner-core and core-mantle boundaries.
+// The two patches are geometrically identical; the Yang grid is the Yin
+// grid expressed in the rotated frame of coords.YinYang. All metric
+// arrays are precomputed here so that solver kernels only index them.
+package grid
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/field"
+)
+
+// Panel identifies a component grid of the overset pair.
+type Panel int
+
+const (
+	// Yin is the component grid aligned with the geographic frame
+	// (the paper's n-grid).
+	Yin Panel = iota
+	// Yang is the complemental component grid (the paper's e-grid).
+	Yang
+)
+
+// String returns "Yin" or "Yang".
+func (p Panel) String() string {
+	if p == Yin {
+		return "Yin"
+	}
+	return "Yang"
+}
+
+// Other returns the partner panel.
+func (p Panel) Other() Panel { return 1 - p }
+
+// Patch bounds for the basic Yin-Yang grid.
+const (
+	ThetaMin = math.Pi / 4
+	ThetaMax = 3 * math.Pi / 4
+	PhiMin   = -3 * math.Pi / 4
+	PhiMax   = 3 * math.Pi / 4
+)
+
+// Spec describes a global Yin-Yang spherical-shell grid: each of the two
+// panels carries Nr x Nt x Np nodes (node-centred, boundary nodes
+// included) between the inner radius RI and outer radius RO.
+type Spec struct {
+	Nr, Nt, Np int
+	RI, RO     float64
+}
+
+// NewSpec builds a grid spec with equal angular spacing in theta and phi:
+// np = 3*(nt-1) + 1 so that dphi == dtheta over the 270-degree span.
+// Radii default to the paper's normalized shell (RO = 1) with the Earth's
+// inner-core ratio RI/RO = 0.35 unless overridden on the returned value.
+func NewSpec(nr, nt int) Spec {
+	return Spec{Nr: nr, Nt: nt, Np: 3*(nt-1) + 1, RI: 0.35, RO: 1.0}
+}
+
+// Validate reports whether the spec can host a second-order stencil.
+func (s Spec) Validate() error {
+	if s.Nr < 3 || s.Nt < 3 || s.Np < 3 {
+		return fmt.Errorf("grid: need at least 3 nodes per dimension, got %dx%dx%d", s.Nr, s.Nt, s.Np)
+	}
+	if !(0 < s.RI && s.RI < s.RO) {
+		return fmt.Errorf("grid: need 0 < RI < RO, got RI=%v RO=%v", s.RI, s.RO)
+	}
+	return nil
+}
+
+// TotalPoints returns the total node count over both panels, the number
+// the paper quotes as e.g. 511 x 514 x 1538 x 2.
+func (s Spec) TotalPoints() int64 {
+	return 2 * int64(s.Nr) * int64(s.Nt) * int64(s.Np)
+}
+
+// Dr, Dt, Dp return the uniform grid spacings.
+func (s Spec) Dr() float64 { return (s.RO - s.RI) / float64(s.Nr-1) }
+func (s Spec) Dt() float64 { return (ThetaMax - ThetaMin) / float64(s.Nt-1) }
+func (s Spec) Dp() float64 { return (PhiMax - PhiMin) / float64(s.Np-1) }
+
+// OverlapFraction returns the fraction of the spherical surface covered by
+// both panels. For the basic Yin-Yang grid this is about 6% in the
+// infinitesimal-mesh limit: each rectangular patch covers
+// dphi*(cos tmin - cos tmax)/(4 pi) of the sphere and the two patches
+// together must cover it exactly once plus the overlap.
+func OverlapFraction() float64 {
+	patch := (PhiMax - PhiMin) * (math.Cos(ThetaMin) - math.Cos(ThetaMax)) / (4 * math.Pi)
+	return 2*patch - 1
+}
+
+// Patch is one component grid (or a rectangular sub-block of one, when
+// domain-decomposed): node coordinates, spacings, and precomputed metric
+// arrays, all padded with a halo frame of width Shape.H.
+//
+// Index convention: padded index i in [0, Nr+2H) maps to global interior
+// radial index i - H + IOff, and likewise for j/theta and k/phi. Halo
+// coordinates continue the uniform spacing beyond the block.
+type Patch struct {
+	field.Shape
+	Panel      Panel
+	Spec       Spec
+	Dr, Dt, Dp float64
+
+	// IOff, JOff, KOff give the global interior index of this block's
+	// first interior node (zero for a full panel patch).
+	IOff, JOff, KOff int
+
+	// Padded per-index coordinate and metric arrays.
+	R, InvR, InvR2 []float64 // radius and its inverse powers, len Nr+2H
+	Theta          []float64 // colatitude, len Nt+2H
+	SinT, CosT     []float64
+	CotT, InvSinT  []float64
+	Phi            []float64 // longitude, len Np+2H
+}
+
+// NewPatch builds a full-panel patch with halo width h.
+func NewPatch(s Spec, panel Panel, h int) *Patch {
+	return NewSubPatch(s, panel, h, 0, s.Nr, 0, s.Nt, 0, s.Np)
+}
+
+// NewSubPatch builds the rectangular block [ilo,ihi) x [jlo,jhi) x
+// [klo,khi) of the panel's global node index space, with halo width h.
+func NewSubPatch(s Spec, panel Panel, h, ilo, ihi, jlo, jhi, klo, khi int) *Patch {
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	if ilo < 0 || ihi > s.Nr || jlo < 0 || jhi > s.Nt || klo < 0 || khi > s.Np ||
+		ilo >= ihi || jlo >= jhi || klo >= khi {
+		panic(fmt.Sprintf("grid: bad block [%d,%d)x[%d,%d)x[%d,%d) for %dx%dx%d",
+			ilo, ihi, jlo, jhi, klo, khi, s.Nr, s.Nt, s.Np))
+	}
+	p := &Patch{
+		Shape: field.Shape{Nr: ihi - ilo, Nt: jhi - jlo, Np: khi - klo, H: h},
+		Panel: panel,
+		Spec:  s,
+		Dr:    s.Dr(), Dt: s.Dt(), Dp: s.Dp(),
+		IOff: ilo, JOff: jlo, KOff: klo,
+	}
+	nrP, ntP, npP := p.Padded()
+	p.R = make([]float64, nrP)
+	p.InvR = make([]float64, nrP)
+	p.InvR2 = make([]float64, nrP)
+	for i := 0; i < nrP; i++ {
+		r := s.RI + float64(ilo+i-h)*p.Dr
+		p.R[i] = r
+		if r != 0 {
+			p.InvR[i] = 1 / r
+			p.InvR2[i] = 1 / (r * r)
+		}
+	}
+	p.Theta = make([]float64, ntP)
+	p.SinT = make([]float64, ntP)
+	p.CosT = make([]float64, ntP)
+	p.CotT = make([]float64, ntP)
+	p.InvSinT = make([]float64, ntP)
+	for j := 0; j < ntP; j++ {
+		th := ThetaMin + float64(jlo+j-h)*p.Dt
+		p.Theta[j] = th
+		st, ct := math.Sincos(th)
+		p.SinT[j] = st
+		p.CosT[j] = ct
+		if st != 0 {
+			p.CotT[j] = ct / st
+			p.InvSinT[j] = 1 / st
+		}
+	}
+	p.Phi = make([]float64, npP)
+	for k := 0; k < npP; k++ {
+		p.Phi[k] = PhiMin + float64(klo+k-h)*p.Dp
+	}
+	return p
+}
+
+// NewScalar allocates a scalar field matching the patch shape.
+func (p *Patch) NewScalar() *field.Scalar { return field.NewScalar(p.Shape) }
+
+// NewVector allocates a vector field matching the patch shape.
+func (p *Patch) NewVector() *field.Vector { return field.NewVector(p.Shape) }
+
+// GlobalEdge reports whether this block touches the panel boundary on the
+// given side. Sides: 0=r min, 1=r max, 2=theta min, 3=theta max,
+// 4=phi min, 5=phi max.
+func (p *Patch) GlobalEdge(side int) bool {
+	switch side {
+	case 0:
+		return p.IOff == 0
+	case 1:
+		return p.IOff+p.Nr == p.Spec.Nr
+	case 2:
+		return p.JOff == 0
+	case 3:
+		return p.JOff+p.Nt == p.Spec.Nt
+	case 4:
+		return p.KOff == 0
+	case 5:
+		return p.KOff+p.Np == p.Spec.Np
+	}
+	panic("grid: bad side")
+}
+
+// CellVolume returns the spherical volume element r^2 sin(theta) dr dt dp
+// at padded indices (i, j, k), for volume-weighted reductions. Boundary
+// nodes get half-weights per dimension (trapezoid rule); the caller passes
+// global-boundary information via the patch offsets.
+func (p *Patch) CellVolume(i, j, k int) float64 {
+	w := p.R[i] * p.R[i] * p.SinT[j] * p.Dr * p.Dt * p.Dp
+	gi := p.IOff + i - p.H
+	gj := p.JOff + j - p.H
+	gk := p.KOff + k - p.H
+	if gi == 0 || gi == p.Spec.Nr-1 {
+		w *= 0.5
+	}
+	if gj == 0 || gj == p.Spec.Nt-1 {
+		w *= 0.5
+	}
+	if gk == 0 || gk == p.Spec.Np-1 {
+		w *= 0.5
+	}
+	return w
+}
+
+// Contains reports whether the angular point (theta, phi) lies within the
+// panel's angular footprint (boundaries included, with tolerance tol in
+// radians). The point must be expressed in this panel's own coordinates.
+func Contains(theta, phi, tol float64) bool {
+	return theta >= ThetaMin-tol && theta <= ThetaMax+tol &&
+		phi >= PhiMin-tol && phi <= PhiMax+tol
+}
+
+// MinAngularSpacing returns the smallest physical distance between
+// adjacent nodes on the unit sphere for the Yin-Yang patch: because
+// sin(theta) >= sin(pi/4) over the patch, longitudinal spacing never
+// collapses, unlike the lat-lon grid near its poles.
+func (s Spec) MinAngularSpacing() float64 {
+	minLon := s.Dp() * math.Sin(ThetaMin)
+	if dt := s.Dt(); dt < minLon {
+		return dt
+	}
+	return minLon
+}

@@ -1,0 +1,148 @@
+package grid
+
+import (
+	"math"
+
+	"repro/internal/coords"
+)
+
+// The paper (section II) notes that the basic rectangular Yin-Yang grid
+// overlaps by about 6%, and that the overlap can be reduced by modifying
+// the component shape — down to zero for exact-dissection variants like
+// the "baseball" curve. This file quantifies the rectangular family: how
+// much the patch can be trimmed while the pair still covers the sphere.
+
+// ContainsTrimmed reports whether the panel-frame point (theta, phi)
+// lies in the basic patch trimmed by dTheta at both colatitude edges and
+// dPhi at both longitude edges.
+func ContainsTrimmed(theta, phi, dTheta, dPhi float64) bool {
+	return theta >= ThetaMin+dTheta && theta <= ThetaMax-dTheta &&
+		phi >= PhiMin+dPhi && phi <= PhiMax-dPhi
+}
+
+// coverageSamples returns deterministic quasi-uniform sample points on
+// the sphere (Fibonacci lattice).
+func coverageSamples(n int) []coords.Spherical {
+	pts := make([]coords.Spherical, n)
+	golden := math.Pi * (3 - math.Sqrt(5))
+	for i := 0; i < n; i++ {
+		z := 1 - 2*(float64(i)+0.5)/float64(n)
+		theta := math.Acos(z)
+		phi := math.Mod(float64(i)*golden, 2*math.Pi) - math.Pi
+		pts[i] = coords.Spherical{R: 1, Theta: theta, Phi: phi}
+	}
+	return pts
+}
+
+// CoversWithTrim reports whether the trimmed pair still covers the whole
+// sphere, tested on n lattice samples.
+func CoversWithTrim(dTheta, dPhi float64, n int) bool {
+	for _, p := range coverageSamples(n) {
+		if ContainsTrimmed(p.Theta, p.Phi, dTheta, dPhi) {
+			continue
+		}
+		ty, py := coords.YinYangAngles(p.Theta, p.Phi)
+		if !ContainsTrimmed(ty, py, dTheta, dPhi) {
+			return false
+		}
+	}
+	return true
+}
+
+// TrimmedOverlapFraction returns the fraction of the sphere covered by
+// both trimmed panels (sampled on the same lattice); with full coverage
+// this equals 2*patchArea/(4 pi) - 1.
+func TrimmedOverlapFraction(dTheta, dPhi float64, n int) float64 {
+	both := 0
+	for _, p := range coverageSamples(n) {
+		inYin := ContainsTrimmed(p.Theta, p.Phi, dTheta, dPhi)
+		ty, py := coords.YinYangAngles(p.Theta, p.Phi)
+		inYang := ContainsTrimmed(ty, py, dTheta, dPhi)
+		if inYin && inYang {
+			both++
+		}
+	}
+	return float64(both) / float64(n)
+}
+
+// MaxPhiTrim finds (by bisection on the sampled coverage test) the
+// largest uniform longitude trim that keeps the pair covering the
+// sphere. The paper's minimum-overlap rectangular variants live at this
+// edge; exact dissections (baseball, cube types) go further, to zero
+// overlap, by abandoning the rectangle.
+func MaxPhiTrim(n int) float64 {
+	lo, hi := 0.0, math.Pi/4
+	if !CoversWithTrim(0, lo, n) {
+		return 0
+	}
+	for iter := 0; iter < 40; iter++ {
+		mid := (lo + hi) / 2
+		if CoversWithTrim(0, mid, n) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// ContainsCornerCut reports whether the panel-frame point lies in the
+// basic patch with square corner cuts of size c: the four corners — the
+// regions the paper singles out as intruding most into the partner — are
+// removed when the point is within c of a colatitude edge AND within c
+// of a longitude edge.
+func ContainsCornerCut(theta, phi, c float64) bool {
+	if !Contains(theta, phi, 0) {
+		return false
+	}
+	dTheta := math.Min(theta-ThetaMin, ThetaMax-theta)
+	dPhi := math.Min(phi-PhiMin, PhiMax-phi)
+	return !(dTheta < c && dPhi < c)
+}
+
+// CoversWithCornerCut reports whether the corner-cut pair still covers
+// the sphere (sampled).
+func CoversWithCornerCut(c float64, n int) bool {
+	for _, p := range coverageSamples(n) {
+		if ContainsCornerCut(p.Theta, p.Phi, c) {
+			continue
+		}
+		ty, py := coords.YinYangAngles(p.Theta, p.Phi)
+		if !ContainsCornerCut(ty, py, c) {
+			return false
+		}
+	}
+	return true
+}
+
+// CornerCutOverlapFraction returns the sampled both-panel coverage
+// fraction for corner cut c.
+func CornerCutOverlapFraction(c float64, n int) float64 {
+	both := 0
+	for _, p := range coverageSamples(n) {
+		inYin := ContainsCornerCut(p.Theta, p.Phi, c)
+		ty, py := coords.YinYangAngles(p.Theta, p.Phi)
+		inYang := ContainsCornerCut(ty, py, c)
+		if inYin && inYang {
+			both++
+		}
+	}
+	return float64(both) / float64(n)
+}
+
+// MaxCornerCut bisects for the largest corner cut that keeps coverage.
+func MaxCornerCut(n int) float64 {
+	lo, hi := 0.0, math.Pi/4
+	if !CoversWithCornerCut(lo, n) {
+		return 0
+	}
+	for iter := 0; iter < 40; iter++ {
+		mid := (lo + hi) / 2
+		if CoversWithCornerCut(mid, n) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,116 @@
+package mhd
+
+import "repro/internal/perfcount"
+
+// MagneticBC selects the wall boundary condition of the vector
+// potential. The paper does not specify its choice; both standard
+// options for confined dynamo simulations are implemented.
+type MagneticBC int
+
+const (
+	// BCConfined pins A = 0 on both spheres: a perfectly conducting,
+	// line-tied wall with zero normal flux. The dynamo field is wholly
+	// contained in the shell. This is the default.
+	BCConfined MagneticBC = iota
+	// BCPseudoVacuum imposes vanishing tangential magnetic field at the
+	// walls (B_theta = B_phi = 0, purely radial field), the common
+	// "pseudo-vacuum" approximation of an exterior insulator. Discretely:
+	// dA_r/dr = 0, and the tangential potential solves
+	// d(r A_t)/dr = (angular derivatives of A_r) so the tangential curl
+	// components vanish.
+	BCPseudoVacuum
+)
+
+// String names the boundary condition.
+func (bc MagneticBC) String() string {
+	if bc == BCPseudoVacuum {
+		return "pseudo-vacuum"
+	}
+	return "confined"
+}
+
+// applyMagneticWall imposes the magnetic wall condition on one wall
+// (padded radial index iw; inner = true for the r = RI sphere) across
+// every padded angular column.
+func applyMagneticWall(pl *Panel, bc MagneticBC, iw int, inner bool) {
+	p := pl.Patch
+	_, ntP, npP := p.Padded()
+	a := pl.U.A
+
+	if bc == BCConfined {
+		for k := 0; k < npP; k++ {
+			for j := 0; j < ntP; j++ {
+				a.R.Set(iw, j, k, 0)
+				a.T.Set(iw, j, k, 0)
+				a.P.Set(iw, j, k, 0)
+			}
+		}
+		return
+	}
+
+	// Pseudo-vacuum. Interior samples are one and two nodes inward.
+	step := 1
+	if !inner {
+		step = -1
+	}
+	i1, i2 := iw+step, iw+2*step
+
+	// Pass 1: A_r with zero normal derivative (second-order one-sided):
+	// A_r(wall) = (4 A_r(1) - A_r(2)) / 3.
+	for k := 0; k < npP; k++ {
+		for j := 0; j < ntP; j++ {
+			a.R.Set(iw, j, k, (4*a.R.At(i1, j, k)-a.R.At(i2, j, k))/3)
+		}
+	}
+
+	// Pass 2: tangential components from d(r A_t)/dr = dA_r/dt etc.,
+	// using the freshly set wall row of A_r for the angular derivatives.
+	// The one-sided radial derivative gives
+	//   inner:  (-3 f_w + 4 f_1 - f_2)/(2 dr) = g  =>  f_w = (4 f_1 - f_2 - 2 dr g)/3
+	//   outer:  ( 3 f_w - 4 f_1 + f_2)/(2 dr) = g  =>  f_w = (4 f_1 - f_2 + 2 dr g)/3
+	// with f = r A_t and g the angular source.
+	sgn := 2 * p.Dr
+	if inner {
+		sgn = -sgn
+	}
+	rw, r1, r2 := p.R[iw], p.R[i1], p.R[i2]
+	h := p.H
+	for k := 0; k < npP; k++ {
+		for j := 0; j < ntP; j++ {
+			// dA_r/dtheta along the wall row; centered where both storage
+			// neighbours are meaningful, one-sided inward at panel edges
+			// (matching the fd package's closures).
+			var dtAr float64
+			switch {
+			case j == h && p.GlobalEdge(2):
+				dtAr = (-3*a.R.At(iw, j, k) + 4*a.R.At(iw, j+1, k) - a.R.At(iw, j+2, k)) / (2 * p.Dt)
+			case j == h+p.Nt-1 && p.GlobalEdge(3):
+				dtAr = (3*a.R.At(iw, j, k) - 4*a.R.At(iw, j-1, k) + a.R.At(iw, j-2, k)) / (2 * p.Dt)
+			case j == 0:
+				dtAr = (a.R.At(iw, j+1, k) - a.R.At(iw, j, k)) / p.Dt
+			case j == ntP-1:
+				dtAr = (a.R.At(iw, j, k) - a.R.At(iw, j-1, k)) / p.Dt
+			default:
+				dtAr = (a.R.At(iw, j+1, k) - a.R.At(iw, j-1, k)) / (2 * p.Dt)
+			}
+			var dpAr float64
+			switch {
+			case k == h && p.GlobalEdge(4):
+				dpAr = (-3*a.R.At(iw, j, k) + 4*a.R.At(iw, j, k+1) - a.R.At(iw, j, k+2)) / (2 * p.Dp)
+			case k == h+p.Np-1 && p.GlobalEdge(5):
+				dpAr = (3*a.R.At(iw, j, k) - 4*a.R.At(iw, j, k-1) + a.R.At(iw, j, k-2)) / (2 * p.Dp)
+			case k == 0:
+				dpAr = (a.R.At(iw, j, k+1) - a.R.At(iw, j, k)) / p.Dp
+			case k == npP-1:
+				dpAr = (a.R.At(iw, j, k) - a.R.At(iw, j, k-1)) / p.Dp
+			default:
+				dpAr = (a.R.At(iw, j, k+1) - a.R.At(iw, j, k-1)) / (2 * p.Dp)
+			}
+			ft := (4*r1*a.T.At(i1, j, k) - r2*a.T.At(i2, j, k) + sgn*dtAr) / 3
+			fp := (4*r1*a.P.At(i1, j, k) - r2*a.P.At(i2, j, k) + sgn*p.InvSinT[j]*dpAr) / 3
+			a.T.Set(iw, j, k, ft/rw)
+			a.P.Set(iw, j, k, fp/rw)
+		}
+	}
+	perfcount.AddScalarOps(int64(ntP) * int64(npP) * 20)
+}

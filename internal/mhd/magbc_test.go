@@ -1,0 +1,139 @@
+package mhd
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+// tangentialBAtWalls returns the max |B_t|, |B_p| over both walls and the
+// overall max |B|, after refreshing derived fields.
+func tangentialBAtWalls(sv *Solver) (wallTan, maxB float64) {
+	for _, pl := range sv.Panels {
+		ComputeVTB(pl, &pl.U)
+		p := pl.Patch
+		h := p.H
+		for k := h; k < h+p.Np; k++ {
+			for j := h; j < h+p.Nt; j++ {
+				for _, i := range []int{h, h + p.Nr - 1} {
+					for _, v := range []float64{pl.B.T.At(i, j, k), pl.B.P.At(i, j, k)} {
+						if a := math.Abs(v); a > wallTan {
+							wallTan = a
+						}
+					}
+				}
+				for i := h; i < h+p.Nr; i++ {
+					b2 := pl.B.R.At(i, j, k)*pl.B.R.At(i, j, k) +
+						pl.B.T.At(i, j, k)*pl.B.T.At(i, j, k) +
+						pl.B.P.At(i, j, k)*pl.B.P.At(i, j, k)
+					if b := math.Sqrt(b2); b > maxB {
+						maxB = b
+					}
+				}
+			}
+		}
+	}
+	return wallTan, maxB
+}
+
+// TestMagneticBCString covers the names.
+func TestMagneticBCString(t *testing.T) {
+	if BCConfined.String() != "confined" || BCPseudoVacuum.String() != "pseudo-vacuum" {
+		t.Error("bad names")
+	}
+}
+
+// TestPseudoVacuumSuppressesTangentialField: with the pseudo-vacuum
+// condition the tangential field at the walls is truncation-small
+// relative to the interior field; with the confined condition it is not.
+func TestPseudoVacuumSuppressesTangentialField(t *testing.T) {
+	run := func(bc MagneticBC) (float64, float64) {
+		prm := quietParams()
+		prm.MagBC = bc
+		ic := InitialConditions{SeedBAmp: 0.05, Modes: 0, Seed: 1}
+		sv, err := NewSolver(grid.NewSpec(17, 17), prm, ic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dt := sv.EstimateDT(0.25)
+		for n := 0; n < 6; n++ {
+			sv.Advance(dt)
+		}
+		return tangentialBAtWalls(sv)
+	}
+	pvTan, pvMax := run(BCPseudoVacuum)
+	cfTan, cfMax := run(BCConfined)
+	if pvMax == 0 || cfMax == 0 {
+		t.Fatal("field vanished")
+	}
+	if pvTan/pvMax > 0.15 {
+		t.Errorf("pseudo-vacuum wall tangential field %.3g of max %.3g", pvTan, pvMax)
+	}
+	if pvTan/pvMax > 0.5*cfTan/cfMax {
+		t.Errorf("pseudo-vacuum (%.3g rel) should suppress wall B_t far below confined (%.3g rel)",
+			pvTan/pvMax, cfTan/cfMax)
+	}
+}
+
+// TestPseudoVacuumStableDecay: the decay run stays finite and monotone
+// under the alternative boundary condition too.
+func TestPseudoVacuumStableDecay(t *testing.T) {
+	prm := quietParams()
+	prm.MagBC = BCPseudoVacuum
+	ic := InitialConditions{SeedBAmp: 0.05, Modes: 0, Seed: 1}
+	sv, err := NewSolver(grid.NewSpec(13, 13), prm, ic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	em0 := sv.Diagnose().MagneticE
+	dt := sv.EstimateDT(0.25)
+	prev := em0
+	for n := 0; n < 10; n++ {
+		sv.Advance(dt)
+		em := sv.Diagnose().MagneticE
+		if em > prev*(1+1e-6) {
+			t.Fatalf("magnetic energy grew: %g -> %g", prev, em)
+		}
+		prev = em
+	}
+	if err := sv.CheckFinite(); err != nil {
+		t.Fatal(err)
+	}
+	if prev >= em0 {
+		t.Error("no decay")
+	}
+}
+
+// TestBoundaryConditionChangesDecay: the pseudo-vacuum walls let
+// magnetic flux thread the boundary, draining energy faster than the
+// confined (perfectly conducting) walls that trap the field in the
+// shell; the two conditions must give measurably different decay from
+// the same seed.
+func TestBoundaryConditionChangesDecay(t *testing.T) {
+	// Compare decay factors from a common start.
+	factor := func(bc MagneticBC) float64 {
+		prm := quietParams()
+		prm.Eta = 0.02
+		prm.MagBC = bc
+		ic := InitialConditions{SeedBAmp: 0.05, Modes: 0, Seed: 1}
+		sv, err := NewSolver(grid.NewSpec(13, 13), prm, ic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e0 := sv.Diagnose().MagneticE
+		dt := sv.EstimateDT(0.25)
+		for n := 0; n < 20; n++ {
+			sv.Advance(dt)
+		}
+		return sv.Diagnose().MagneticE / e0
+	}
+	pv := factor(BCPseudoVacuum)
+	cf := factor(BCConfined)
+	if pv >= cf {
+		t.Errorf("flux-threading pseudo-vacuum walls (factor %.4f) should drain energy faster than confined walls (%.4f)", pv, cf)
+	}
+	if math.Abs(pv-cf) < 0.01 {
+		t.Errorf("boundary conditions indistinguishable: %.4f vs %.4f", pv, cf)
+	}
+}

@@ -1,0 +1,218 @@
+package mhd
+
+import (
+	"math"
+
+	"repro/internal/coords"
+	"repro/internal/field"
+	"repro/internal/grid"
+	"repro/internal/sphops"
+)
+
+// State bundles the basic variables of the simulation on one panel:
+// mass density rho, pressure p, mass flux density F = rho*v, and the
+// magnetic vector potential A.
+type State struct {
+	Rho, P *field.Scalar
+	F, A   *field.Vector
+}
+
+// NewState allocates a zeroed state of shape s.
+func NewState(s field.Shape) State {
+	return State{
+		Rho: field.NewScalar(s),
+		P:   field.NewScalar(s),
+		F:   field.NewVector(s),
+		A:   field.NewVector(s),
+	}
+}
+
+// CopyFrom deep-copies src into st.
+func (st *State) CopyFrom(src *State) {
+	st.Rho.CopyFrom(src.Rho)
+	st.P.CopyFrom(src.P)
+	st.F.CopyFrom(src.F)
+	st.A.CopyFrom(src.A)
+}
+
+// AXPY sets st = st + a*k for every variable.
+func (st *State) AXPY(a float64, k *State) {
+	st.Rho.AXPY(a, k.Rho)
+	st.P.AXPY(a, k.P)
+	st.F.AXPY(a, k.F)
+	st.A.AXPY(a, k.A)
+}
+
+// LinComb sets st = a*x + b*y for every variable.
+func (st *State) LinComb(a float64, x *State, b float64, y *State) {
+	st.Rho.LinComb(a, x.Rho, b, y.Rho)
+	st.P.LinComb(a, x.P, b, y.P)
+	st.F.LinComb(a, x.F, b, y.F)
+	st.A.LinComb(a, x.A, b, y.A)
+}
+
+// Scalars returns the eight scalar fields of the state in a fixed order
+// (rho, p, Fr, Ft, Fp, Ar, At, Ap), used by halo exchange and I/O.
+func (st *State) Scalars() [8]*field.Scalar {
+	return [8]*field.Scalar{
+		st.Rho, st.P,
+		st.F.R, st.F.T, st.F.P,
+		st.A.R, st.A.T, st.A.P,
+	}
+}
+
+// Panel holds everything one component grid needs to evaluate the MHD
+// right-hand side: the patch geometry, the state, scratch storage, and
+// precomputed per-node rotation-vector components and ownership weights.
+type Panel struct {
+	Patch *grid.Patch
+	U     State // current state
+
+	// Runge-Kutta scratch.
+	u0, k, acc State
+
+	// Derived subsidiary fields (scratch, rebuilt each RHS evaluation).
+	V, B, J *field.Vector
+	T       *field.Scalar
+
+	// Operator-output scratch for the momentum equation.
+	adv, gp, lap, gdv *field.Vector
+
+	W *sphops.Workspace
+
+	// Rotation vector Omega in this panel's local spherical components,
+	// indexed [k*ntPadded + j] (independent of radius).
+	OmR, OmT, OmP []float64
+
+	// Ownership weight per angular node, same indexing: a partition of
+	// unity across the overset pair used for global reductions. Outside
+	// the overlap the weight is 1; inside, it blends smoothly with the
+	// partner so the two weights of any physical point sum to exactly 1.
+	Own []float64
+}
+
+// NewPanel builds a panel solver block for the given patch and rotation
+// rate. The patch may be a full panel or a decomposed sub-block.
+func NewPanel(p *grid.Patch, omega float64) *Panel {
+	pl := &Panel{
+		Patch: p,
+		U:     NewState(p.Shape),
+		u0:    NewState(p.Shape),
+		k:     NewState(p.Shape),
+		acc:   NewState(p.Shape),
+		V:     p.NewVector(),
+		B:     p.NewVector(),
+		J:     p.NewVector(),
+		T:     p.NewScalar(),
+		adv:   p.NewVector(),
+		gp:    p.NewVector(),
+		lap:   p.NewVector(),
+		gdv:   p.NewVector(),
+		W:     sphops.NewWorkspace(p),
+	}
+	pl.precomputeOmega(omega)
+	pl.precomputeOwnership()
+	return pl
+}
+
+// precomputeOmega stores the local spherical components of the rotation
+// vector. Omega points along the geographic (Yin) z axis; in the Yang
+// frame the same physical vector is obtained with the Yin<->Yang map.
+// This is the only place the two panels differ: every solver routine is
+// panel-agnostic, as the paper emphasizes.
+func (pl *Panel) precomputeOmega(omega float64) {
+	p := pl.Patch
+	_, ntP, npP := p.Padded()
+	n := ntP * npP
+	pl.OmR = make([]float64, n)
+	pl.OmT = make([]float64, n)
+	pl.OmP = make([]float64, n)
+	omCart := coords.Cartesian{X: 0, Y: 0, Z: omega}
+	if p.Panel == grid.Yang {
+		omCart = coords.YinYang(omCart)
+	}
+	for k := 0; k < npP; k++ {
+		for j := 0; j < ntP; j++ {
+			s := coords.CartToSphVec(p.Theta[j], p.Phi[k], omCart)
+			pl.OmR[k*ntP+j] = s.VR
+			pl.OmT[k*ntP+j] = s.VT
+			pl.OmP[k*ntP+j] = s.VP
+		}
+	}
+}
+
+// precomputeOwnership builds a partition of unity over the overset pair
+// for global reductions: each angular node is weighted by its rim
+// distance relative to the rim distance of its image in the partner
+// panel, so the weights of the same physical point on the two panels sum
+// to exactly 1. The blend is smooth across the overlap, which keeps the
+// two-grid quadrature second-order accurate; the rule is symmetric under
+// the Yin<->Yang map.
+func (pl *Panel) precomputeOwnership() {
+	p := pl.Patch
+	_, ntP, npP := p.Padded()
+	pl.Own = make([]float64, ntP*npP)
+	for k := 0; k < npP; k++ {
+		for j := 0; j < ntP; j++ {
+			dOwn := math.Max(rimDistance(p.Theta[j], p.Phi[k]), 0)
+			ti, pi := coords.YinYangAngles(p.Theta[j], p.Phi[k])
+			dOther := math.Max(rimDistance(ti, pi), 0)
+			switch {
+			case dOwn == 0 && dOther == 0:
+				pl.Own[k*ntP+j] = 0.5
+			default:
+				pl.Own[k*ntP+j] = dOwn / (dOwn + dOther)
+			}
+		}
+	}
+}
+
+// rimDistance returns the angular distance from (theta, phi) to the patch
+// rim; negative if outside the patch footprint.
+func rimDistance(theta, phi float64) float64 {
+	dt := min4(theta-grid.ThetaMin, grid.ThetaMax-theta,
+		phi-grid.PhiMin, grid.PhiMax-phi)
+	return dt
+}
+
+func min4(a, b, c, d float64) float64 {
+	m := a
+	if b < m {
+		m = b
+	}
+	if c < m {
+		m = c
+	}
+	if d < m {
+		m = d
+	}
+	return m
+}
+
+// The following helpers expose the Runge-Kutta scratch operations used by
+// both the serial two-panel solver and the decomposed per-rank driver, so
+// the two advance loops stay arithmetically identical.
+
+// SaveU0 snapshots the current state as the step's base point.
+func (pl *Panel) SaveU0() { pl.u0.CopyFrom(&pl.U) }
+
+// ZeroAcc clears the Runge-Kutta accumulator.
+func (pl *Panel) ZeroAcc() { pl.acc.LinComb(0, &pl.u0, 0, &pl.u0) }
+
+// K returns the scratch state receiving right-hand-side evaluations.
+func (pl *Panel) K() *State { return &pl.k }
+
+// AccumulateK adds c*k to the accumulator.
+func (pl *Panel) AccumulateK(c float64) { pl.acc.AXPY(c, &pl.k) }
+
+// RestoreU0PlusK sets U = u0 + c*k (an intermediate Runge-Kutta stage).
+func (pl *Panel) RestoreU0PlusK(c float64) {
+	pl.U.CopyFrom(&pl.u0)
+	pl.U.AXPY(c, &pl.k)
+}
+
+// RestoreU0PlusAcc sets U = u0 + c*acc (the final Runge-Kutta update).
+func (pl *Panel) RestoreU0PlusAcc(c float64) {
+	pl.U.CopyFrom(&pl.u0)
+	pl.U.AXPY(c, &pl.acc)
+}

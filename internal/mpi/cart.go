@@ -1,0 +1,63 @@
+package mpi
+
+import "fmt"
+
+// Cart is a two-dimensional Cartesian process topology over a
+// communicator, the analogue of MPI_CART_CREATE with a row-major rank
+// order: rank = coord0*dims[1] + coord1.
+type Cart struct {
+	*Comm
+	Dims   [2]int
+	Coords [2]int
+}
+
+// CartCreate2D builds a dims[0] x dims[1] process grid; the product must
+// equal the communicator size.
+func (c *Comm) CartCreate2D(d0, d1 int) (*Cart, error) {
+	if d0 <= 0 || d1 <= 0 || d0*d1 != c.size {
+		return nil, fmt.Errorf("mpi: cart dims %dx%d incompatible with %d ranks", d0, d1, c.size)
+	}
+	return &Cart{
+		Comm:   c,
+		Dims:   [2]int{d0, d1},
+		Coords: [2]int{c.rank / d1, c.rank % d1},
+	}, nil
+}
+
+// RankOf returns the rank at the given coordinates, or -1 if outside the
+// (non-periodic) grid.
+func (ct *Cart) RankOf(c0, c1 int) int {
+	if c0 < 0 || c0 >= ct.Dims[0] || c1 < 0 || c1 >= ct.Dims[1] {
+		return -1
+	}
+	return c0*ct.Dims[1] + c1
+}
+
+// Shift returns the source and destination ranks displaced by disp along
+// dim, the analogue of MPI_CART_SHIFT with non-periodic boundaries: a
+// neighbour beyond the edge is reported as -1.
+func (ct *Cart) Shift(dim, disp int) (src, dst int) {
+	if dim != 0 && dim != 1 {
+		panic(fmt.Sprintf("mpi: bad cart dimension %d", dim))
+	}
+	c := ct.Coords
+	switch dim {
+	case 0:
+		src = ct.RankOf(c[0]-disp, c[1])
+		dst = ct.RankOf(c[0]+disp, c[1])
+	case 1:
+		src = ct.RankOf(c[0], c[1]-disp)
+		dst = ct.RankOf(c[0], c[1]+disp)
+	}
+	return src, dst
+}
+
+// Neighbours returns the four nearest neighbour ranks (north, south,
+// west, east) = (theta-, theta+, phi-, phi+), with -1 beyond an edge.
+// Each process of the paper's panel grid communicates with exactly these
+// four.
+func (ct *Cart) Neighbours() (north, south, west, east int) {
+	north, south = ct.Shift(0, 1)
+	west, east = ct.Shift(1, 1)
+	return north, south, west, east
+}

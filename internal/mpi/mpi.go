@@ -1,0 +1,395 @@
+// Package mpi is a small message-passing runtime over goroutines that
+// mirrors the MPI constructs the paper's yycore code uses: a world
+// communicator, MPI_COMM_SPLIT to divide the processes into the Yin panel
+// and the Yang panel, MPI_CART_CREATE to build a two-dimensional process
+// grid within each panel, MPI_CART_SHIFT to find the four nearest
+// neighbours, point-to-point MPI_SEND/MPI_IRECV for halo and overset
+// exchanges, and the usual collectives.
+//
+// Ranks are goroutines; messages are copied into unbounded per-rank
+// mailboxes, so a Send never blocks and deterministic SPMD programs are
+// deadlock-free. Every payload byte is reported to perfcount, feeding the
+// communication term of the Earth Simulator performance model.
+package mpi
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/perfcount"
+)
+
+// message is a delivered payload with its matching envelope.
+type message struct {
+	src, tag int
+	data     []float64
+}
+
+// mailbox is an unbounded queue of messages for one (comm, rank) pair.
+type mailbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []message
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) put(m message) {
+	mb.mu.Lock()
+	mb.queue = append(mb.queue, m)
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
+// take blocks until a message matching (src, tag) is present and removes
+// the first such message (FIFO per envelope).
+func (mb *mailbox) take(src, tag int) message {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		for i, m := range mb.queue {
+			if m.src == src && m.tag == tag {
+				mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
+				return m
+			}
+		}
+		mb.cond.Wait()
+	}
+}
+
+// context is the state shared by every rank of one Run.
+type context struct {
+	mu sync.Mutex
+	// mailboxes indexed by communicator id, then rank.
+	boxes map[int][]*mailbox
+	// deterministic communicator ids for Split results.
+	commIDs map[string]int
+	nextID  int
+	// barrier state per (comm id, epoch).
+	barriers map[string]*barrierState
+	// split rendezvous per (comm id, epoch).
+	splits map[string]*splitState
+}
+
+type barrierState struct {
+	count int
+	gen   int
+}
+
+type splitState struct {
+	entries map[int][2]int // rank -> (color, key)
+	done    bool
+}
+
+func newContext() *context {
+	return &context{
+		boxes:    map[int][]*mailbox{},
+		commIDs:  map[string]int{},
+		nextID:   1,
+		barriers: map[string]*barrierState{},
+		splits:   map[string]*splitState{},
+	}
+}
+
+// Comm is one rank's handle on a communicator.
+type Comm struct {
+	ctx  *context
+	id   int
+	rank int
+	size int
+	// epoch counters for collective matching (SPMD order).
+	splitEpoch   int
+	barrierEpoch int
+	reduceEpoch  int
+	cond         *sync.Cond // shared condition for barrier waiting
+}
+
+// Rank returns the caller's rank within the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return c.size }
+
+// Run launches n ranks and executes fn on each with its world
+// communicator. It returns an error if any rank panics.
+func Run(n int, fn func(c *Comm)) error {
+	if n <= 0 {
+		return fmt.Errorf("mpi: need a positive rank count, got %d", n)
+	}
+	ctx := newContext()
+	boxes := make([]*mailbox, n)
+	for i := range boxes {
+		boxes[i] = newMailbox()
+	}
+	ctx.boxes[0] = boxes
+
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	cond := sync.NewCond(&ctx.mu)
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, rec)
+					// Wake any ranks blocked in collectives so Run ends.
+					ctx.mu.Lock()
+					cond.Broadcast()
+					ctx.mu.Unlock()
+				}
+			}()
+			fn(&Comm{ctx: ctx, id: 0, rank: rank, size: n, cond: cond})
+		}(r)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// Send delivers a copy of data to rank dst under the given tag. It never
+// blocks (buffered semantics).
+func (c *Comm) Send(dst, tag int, data []float64) {
+	if dst < 0 || dst >= c.size {
+		panic(fmt.Sprintf("mpi: send to invalid rank %d of %d", dst, c.size))
+	}
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	c.ctx.mu.Lock()
+	box := c.ctx.boxes[c.id][dst]
+	c.ctx.mu.Unlock()
+	box.put(message{src: c.rank, tag: tag, data: cp})
+	perfcount.AddComm(int64(8 * len(data)))
+}
+
+// Recv blocks until a message from src with the given tag arrives and
+// copies it into buf, returning the element count. The payload must fit.
+func (c *Comm) Recv(src, tag int, buf []float64) int {
+	if src < 0 || src >= c.size {
+		panic(fmt.Sprintf("mpi: recv from invalid rank %d of %d", src, c.size))
+	}
+	c.ctx.mu.Lock()
+	box := c.ctx.boxes[c.id][c.rank]
+	c.ctx.mu.Unlock()
+	m := box.take(src, tag)
+	if len(m.data) > len(buf) {
+		panic(fmt.Sprintf("mpi: message of %d elements overflows buffer of %d", len(m.data), len(buf)))
+	}
+	copy(buf, m.data)
+	return len(m.data)
+}
+
+// Request is a pending non-blocking receive.
+type Request struct {
+	done chan int
+}
+
+// Wait blocks until the receive completes and returns the element count.
+func (r *Request) Wait() int { return <-r.done }
+
+// Irecv posts a non-blocking receive into buf; complete it with Wait.
+func (c *Comm) Irecv(src, tag int, buf []float64) *Request {
+	req := &Request{done: make(chan int, 1)}
+	go func() {
+		req.done <- c.Recv(src, tag, buf)
+	}()
+	return req
+}
+
+// Barrier blocks until every rank of the communicator has entered it.
+func (c *Comm) Barrier() {
+	key := fmt.Sprintf("b:%d:%d", c.id, c.barrierEpoch)
+	c.barrierEpoch++
+	ctx := c.ctx
+	ctx.mu.Lock()
+	defer ctx.mu.Unlock()
+	st := ctx.barriers[key]
+	if st == nil {
+		st = &barrierState{}
+		ctx.barriers[key] = st
+	}
+	st.count++
+	if st.count == c.size {
+		st.gen = 1
+		c.cond.Broadcast()
+		delete(ctx.barriers, key)
+		return
+	}
+	for st.gen == 0 {
+		c.cond.Wait()
+	}
+}
+
+// Op is a reduction operator for Allreduce.
+type Op int
+
+// Reduction operators.
+const (
+	OpSum Op = iota
+	OpMax
+	OpMin
+)
+
+func (o Op) apply(a, b float64) float64 {
+	switch o {
+	case OpSum:
+		return a + b
+	case OpMax:
+		if b > a {
+			return b
+		}
+		return a
+	case OpMin:
+		if b < a {
+			return b
+		}
+		return a
+	}
+	panic("mpi: unknown op")
+}
+
+// internal tags live in a reserved negative space so they can never
+// collide with user tags (which must be non-negative).
+const (
+	tagReduceUp = -1000 - iota
+	tagReduceDown
+	tagGather
+	tagBcast
+)
+
+// Allreduce combines vals element-wise across all ranks with op, in rank
+// order at the root for determinism, and replaces vals with the result on
+// every rank.
+func (c *Comm) Allreduce(vals []float64, op Op) {
+	epoch := c.reduceEpoch
+	c.reduceEpoch++
+	up := tagReduceUp - 4*epoch
+	down := tagReduceDown - 4*epoch
+	if c.rank == 0 {
+		buf := make([]float64, len(vals))
+		for src := 1; src < c.size; src++ {
+			n := c.Recv(src, up, buf)
+			if n != len(vals) {
+				panic("mpi: allreduce length mismatch")
+			}
+			for i := range vals {
+				vals[i] = op.apply(vals[i], buf[i])
+			}
+		}
+		for dst := 1; dst < c.size; dst++ {
+			c.Send(dst, down, vals)
+		}
+		return
+	}
+	c.Send(0, up, vals)
+	c.Recv(0, down, vals)
+}
+
+// Bcast distributes root's vals to every rank.
+func (c *Comm) Bcast(root int, vals []float64) {
+	epoch := c.reduceEpoch
+	c.reduceEpoch++
+	tag := tagBcast - 4*epoch
+	if c.rank == root {
+		for dst := 0; dst < c.size; dst++ {
+			if dst != root {
+				c.Send(dst, tag, vals)
+			}
+		}
+		return
+	}
+	c.Recv(root, tag, vals)
+}
+
+// Gather collects each rank's vals at root, concatenated in rank order;
+// non-root ranks get nil.
+func (c *Comm) Gather(root int, vals []float64) []float64 {
+	epoch := c.reduceEpoch
+	c.reduceEpoch++
+	tag := tagGather - 4*epoch
+	if c.rank != root {
+		c.Send(root, tag, vals)
+		return nil
+	}
+	out := make([]float64, 0, len(vals)*c.size)
+	buf := make([]float64, len(vals))
+	for src := 0; src < c.size; src++ {
+		if src == root {
+			out = append(out, vals...)
+			continue
+		}
+		n := c.Recv(src, tag, buf)
+		if n != len(vals) {
+			panic("mpi: gather length mismatch")
+		}
+		out = append(out, buf[:n]...)
+	}
+	return out
+}
+
+// Split partitions the communicator by color, ordering ranks within each
+// new communicator by (key, old rank), exactly like MPI_COMM_SPLIT. All
+// ranks of the communicator must call it collectively.
+func (c *Comm) Split(color, key int) *Comm {
+	epoch := c.splitEpoch
+	c.splitEpoch++
+	skey := fmt.Sprintf("s:%d:%d", c.id, epoch)
+	ctx := c.ctx
+	ctx.mu.Lock()
+	st := ctx.splits[skey]
+	if st == nil {
+		st = &splitState{entries: map[int][2]int{}}
+		ctx.splits[skey] = st
+	}
+	st.entries[c.rank] = [2]int{color, key}
+	if len(st.entries) == c.size {
+		st.done = true
+		c.cond.Broadcast()
+	}
+	for !st.done {
+		c.cond.Wait()
+	}
+	// Deterministically derive the new communicator for this rank's color.
+	type member struct{ key, rank int }
+	var group []member
+	for r, ck := range st.entries {
+		if ck[0] == color {
+			group = append(group, member{ck[1], r})
+		}
+	}
+	sort.Slice(group, func(i, j int) bool {
+		if group[i].key != group[j].key {
+			return group[i].key < group[j].key
+		}
+		return group[i].rank < group[j].rank
+	})
+	idKey := fmt.Sprintf("c:%d:%d:%d", c.id, epoch, color)
+	newID, ok := ctx.commIDs[idKey]
+	if !ok {
+		newID = ctx.nextID
+		ctx.nextID++
+		ctx.commIDs[idKey] = newID
+		boxes := make([]*mailbox, len(group))
+		for i := range boxes {
+			boxes[i] = newMailbox()
+		}
+		ctx.boxes[newID] = boxes
+	}
+	newRank := -1
+	for i, m := range group {
+		if m.rank == c.rank {
+			newRank = i
+		}
+	}
+	ctx.mu.Unlock()
+	return &Comm{ctx: ctx, id: newID, rank: newRank, size: len(group), cond: c.cond}
+}

@@ -1,0 +1,291 @@
+// Package snapshot implements the run's persistent data products, the
+// paper's section-V pipeline: binary checkpoints of the full state (for
+// exact restart) and visualization exports of the Cartesian-component
+// fields B, v, omega and T — the paper saved 127 such snapshots, about
+// 500 GB, during one six-hour run.
+//
+// The checkpoint format is a self-describing little-endian binary
+// container: a magic header, the grid spec and physical parameters, then
+// the eight state scalars of each panel including halos, and a trailing
+// CRC-32. Restarting from a checkpoint is bit-exact (tested).
+package snapshot
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"repro/internal/coords"
+	"repro/internal/grid"
+	"repro/internal/mhd"
+	"repro/internal/sphops"
+)
+
+// Magic identifies checkpoint files; the version gates format changes.
+const (
+	Magic   = "YYGO"
+	Version = 1
+)
+
+// header is the fixed-size preamble of a checkpoint.
+type header struct {
+	Version            uint32
+	Nr, Nt, Np         int32
+	RI, RO             float64
+	Gamma, Mu, Kappa   float64
+	Eta, G0, Omega, Ti float64
+	MagBC              int32
+	Pad                int32 // keep 8-byte alignment explicit
+	Time               float64
+	Step               int64
+}
+
+// WriteCheckpoint serializes the solver state (both panels, halos
+// included) so that ReadCheckpoint restores it bit-exactly.
+func WriteCheckpoint(w io.Writer, sv *mhd.Solver) error {
+	crc := crc32.NewIEEE()
+	mw := io.MultiWriter(w, crc)
+	bw := bufio.NewWriterSize(mw, 1<<16)
+
+	if _, err := bw.WriteString(Magic); err != nil {
+		return err
+	}
+	h := header{
+		Version: Version,
+		Nr:      int32(sv.Spec.Nr), Nt: int32(sv.Spec.Nt), Np: int32(sv.Spec.Np),
+		RI: sv.Spec.RI, RO: sv.Spec.RO,
+		Gamma: sv.Prm.Gamma, Mu: sv.Prm.Mu, Kappa: sv.Prm.Kappa,
+		Eta: sv.Prm.Eta, G0: sv.Prm.G0, Omega: sv.Prm.Omega, Ti: sv.Prm.TIn,
+		MagBC: int32(sv.Prm.MagBC),
+		Time:  sv.Time,
+		Step:  int64(sv.Step),
+	}
+	if err := binary.Write(bw, binary.LittleEndian, &h); err != nil {
+		return err
+	}
+	for _, pl := range sv.Panels {
+		for _, s := range pl.U.Scalars() {
+			if err := writeFloats(bw, s.Data); err != nil {
+				return err
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	// Trailing checksum over everything written so far.
+	return binary.Write(w, binary.LittleEndian, crc.Sum32())
+}
+
+// ReadCheckpoint reconstructs a solver from a checkpoint. The restored
+// solver carries the stored parameters and state; no constraint
+// application is run (the stored state already satisfies them).
+func ReadCheckpoint(r io.Reader) (*mhd.Solver, error) {
+	// No read-ahead buffering here: every read below requests exact byte
+	// counts, so the hashed prefix ends exactly where the trailing
+	// checksum begins.
+	crc := crc32.NewIEEE()
+	br := io.TeeReader(r, crc)
+
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("snapshot: reading magic: %w", err)
+	}
+	if string(magic) != Magic {
+		return nil, fmt.Errorf("snapshot: bad magic %q", magic)
+	}
+	var h header
+	if err := binary.Read(br, binary.LittleEndian, &h); err != nil {
+		return nil, fmt.Errorf("snapshot: reading header: %w", err)
+	}
+	if h.Version != Version {
+		return nil, fmt.Errorf("snapshot: unsupported version %d", h.Version)
+	}
+	spec := grid.Spec{Nr: int(h.Nr), Nt: int(h.Nt), Np: int(h.Np), RI: h.RI, RO: h.RO}
+	prm := mhd.Params{Gamma: h.Gamma, Mu: h.Mu, Kappa: h.Kappa, Eta: h.Eta,
+		G0: h.G0, Omega: h.Omega, TIn: h.Ti, MagBC: mhd.MagneticBC(h.MagBC)}
+	sv, err := mhd.NewSolver(spec, prm, mhd.InitialConditions{})
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: rebuilding solver: %w", err)
+	}
+	for _, pl := range sv.Panels {
+		for _, s := range pl.U.Scalars() {
+			if err := readFloats(br, s.Data); err != nil {
+				return nil, fmt.Errorf("snapshot: reading field: %w", err)
+			}
+		}
+	}
+	// Everything consumed through the tee has been hashed; the stored
+	// checksum itself arrives from the raw reader.
+	sum := crc.Sum32()
+	var stored uint32
+	if err := binary.Read(r, binary.LittleEndian, &stored); err != nil {
+		return nil, fmt.Errorf("snapshot: reading checksum: %w", err)
+	}
+	if stored != sum {
+		return nil, fmt.Errorf("snapshot: checksum mismatch: stored %08x, computed %08x", stored, sum)
+	}
+	sv.Time = h.Time
+	sv.Step = int(h.Step)
+	return sv, nil
+}
+
+func writeFloats(w io.Writer, data []float64) error {
+	buf := make([]byte, 8*4096)
+	for len(data) > 0 {
+		n := len(data)
+		if n > 4096 {
+			n = 4096
+		}
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(data[i]))
+		}
+		if _, err := w.Write(buf[:8*n]); err != nil {
+			return err
+		}
+		data = data[n:]
+	}
+	return nil
+}
+
+func readFloats(r io.Reader, data []float64) error {
+	buf := make([]byte, 8*4096)
+	for len(data) > 0 {
+		n := len(data)
+		if n > 4096 {
+			n = 4096
+		}
+		if _, err := io.ReadFull(r, buf[:8*n]); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+		}
+		data = data[n:]
+	}
+	return nil
+}
+
+// VizExport is the visualization product of section V: the Cartesian
+// components of B, v and omega plus T, in single precision, on the panel
+// node set with optional angular subsampling.
+type VizExport struct {
+	Spec      grid.Spec
+	Subsample int // keep every Subsample-th angular node (1 = all)
+	Time      float64
+	// Fields[panel][f] with f indexing Bx,By,Bz,Vx,Vy,Vz,Wx,Wy,Wz,T;
+	// each slice is radial-fastest over the kept nodes.
+	Fields [2][10][]float32
+	// KeptNt, KeptNp are the angular node counts after subsampling.
+	KeptNt, KeptNp int
+}
+
+// FieldNames lists the export field order.
+func FieldNames() [10]string {
+	return [10]string{"Bx", "By", "Bz", "Vx", "Vy", "Vz", "Wx", "Wy", "Wz", "T"}
+}
+
+// BuildVizExport converts the solver's state into the section-V product.
+// The spherical components of v, B and the derived vorticity are rotated
+// into geographic Cartesian components exactly as the paper stored them
+// ("it is convenient for data visualization/analysis purpose to store
+// the Cartesian components").
+func BuildVizExport(sv *mhd.Solver, subsample int) (*VizExport, error) {
+	if subsample < 1 {
+		return nil, fmt.Errorf("snapshot: subsample must be >= 1, got %d", subsample)
+	}
+	ex := &VizExport{Spec: sv.Spec, Subsample: subsample, Time: sv.Time}
+	for pi, pl := range sv.Panels {
+		mhd.ComputeVTB(pl, &pl.U)
+		p := pl.Patch
+		h := p.H
+		vort := p.NewVector()
+		sphops.Curl(p, pl.V, vort, pl.W)
+
+		keptJ := keepIndices(p.Nt, subsample)
+		keptK := keepIndices(p.Np, subsample)
+		ex.KeptNt, ex.KeptNp = len(keptJ), len(keptK)
+		n := sv.Spec.Nr * len(keptJ) * len(keptK)
+		for f := range ex.Fields[pi] {
+			ex.Fields[pi][f] = make([]float32, 0, n)
+		}
+		for _, k := range keptK {
+			for _, j := range keptJ {
+				th, ph := p.Theta[j+h], p.Phi[k+h]
+				for i := h; i < h+p.Nr; i++ {
+					b := toGeoCart(p.Panel, th, ph, pl.B.R.At(i, j+h, k+h), pl.B.T.At(i, j+h, k+h), pl.B.P.At(i, j+h, k+h))
+					v := toGeoCart(p.Panel, th, ph, pl.V.R.At(i, j+h, k+h), pl.V.T.At(i, j+h, k+h), pl.V.P.At(i, j+h, k+h))
+					w := toGeoCart(p.Panel, th, ph, vort.R.At(i, j+h, k+h), vort.T.At(i, j+h, k+h), vort.P.At(i, j+h, k+h))
+					ex.Fields[pi][0] = append(ex.Fields[pi][0], float32(b.X))
+					ex.Fields[pi][1] = append(ex.Fields[pi][1], float32(b.Y))
+					ex.Fields[pi][2] = append(ex.Fields[pi][2], float32(b.Z))
+					ex.Fields[pi][3] = append(ex.Fields[pi][3], float32(v.X))
+					ex.Fields[pi][4] = append(ex.Fields[pi][4], float32(v.Y))
+					ex.Fields[pi][5] = append(ex.Fields[pi][5], float32(v.Z))
+					ex.Fields[pi][6] = append(ex.Fields[pi][6], float32(w.X))
+					ex.Fields[pi][7] = append(ex.Fields[pi][7], float32(w.Y))
+					ex.Fields[pi][8] = append(ex.Fields[pi][8], float32(w.Z))
+					ex.Fields[pi][9] = append(ex.Fields[pi][9], float32(pl.T.At(i, j+h, k+h)))
+				}
+			}
+		}
+	}
+	return ex, nil
+}
+
+func keepIndices(n, sub int) []int {
+	var out []int
+	for i := 0; i < n; i += sub {
+		out = append(out, i)
+	}
+	return out
+}
+
+func toGeoCart(panel grid.Panel, th, ph, vr, vt, vp float64) coords.Cartesian {
+	c := coords.SphToCartVec(th, ph, coords.SphVec{VR: vr, VT: vt, VP: vp})
+	if panel == grid.Yang {
+		c = coords.YinYang(c)
+	}
+	return c
+}
+
+// Bytes returns the export's payload size, the quantity the paper's
+// "about 500 GB" refers to across 127 saves.
+func (ex *VizExport) Bytes() int64 {
+	var n int64
+	for pi := range ex.Fields {
+		for f := range ex.Fields[pi] {
+			n += int64(4 * len(ex.Fields[pi][f]))
+		}
+	}
+	return n
+}
+
+// WriteVizExport streams the export as a simple binary container:
+// magic "YYVZ", spec ints, subsample, time, then each panel's ten field
+// arrays in FieldNames order.
+func WriteVizExport(w io.Writer, ex *VizExport) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString("YYVZ"); err != nil {
+		return err
+	}
+	meta := []int32{int32(ex.Spec.Nr), int32(ex.Spec.Nt), int32(ex.Spec.Np),
+		int32(ex.Subsample), int32(ex.KeptNt), int32(ex.KeptNp)}
+	if err := binary.Write(bw, binary.LittleEndian, meta); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, ex.Time); err != nil {
+		return err
+	}
+	for pi := range ex.Fields {
+		for f := range ex.Fields[pi] {
+			if err := binary.Write(bw, binary.LittleEndian, ex.Fields[pi][f]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

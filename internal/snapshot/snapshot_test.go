@@ -1,0 +1,211 @@
+package snapshot
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/mhd"
+)
+
+func makeSolver(t *testing.T, steps int) *mhd.Solver {
+	t.Helper()
+	sv, err := mhd.NewSolver(grid.NewSpec(9, 13), mhd.Default(), mhd.DefaultIC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt := sv.EstimateDT(0.3)
+	for n := 0; n < steps; n++ {
+		sv.Advance(dt)
+	}
+	return sv
+}
+
+// TestCheckpointRoundTrip: write/read restores every state value (halos
+// included), the clock, and the parameters, bit for bit.
+func TestCheckpointRoundTrip(t *testing.T) {
+	sv := makeSolver(t, 3)
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, sv); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Time != sv.Time || got.Step != sv.Step {
+		t.Errorf("clock: %v/%d vs %v/%d", got.Time, got.Step, sv.Time, sv.Step)
+	}
+	if got.Prm != sv.Prm {
+		t.Errorf("params: %+v vs %+v", got.Prm, sv.Prm)
+	}
+	if got.Spec != sv.Spec {
+		t.Errorf("spec: %+v vs %+v", got.Spec, sv.Spec)
+	}
+	for pi := range sv.Panels {
+		a := sv.Panels[pi].U.Scalars()
+		b := got.Panels[pi].U.Scalars()
+		for vi := range a {
+			for i := range a[vi].Data {
+				if a[vi].Data[i] != b[vi].Data[i] {
+					t.Fatalf("panel %d var %d differs at %d", pi, vi, i)
+				}
+			}
+		}
+	}
+}
+
+// TestRestartContinuesExactly: advancing the original and the restored
+// solver produces identical states — restart is invisible.
+func TestRestartContinuesExactly(t *testing.T) {
+	sv := makeSolver(t, 2)
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, sv); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const dt = 1.5e-3
+	for n := 0; n < 3; n++ {
+		sv.Advance(dt)
+		restored.Advance(dt)
+	}
+	for pi := range sv.Panels {
+		a := sv.Panels[pi].U.Scalars()
+		b := restored.Panels[pi].U.Scalars()
+		for vi := range a {
+			for i := range a[vi].Data {
+				if a[vi].Data[i] != b[vi].Data[i] {
+					t.Fatalf("restart diverged: panel %d var %d index %d", pi, vi, i)
+				}
+			}
+		}
+	}
+}
+
+// TestCorruptionDetected: flipping any byte fails the checksum (or the
+// header validation).
+func TestCorruptionDetected(t *testing.T) {
+	sv := makeSolver(t, 1)
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, sv); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, pos := range []int{2, 40, len(raw) / 2, len(raw) - 6} {
+		bad := append([]byte(nil), raw...)
+		bad[pos] ^= 0x40
+		if _, err := ReadCheckpoint(bytes.NewReader(bad)); err == nil {
+			t.Errorf("corruption at byte %d not detected", pos)
+		}
+	}
+}
+
+func TestTruncationDetected(t *testing.T) {
+	sv := makeSolver(t, 1)
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, sv); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := ReadCheckpoint(bytes.NewReader(raw[:len(raw)/3])); err == nil {
+		t.Error("truncated checkpoint accepted")
+	}
+	if _, err := ReadCheckpoint(bytes.NewReader([]byte("NOPE"))); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+// TestVizExportShape: node bookkeeping and subsampling sizes.
+func TestVizExportShape(t *testing.T) {
+	sv := makeSolver(t, 1)
+	full, err := BuildVizExport(sv, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantN := sv.Spec.Nr * sv.Spec.Nt * sv.Spec.Np
+	for pi := range full.Fields {
+		for f, data := range full.Fields[pi] {
+			if len(data) != wantN {
+				t.Fatalf("panel %d field %d: %d values, want %d", pi, f, len(data), wantN)
+			}
+		}
+	}
+	if full.Bytes() != int64(4*10*2*wantN) {
+		t.Errorf("bytes = %d", full.Bytes())
+	}
+
+	sub, err := BuildVizExport(sv, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every second angular node in each direction: roughly a quarter.
+	ratio := float64(sub.Bytes()) / float64(full.Bytes())
+	if ratio < 0.2 || ratio > 0.32 {
+		t.Errorf("subsample ratio %v", ratio)
+	}
+	if _, err := BuildVizExport(sv, 0); err == nil {
+		t.Error("zero subsample accepted")
+	}
+}
+
+// TestVizExportPhysics: the exported temperature matches the state, and
+// the Cartesian velocity magnitude matches the spherical magnitude
+// (rotation to geographic components preserves length).
+func TestVizExportPhysics(t *testing.T) {
+	sv := makeSolver(t, 3)
+	ex, err := BuildVizExport(sv, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pi, pl := range sv.Panels {
+		p := pl.Patch
+		h := p.H
+		idx := 0
+		for k := 0; k < p.Np; k++ {
+			for j := 0; j < p.Nt; j++ {
+				for i := 0; i < p.Nr; i++ {
+					wantT := pl.T.At(i+h, j+h, k+h)
+					gotT := float64(ex.Fields[pi][9][idx])
+					if math.Abs(gotT-wantT) > 1e-5*(1+math.Abs(wantT)) {
+						t.Fatalf("T mismatch at %d: %v vs %v", idx, gotT, wantT)
+					}
+					vr := pl.V.R.At(i+h, j+h, k+h)
+					vt := pl.V.T.At(i+h, j+h, k+h)
+					vp := pl.V.P.At(i+h, j+h, k+h)
+					wantMag := math.Sqrt(vr*vr + vt*vt + vp*vp)
+					gx := float64(ex.Fields[pi][3][idx])
+					gy := float64(ex.Fields[pi][4][idx])
+					gz := float64(ex.Fields[pi][5][idx])
+					gotMag := math.Sqrt(gx*gx + gy*gy + gz*gz)
+					if math.Abs(gotMag-wantMag) > 1e-5*(1+wantMag) {
+						t.Fatalf("|v| mismatch at %d: %v vs %v", idx, gotMag, wantMag)
+					}
+					idx++
+				}
+			}
+		}
+	}
+}
+
+func TestWriteVizExport(t *testing.T) {
+	sv := makeSolver(t, 1)
+	ex, err := BuildVizExport(sv, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteVizExport(&buf, ex); err != nil {
+		t.Fatal(err)
+	}
+	want := 4 + 6*4 + 8 + int(ex.Bytes())
+	if buf.Len() != want {
+		t.Errorf("container size %d, want %d", buf.Len(), want)
+	}
+	if !bytes.HasPrefix(buf.Bytes(), []byte("YYVZ")) {
+		t.Error("bad magic")
+	}
+}

@@ -1,0 +1,228 @@
+// Package sph provides the spherical-harmonic and magnetic-moment
+// diagnostics used to monitor the dynamo: the growth, strength and tilt
+// of the dipole component of the generated field, the quantity whose
+// reversals the group's earlier work followed (Li, Sato and Kageyama
+// 2002; Kageyama et al. 1999) and which section V of the paper names as
+// the long-time goal of the runs.
+package sph
+
+import (
+	"math"
+
+	"repro/internal/coords"
+	"repro/internal/grid"
+	"repro/internal/mhd"
+)
+
+// SurfaceCoeffs are the real spherical-harmonic coefficients up to
+// degree 2 of a scalar sampled on the sphere, in the real basis
+// {Y10, Y11c, Y11s, Y20, Y21c, Y21s, Y22c, Y22s} with Schmidt-like
+// normalization: expanding f = sum c_i B_i(theta, phi) with the basis
+// functions below.
+type SurfaceCoeffs struct {
+	Y00             float64
+	Y10, Y11c, Y11s float64
+	Y20, Y21c, Y21s float64
+	Y22c, Y22s      float64
+}
+
+// basis lists the real harmonics and the normalization integrals
+// int B^2 dOmega used to project.
+var basis = []struct {
+	name string
+	fn   func(th, ph float64) float64
+	norm float64
+}{
+	{"Y00", func(th, ph float64) float64 { return 1 }, 4 * math.Pi},
+	{"Y10", func(th, ph float64) float64 { return math.Cos(th) }, 4 * math.Pi / 3},
+	{"Y11c", func(th, ph float64) float64 { return math.Sin(th) * math.Cos(ph) }, 4 * math.Pi / 3},
+	{"Y11s", func(th, ph float64) float64 { return math.Sin(th) * math.Sin(ph) }, 4 * math.Pi / 3},
+	{"Y20", func(th, ph float64) float64 { c := math.Cos(th); return 1.5*c*c - 0.5 }, 4 * math.Pi / 5},
+	{"Y21c", func(th, ph float64) float64 { return 3 * math.Sin(th) * math.Cos(th) * math.Cos(ph) }, 12 * math.Pi / 5},
+	{"Y21s", func(th, ph float64) float64 { return 3 * math.Sin(th) * math.Cos(th) * math.Sin(ph) }, 12 * math.Pi / 5},
+	{"Y22c", func(th, ph float64) float64 { s := math.Sin(th); return 3 * s * s * math.Cos(2*ph) }, 48 * math.Pi / 5},
+	{"Y22s", func(th, ph float64) float64 { s := math.Sin(th); return 3 * s * s * math.Sin(2*ph) }, 48 * math.Pi / 5},
+}
+
+// AnalyzeSurface projects a per-panel sampling function onto the basis.
+// sample(panel, j, k) must return the scalar at the panel's angular node
+// (j, k) in padded indices; the projection weights each node with the
+// panel ownership partition so the overlap counts once.
+func AnalyzeSurface(sv *mhd.Solver, sample func(pl *mhd.Panel, j, k int) float64) SurfaceCoeffs {
+	var raw [9]float64
+	for _, pl := range sv.Panels {
+		p := pl.Patch
+		h := p.H
+		_, ntP, _ := p.Padded()
+		for k := h; k < h+p.Np; k++ {
+			for j := h; j < h+p.Nt; j++ {
+				own := pl.Own[k*ntP+j]
+				if own == 0 {
+					continue
+				}
+				wq := 1.0
+				if j == h || j == h+p.Nt-1 {
+					wq *= 0.5
+				}
+				if k == h || k == h+p.Np-1 {
+					wq *= 0.5
+				}
+				w := own * wq * p.SinT[j] * p.Dt * p.Dp
+				v := sample(pl, j, k)
+				// Geographic angles of this node.
+				th, ph := p.Theta[j], p.Phi[k]
+				if p.Panel == grid.Yang {
+					th, ph = coords.YinYangAngles(th, ph)
+				}
+				for bi, b := range basis {
+					raw[bi] += w * v * b.fn(th, ph)
+				}
+			}
+		}
+	}
+	for bi, b := range basis {
+		raw[bi] /= b.norm
+	}
+	return SurfaceCoeffs{
+		Y00: raw[0],
+		Y10: raw[1], Y11c: raw[2], Y11s: raw[3],
+		Y20: raw[4], Y21c: raw[5], Y21s: raw[6],
+		Y22c: raw[7], Y22s: raw[8],
+	}
+}
+
+// DipoleVector returns the degree-1 part as a Cartesian vector
+// (Y11c, Y11s, Y10) — for a radial-field expansion this is proportional
+// to the dipole axis.
+func (c SurfaceCoeffs) DipoleVector() coords.Cartesian {
+	return coords.Cartesian{X: c.Y11c, Y: c.Y11s, Z: c.Y10}
+}
+
+// DipoleTiltDeg returns the angle in degrees between the dipole axis and
+// the rotation (z) axis; 0 means an axial dipole, 90 an equatorial one.
+func (c SurfaceCoeffs) DipoleTiltDeg() float64 {
+	v := c.DipoleVector()
+	m := math.Sqrt(v.X*v.X + v.Y*v.Y + v.Z*v.Z)
+	if m == 0 {
+		return 0
+	}
+	return math.Acos(clamp(v.Z/m, -1, 1)) * 180 / math.Pi
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// MagneticMoment computes the magnetic dipole moment of the internal
+// current distribution, m = (1/2) integral of r x j dV, in geographic
+// Cartesian components. For the magnetically confined shell (Br pinned
+// to zero at the walls) this is the natural measure of the dynamo's
+// dipole: it grows as the dynamo amplifies the seed and flips sign at a
+// polarity reversal. ComputeVTB and FinishRHS-side currents must be
+// current; callers should invoke mhd.ComputeVTB plus the J update, or
+// simply use MomentOf below which recomputes everything it needs.
+func MagneticMoment(sv *mhd.Solver) coords.Cartesian {
+	var m coords.Cartesian
+	for _, pl := range sv.Panels {
+		mhd.ComputeVTB(pl, &pl.U)
+		mhd.ComputeJ(pl)
+		p := pl.Patch
+		h := p.H
+		_, ntP, _ := p.Padded()
+		for k := h; k < h+p.Np; k++ {
+			for j := h; j < h+p.Nt; j++ {
+				own := pl.Own[k*ntP+j]
+				if own == 0 {
+					continue
+				}
+				th, ph := p.Theta[j], p.Phi[k]
+				for i := h; i < h+p.Nr; i++ {
+					w := own * p.CellVolume(i, j, k)
+					// r x j with r = r rhat: r x j = r (rhat x j) =
+					// r (-jp thetahat + jt phihat).
+					rxj := coords.SphVec{
+						VR: 0,
+						VT: -p.R[i] * pl.J.P.At(i, j, k),
+						VP: p.R[i] * pl.J.T.At(i, j, k),
+					}
+					c := coords.SphToCartVec(th, ph, rxj)
+					if p.Panel == grid.Yang {
+						c = coords.YinYang(c)
+					}
+					m.X += 0.5 * w * c.X
+					m.Y += 0.5 * w * c.Y
+					m.Z += 0.5 * w * c.Z
+				}
+			}
+		}
+	}
+	return m
+}
+
+// MomentMagnitude returns |m|.
+func MomentMagnitude(m coords.Cartesian) float64 {
+	return math.Sqrt(m.X*m.X + m.Y*m.Y + m.Z*m.Z)
+}
+
+// Reversal detection: the group's earlier work (Li, Sato & Kageyama
+// 2002) followed spontaneous sign flips of the axial dipole; section V
+// names longer runs toward such reversals as the goal. DetectReversals
+// scans a time series of dipole moments for sign changes of the axial
+// component that persist (not single-sample noise).
+
+// ReversalEvent marks one polarity flip in a moment series.
+type ReversalEvent struct {
+	Index int     // series index where the new polarity is established
+	From  float64 // axial moment before
+	To    float64 // axial moment after
+}
+
+// DetectReversals finds persistent sign changes of m_z in the series:
+// the sign must hold for at least persist consecutive samples on both
+// sides, and the magnitude must exceed floor (to ignore noise around
+// zero crossings).
+func DetectReversals(mz []float64, persist int, floor float64) []ReversalEvent {
+	if persist < 1 {
+		persist = 1
+	}
+	holds := func(i int, sign float64) bool {
+		for k := 0; k < persist; k++ {
+			idx := i + k
+			if idx >= len(mz) {
+				return false
+			}
+			if mz[idx]*sign <= floor {
+				return false
+			}
+		}
+		return true
+	}
+	var events []ReversalEvent
+	i := 0
+	// Find the first established polarity.
+	var cur float64
+	for ; i < len(mz); i++ {
+		switch {
+		case holds(i, 1):
+			cur = 1
+		case holds(i, -1):
+			cur = -1
+		}
+		if cur != 0 {
+			break
+		}
+	}
+	for ; i < len(mz); i++ {
+		if holds(i, -cur) {
+			events = append(events, ReversalEvent{Index: i, From: cur, To: -cur})
+			cur = -cur
+		}
+	}
+	return events
+}

@@ -1,0 +1,186 @@
+package sphops
+
+import (
+	"repro/internal/fd"
+	"repro/internal/field"
+	"repro/internal/grid"
+)
+
+// Grad computes the gradient of scalar s:
+//
+//	(grad s)_r     = ds/dr
+//	(grad s)_theta = (1/r) ds/dtheta
+//	(grad s)_phi   = (1/(r sin theta)) ds/dphi
+func Grad(p *grid.Patch, s *field.Scalar, out *field.Vector, w *Workspace) {
+	fd.Deriv1R(p, s, out.R)
+	fd.Deriv1T(p, s, out.T)
+	fd.Deriv1P(p, s, out.P)
+	h := p.H
+	sweep(p, 3, func(j, k int) {
+		tr := out.T.Row(j, k)
+		pr := out.P.Row(j, k)
+		m := p.InvSinT[j]
+		for i := h; i < h+p.Nr; i++ {
+			tr[i] *= p.InvR[i]
+			pr[i] *= p.InvR[i] * m
+		}
+	})
+}
+
+// Div computes the divergence of vector v using the expanded metric form
+//
+//	div v = dvr/dr + 2 vr/r + (1/r)(dvt/dt + cot(t) vt)
+//	      + (1/(r sin t)) dvp/dp.
+func Div(p *grid.Patch, v *field.Vector, out *field.Scalar, w *Workspace) {
+	dr := w.Get()
+	dt := w.Get()
+	dp := w.Get()
+	defer w.Put(dr, dt, dp)
+	fd.Deriv1R(p, v.R, dr)
+	fd.Deriv1T(p, v.T, dt)
+	fd.Deriv1P(p, v.P, dp)
+	h := p.H
+	sweep(p, 9, func(j, k int) {
+		or := out.Row(j, k)
+		vr := v.R.Row(j, k)
+		vt := v.T.Row(j, k)
+		drr := dr.Row(j, k)
+		dtr := dt.Row(j, k)
+		dpr := dp.Row(j, k)
+		cot := p.CotT[j]
+		ist := p.InvSinT[j]
+		for i := h; i < h+p.Nr; i++ {
+			ir := p.InvR[i]
+			or[i] = drr[i] + 2*vr[i]*ir + ir*(dtr[i]+cot*vt[i]) + ir*ist*dpr[i]
+		}
+	})
+}
+
+// Curl computes the curl of vector v:
+//
+//	(curl v)_r = (1/r)(dvp/dt + cot(t) vp) - (1/(r sin t)) dvt/dp
+//	(curl v)_t = (1/(r sin t)) dvr/dp - dvp/dr - vp/r
+//	(curl v)_p = dvt/dr + vt/r - (1/r) dvr/dt
+func Curl(p *grid.Patch, v *field.Vector, out *field.Vector, w *Workspace) {
+	dtvp := w.Get()
+	dpvt := w.Get()
+	dpvr := w.Get()
+	drvp := w.Get()
+	drvt := w.Get()
+	dtvr := w.Get()
+	defer w.Put(dtvp, dpvt, dpvr, drvp, drvt, dtvr)
+	fd.Deriv1T(p, v.P, dtvp)
+	fd.Deriv1P(p, v.T, dpvt)
+	fd.Deriv1P(p, v.R, dpvr)
+	fd.Deriv1R(p, v.P, drvp)
+	fd.Deriv1R(p, v.T, drvt)
+	fd.Deriv1T(p, v.R, dtvr)
+	h := p.H
+	sweep(p, 13, func(j, k int) {
+		orr := out.R.Row(j, k)
+		otr := out.T.Row(j, k)
+		opr := out.P.Row(j, k)
+		vt := v.T.Row(j, k)
+		vp := v.P.Row(j, k)
+		a := dtvp.Row(j, k)
+		b := dpvt.Row(j, k)
+		c := dpvr.Row(j, k)
+		d := drvp.Row(j, k)
+		e := drvt.Row(j, k)
+		f := dtvr.Row(j, k)
+		cot := p.CotT[j]
+		ist := p.InvSinT[j]
+		for i := h; i < h+p.Nr; i++ {
+			ir := p.InvR[i]
+			orr[i] = ir*(a[i]+cot*vp[i]) - ir*ist*b[i]
+			otr[i] = ir*ist*c[i] - d[i] - vp[i]*ir
+			opr[i] = e[i] + vt[i]*ir - ir*f[i]
+		}
+	})
+}
+
+// LapScalar computes the scalar Laplacian
+//
+//	lap s = d2s/dr2 + (2/r) ds/dr
+//	      + (1/r^2)(d2s/dt2 + cot(t) ds/dt)
+//	      + (1/(r^2 sin^2 t)) d2s/dp2.
+func LapScalar(p *grid.Patch, s *field.Scalar, out *field.Scalar, w *Workspace) {
+	d2r := w.Get()
+	d1r := w.Get()
+	d2t := w.Get()
+	d1t := w.Get()
+	d2p := w.Get()
+	defer w.Put(d2r, d1r, d2t, d1t, d2p)
+	fd.Deriv2R(p, s, d2r)
+	fd.Deriv1R(p, s, d1r)
+	fd.Deriv2T(p, s, d2t)
+	fd.Deriv1T(p, s, d1t)
+	fd.Deriv2P(p, s, d2p)
+	h := p.H
+	sweep(p, 10, func(j, k int) {
+		or := out.Row(j, k)
+		a := d2r.Row(j, k)
+		b := d1r.Row(j, k)
+		c := d2t.Row(j, k)
+		d := d1t.Row(j, k)
+		e := d2p.Row(j, k)
+		cot := p.CotT[j]
+		ist := p.InvSinT[j]
+		for i := h; i < h+p.Nr; i++ {
+			ir := p.InvR[i]
+			ir2 := p.InvR2[i]
+			or[i] = a[i] + 2*ir*b[i] + ir2*(c[i]+cot*d[i]) + ir2*ist*ist*e[i]
+		}
+	})
+}
+
+// LapVector computes the vector Laplacian with the standard curvature
+// coupling terms of spherical coordinates:
+//
+//	(lap v)_r = lap vr - (2/r^2)(vr + dvt/dt + cot(t) vt + (1/sin t) dvp/dp)
+//	(lap v)_t = lap vt + (2/r^2) dvr/dt - vt/(r^2 sin^2 t)
+//	          - (2 cos t/(r^2 sin^2 t)) dvp/dp
+//	(lap v)_p = lap vp + (2/(r^2 sin t)) dvr/dp
+//	          + (2 cos t/(r^2 sin^2 t)) dvt/dp - vp/(r^2 sin^2 t)
+func LapVector(p *grid.Patch, v *field.Vector, out *field.Vector, w *Workspace) {
+	LapScalar(p, v.R, out.R, w)
+	LapScalar(p, v.T, out.T, w)
+	LapScalar(p, v.P, out.P, w)
+
+	dtvt := w.Get()
+	dpvp := w.Get()
+	dtvr := w.Get()
+	dpvr := w.Get()
+	dpvt := w.Get()
+	defer w.Put(dtvt, dpvp, dtvr, dpvr, dpvt)
+	fd.Deriv1T(p, v.T, dtvt)
+	fd.Deriv1P(p, v.P, dpvp)
+	fd.Deriv1T(p, v.R, dtvr)
+	fd.Deriv1P(p, v.R, dpvr)
+	fd.Deriv1P(p, v.T, dpvt)
+
+	h := p.H
+	sweep(p, 24, func(j, k int) {
+		orr := out.R.Row(j, k)
+		otr := out.T.Row(j, k)
+		opr := out.P.Row(j, k)
+		vr := v.R.Row(j, k)
+		vt := v.T.Row(j, k)
+		vp := v.P.Row(j, k)
+		a := dtvt.Row(j, k)
+		b := dpvp.Row(j, k)
+		c := dtvr.Row(j, k)
+		d := dpvr.Row(j, k)
+		e := dpvt.Row(j, k)
+		cot := p.CotT[j]
+		ist := p.InvSinT[j]
+		cost := p.CosT[j]
+		ist2 := ist * ist
+		for i := h; i < h+p.Nr; i++ {
+			ir2 := p.InvR2[i]
+			orr[i] -= 2 * ir2 * (vr[i] + a[i] + cot*vt[i] + ist*b[i])
+			otr[i] += ir2 * (2*c[i] - ist2*vt[i] - 2*cost*ist2*b[i])
+			opr[i] += ir2 * (2*ist*d[i] + 2*cost*ist2*e[i] - ist2*vp[i])
+		}
+	})
+}

@@ -1,0 +1,71 @@
+// Package sphops implements the differential operators of vector calculus
+// in spherical polar coordinates — gradient, divergence, curl, scalar and
+// vector Laplacian, momentum-flux (tensor) divergence, advection, and the
+// viscous dissipation function — discretized with the finite differences
+// of package fd on Yin-Yang component patches.
+//
+// Because a component grid is nothing but a part of the latitude-longitude
+// grid (paper, section II), the analytic metric forms of these operators
+// in spherical coordinates apply verbatim on both the Yin and the Yang
+// panel; the same routines serve both.
+package sphops
+
+import (
+	"repro/internal/field"
+	"repro/internal/grid"
+	"repro/internal/perfcount"
+)
+
+// Workspace pools scratch fields for operator evaluation so repeated
+// right-hand-side evaluations do not allocate.
+type Workspace struct {
+	patch *grid.Patch
+	free  []*field.Scalar
+	total int
+}
+
+// NewWorkspace creates a scratch pool for fields shaped like p.
+func NewWorkspace(p *grid.Patch) *Workspace {
+	return &Workspace{patch: p}
+}
+
+// Get returns a scratch scalar (contents unspecified).
+func (w *Workspace) Get() *field.Scalar {
+	if n := len(w.free); n > 0 {
+		f := w.free[n-1]
+		w.free = w.free[:n-1]
+		return f
+	}
+	w.total++
+	return w.patch.NewScalar()
+}
+
+// Put returns scratch scalars to the pool.
+func (w *Workspace) Put(fs ...*field.Scalar) {
+	w.free = append(w.free, fs...)
+}
+
+// Allocated reports how many scratch fields the pool ever created; useful
+// for asserting that steady-state stepping does not grow the pool.
+func (w *Workspace) Allocated() int { return w.total }
+
+// countN charges n nodes across rows vector loops with fl flops per node.
+func countN(n, rows, fl int64) {
+	perfcount.AddFlops(n * fl)
+	perfcount.AddVectorLoops(rows, n)
+}
+
+// sweep runs fn over every interior (j, k) pair and charges the counters
+// with flopsPerNode flops for each interior node. fn must loop its inner
+// radial index over [p.H, p.H+p.Nr).
+func sweep(p *grid.Patch, flopsPerNode int, fn func(j, k int)) {
+	h := p.H
+	for k := h; k < h+p.Np; k++ {
+		for j := h; j < h+p.Nt; j++ {
+			fn(j, k)
+		}
+	}
+	n := int64(p.Nr) * int64(p.Nt) * int64(p.Np)
+	perfcount.AddFlops(n * int64(flopsPerNode))
+	perfcount.AddVectorLoops(int64(p.Nt)*int64(p.Np), n)
+}
