@@ -1,0 +1,148 @@
+// Command yyvet runs the repository's static-analysis suite
+// (internal/analyze) over every package of the module and prints one
+// `file:line:col: analyzer: message` line per finding, exiting non-zero
+// when anything is found.
+//
+// Usage:
+//
+//	yyvet [-list] [pattern ...]
+//
+// Patterns are directory-style package selectors relative to the
+// current directory: "./..." (the default) selects the whole module,
+// "./internal/mpi" one package, "./internal/..." a subtree. Findings
+// are suppressed with a justification comment:
+//
+//	//yyvet:ignore analyzer-name why this is safe
+//
+// on the finding's line or the line directly above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analyze"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable driver body; it returns the process exit code:
+// 0 clean, 1 findings, 2 usage or load failure.
+func run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("yyvet", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analyze.All() {
+			fmt.Fprintf(out, "%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(errOut, "yyvet: %v\n", err)
+		return 2
+	}
+	root, err := analyze.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintf(errOut, "yyvet: %v\n", err)
+		return 2
+	}
+	pkgs, err := analyze.LoadModule(root)
+	if err != nil {
+		fmt.Fprintf(errOut, "yyvet: %v\n", err)
+		return 2
+	}
+	selected, err := filterPackages(pkgs, patterns, cwd)
+	if err != nil {
+		fmt.Fprintf(errOut, "yyvet: %v\n", err)
+		return 2
+	}
+
+	findings, err := analyze.Run(selected, analyze.All())
+	if err != nil {
+		fmt.Fprintf(errOut, "yyvet: %v\n", err)
+		return 2
+	}
+	for _, f := range findings {
+		pos := f.Pos
+		if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			pos.Filename = rel
+		}
+		fmt.Fprintf(out, "%s:%d:%d: %s: %s\n", pos.Filename, pos.Line, pos.Column, f.Analyzer, f.Message)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(errOut, "yyvet: %d finding(s) in %d package(s)\n", len(findings), len(selected))
+		return 1
+	}
+	return 0
+}
+
+// filterPackages keeps the packages whose directory matches any of the
+// directory-style patterns, resolved relative to cwd.
+func filterPackages(pkgs []*analyze.Package, patterns []string, cwd string) ([]*analyze.Package, error) {
+	var out []*analyze.Package
+	for _, p := range pkgs {
+		matched := false
+		for _, pat := range patterns {
+			ok, err := matchPattern(p.Dir, pat, cwd)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				matched = true
+				break
+			}
+		}
+		if matched {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no packages match %v", patterns)
+	}
+	return out, nil
+}
+
+// matchPattern reports whether the package directory dir falls under
+// pattern: an exact directory, or a "/..." suffix selecting a subtree.
+func matchPattern(dir, pattern, cwd string) (bool, error) {
+	subtree := false
+	if rest, ok := strings.CutSuffix(pattern, "/..."); ok {
+		subtree = true
+		pattern = rest
+		if pattern == "" || pattern == "." {
+			pattern = "."
+		}
+	}
+	base := pattern
+	if !filepath.IsAbs(base) {
+		base = filepath.Join(cwd, base)
+	}
+	base, err := filepath.Abs(base)
+	if err != nil {
+		return false, err
+	}
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return false, err
+	}
+	if dir == base {
+		return true, nil
+	}
+	return subtree && strings.HasPrefix(dir, base+string(filepath.Separator)), nil
+}

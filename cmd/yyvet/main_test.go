@@ -1,0 +1,90 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBadModuleFindings: the driver on the known-bad fixture module
+// reports each analyzer's expected finding and exits 1.
+func TestBadModuleFindings(t *testing.T) {
+	t.Chdir("testdata/badmod")
+	var out, errOut strings.Builder
+	code := run([]string{"./..."}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"comm/comm.go:22:2: irecv-wait: result of Irecv is discarded",
+		"comm/comm.go:36:3: cond-wait-loop: sync.Cond.Wait is not guarded by a for loop",
+		"fd/fd.go:6:25: pow2-stride: slice dimension 256 is a power of two",
+		"fd/fd.go:10:11: float-eq: floating-point values compared with ==",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q\ngot:\n%s", want, got)
+		}
+	}
+	if n := strings.Count(got, "\n"); n != 4 {
+		t.Errorf("expected exactly 4 findings, got %d:\n%s", n, got)
+	}
+}
+
+// TestBadModuleSinglePackage: a narrower pattern only reports that
+// package's findings.
+func TestBadModuleSinglePackage(t *testing.T) {
+	t.Chdir("testdata/badmod")
+	var out, errOut strings.Builder
+	code := run([]string{"./comm"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstderr:\n%s", code, errOut.String())
+	}
+	got := out.String()
+	if strings.Contains(got, "fd/fd.go") {
+		t.Errorf("pattern ./comm leaked fd findings:\n%s", got)
+	}
+	if !strings.Contains(got, "irecv-wait") {
+		t.Errorf("pattern ./comm missed its findings:\n%s", got)
+	}
+}
+
+// TestGoodModuleClean: the clean fixture module exits 0 with no output.
+func TestGoodModuleClean(t *testing.T) {
+	t.Chdir("testdata/goodmod")
+	var out, errOut strings.Builder
+	code := run([]string{"./..."}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean module produced output:\n%s", out.String())
+	}
+}
+
+// TestListFlag: -list names all four analyzers and exits 0.
+func TestListFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-list"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	for _, name := range []string{"irecv-wait", "pow2-stride", "float-eq", "cond-wait-loop"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestNoMatchingPackages: a pattern that selects nothing is a usage
+// error, not a silent pass.
+func TestNoMatchingPackages(t *testing.T) {
+	t.Chdir("testdata/badmod")
+	var out, errOut strings.Builder
+	code := run([]string{"./nonexistent"}, &out, &errOut)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "no packages match") {
+		t.Errorf("stderr = %q", errOut.String())
+	}
+}

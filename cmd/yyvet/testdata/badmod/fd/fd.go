@@ -1,0 +1,11 @@
+// Package fd is the known-bad smoke fixture for the pow2-stride (hot
+// package name) and float-eq analyzers.
+package fd
+
+func pow2Column() []float64 {
+	return make([]float64, 256) // pow2-stride should fire here
+}
+
+func exactCompare(a, b float64) bool {
+	return a == b // float-eq should fire here
+}

@@ -1,0 +1,13 @@
+// Package fd is the known-clean smoke fixture: hot package name, but
+// padded dimensions and tolerated comparisons only.
+package fd
+
+import "math"
+
+func paddedColumn() []float64 {
+	return make([]float64, 257)
+}
+
+func approxEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}

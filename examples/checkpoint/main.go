@@ -48,6 +48,7 @@ func main() {
 		b := restored.Solver.Panels[pi].U.Scalars()
 		for vi := range a {
 			for i := range a[vi].Data {
+				//yyvet:ignore float-eq the demo asserts bit-exact restart: any ULP difference must count
 				if a[vi].Data[i] != b[vi].Data[i] {
 					diffs++
 				}

@@ -34,6 +34,7 @@ func main() {
 	fmt.Printf("%-8s %-12s %-14s %-10s\n", "ranks", "s/step", "Mpoints/s", "speedup")
 
 	var base float64
+	haveBase := false
 	for _, nProcs := range []int{2, 4, 8, 16} {
 		layout, err := decomp.NewLayout(spec, nProcs)
 		if err != nil {
@@ -56,8 +57,9 @@ func main() {
 		}
 		perStep := time.Since(start).Seconds() / float64(*steps)
 		rate := points / perStep / 1e6
-		if base == 0 {
+		if !haveBase {
 			base = perStep
+			haveBase = true
 		}
 		fmt.Printf("%-8d %-12.4f %-14.2f %-10.2f\n", nProcs, perStep, rate, base/perStep)
 	}

@@ -1,0 +1,195 @@
+// Package analyze is a small static-analysis framework for this module,
+// built only on the standard library's go/ast, go/parser, go/token and
+// go/types. It exists because the solver's correctness and Earth
+// Simulator performance rest on invariants the Go compiler cannot check:
+// every posted mpi.Irecv must be completed with Wait before its halo
+// buffer is read, hot-loop array dimensions must avoid the power-of-two
+// strides that trigger memory-bank conflicts (modeled in internal/es),
+// floating-point values must not be compared with == outside designated
+// tolerance helpers, and sync.Cond.Wait must sit in a predicate loop.
+//
+// Each invariant is an Analyzer; cmd/yyvet loads every package of the
+// module and runs them all. A finding can be suppressed with a directive
+// comment on the same line or the line directly above:
+//
+//	//yyvet:ignore analyzer-name[,analyzer-name...] justification
+//
+// The justification text is free-form but should always be present.
+package analyze
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer checks one invariant across a single package.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and ignore directives,
+	// e.g. "irecv-wait".
+	Name string
+	// Doc is a one-paragraph description of the invariant and why it
+	// matters for the reproduction.
+	Doc string
+	// Run inspects the package behind pass and reports findings via
+	// pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// A Finding is one rule violation at a source position.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// A Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	ignores  ignoreIndex
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos unless an ignore directive for this
+// analyzer covers the position.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.ignores.covers(position, p.Analyzer.Name) {
+		return
+	}
+	*p.findings = append(*p.findings, Finding{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ignoreIndex maps filename -> line -> analyzer names suppressed there.
+type ignoreIndex map[string]map[int][]string
+
+const ignoreDirective = "yyvet:ignore"
+
+// buildIgnoreIndex scans the comments of every file for ignore
+// directives. A directive on line L covers findings on line L (trailing
+// comment) and line L+1 (comment on its own line above the statement).
+func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) ignoreIndex {
+	idx := ignoreIndex{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+ignoreDirective)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := idx[pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]string{}
+					idx[pos.Filename] = byLine
+				}
+				names := strings.Split(fields[0], ",")
+				byLine[pos.Line] = append(byLine[pos.Line], names...)
+			}
+		}
+	}
+	return idx
+}
+
+func (idx ignoreIndex) covers(pos token.Position, analyzer string) bool {
+	byLine := idx[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		for _, name := range byLine[line] {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Run applies every analyzer to every package and returns the combined
+// findings sorted by position then analyzer name.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		idx := buildIgnoreIndex(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				ignores:   idx,
+				findings:  &findings,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analyze: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// inspectWithParents walks root in depth-first order calling fn with
+// each node and the stack of its ancestors (outermost first, root
+// excluded from its own stack). If fn returns false the node's children
+// are skipped.
+func inspectWithParents(root ast.Node, fn func(n ast.Node, parents []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		descend := fn(n, stack)
+		if descend {
+			stack = append(stack, n)
+		}
+		return descend
+	})
+}
+
+// enclosingFuncName returns the name of the nearest enclosing FuncDecl
+// in the parent stack, or "" when the node sits inside an anonymous
+// function only (or at package level).
+func enclosingFuncName(parents []ast.Node) string {
+	for i := len(parents) - 1; i >= 0; i-- {
+		if fd, ok := parents[i].(*ast.FuncDecl); ok {
+			return fd.Name.Name
+		}
+	}
+	return ""
+}

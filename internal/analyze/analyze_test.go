@@ -1,0 +1,161 @@
+package analyze
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts the quoted message substrings of a `// want "..."`
+// expectation comment.
+var wantRe = regexp.MustCompile(`"([^"]*)"`)
+
+// expectation is one `// want` annotation in a fixture file.
+type expectation struct {
+	file string
+	line int
+	sub  string // message substring that must appear
+}
+
+// runFixture loads the fixture package in testdata/<dir>, runs the
+// given analyzers and checks the findings against the fixture's
+// `// want "substring"` comments: every annotated line must produce a
+// finding containing the substring, and no unannotated finding may
+// appear.
+func runFixture(t *testing.T, dir string, analyzers ...*Analyzer) {
+	t.Helper()
+	path := filepath.Join("testdata", dir)
+	pkg, err := LoadDir(path, "fixture/"+dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", path, err)
+	}
+	findings, err := Run([]*Package{pkg}, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", path, err)
+	}
+
+	wants := collectWants(t, path)
+	matched := make([]bool, len(findings))
+	for _, w := range wants {
+		found := false
+		for i, f := range findings {
+			if matched[i] || filepath.Base(f.Pos.Filename) != w.file || f.Pos.Line != w.line {
+				continue
+			}
+			if strings.Contains(f.Message, w.sub) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: expected finding containing %q, got none", w.file, w.line, w.sub)
+		}
+	}
+	for i, f := range findings {
+		if !matched[i] {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+}
+
+// collectWants re-parses the fixture files for want annotations.
+func collectWants(t *testing.T, dir string) []expectation {
+	t.Helper()
+	fset := token.NewFileSet()
+	files, err := parseDir(fset, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(text, -1) {
+					wants = append(wants, expectation{
+						file: filepath.Base(pos.Filename),
+						line: pos.Line,
+						sub:  m[1],
+					})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// TestSuppression: a finding covered by //yyvet:ignore on the same or
+// the preceding line is dropped; other findings in the file survive.
+func TestSuppression(t *testing.T) {
+	runFixture(t, "ignore", FloatEq)
+}
+
+// TestIgnoreIndexScope verifies the line arithmetic of the directive
+// index directly.
+func TestIgnoreIndexScope(t *testing.T) {
+	idx := ignoreIndex{
+		"f.go": {10: []string{"float-eq", "pow2-stride"}},
+	}
+	cases := []struct {
+		line     int
+		analyzer string
+		want     bool
+	}{
+		{10, "float-eq", true},    // same line
+		{11, "float-eq", true},    // directive on line above
+		{12, "float-eq", false},   // out of range
+		{9, "float-eq", false},    // directive below the finding
+		{10, "irecv-wait", false}, // different analyzer
+		{11, "pow2-stride", true}, // second name in the list
+	}
+	for _, c := range cases {
+		pos := token.Position{Filename: "f.go", Line: c.line}
+		if got := idx.covers(pos, c.analyzer); got != c.want {
+			t.Errorf("covers(line %d, %s) = %v, want %v", c.line, c.analyzer, got, c.want)
+		}
+	}
+}
+
+// TestLoadModuleSelf loads this repository's own module and checks a
+// few known packages arrive type-checked.
+func TestLoadModuleSelf(t *testing.T) {
+	if testing.Short() {
+		t.Skip("module-wide type-check is slow")
+	}
+	pkgs, err := LoadModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, p := range pkgs {
+		seen[p.Path] = true
+		if p.Types == nil || p.Info == nil {
+			t.Errorf("%s loaded without type information", p.Path)
+		}
+	}
+	for _, want := range []string{"repro/internal/mpi", "repro/internal/fd", "repro/cmd/yyvet"} {
+		if !seen[want] {
+			t.Errorf("LoadModule missed %s (got %d packages)", want, len(pkgs))
+		}
+	}
+}
+
+// TestFindingString pins the file:line:col: analyzer: message format the
+// driver prints.
+func TestFindingString(t *testing.T) {
+	f := Finding{
+		Pos:      token.Position{Filename: "a/b.go", Line: 3, Column: 7},
+		Analyzer: "float-eq",
+		Message:  "msg",
+	}
+	if got, want := f.String(), "a/b.go:3:7: float-eq: msg"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

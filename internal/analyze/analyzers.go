@@ -1,0 +1,11 @@
+package analyze
+
+// All returns every analyzer of the suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		CondWaitLoop,
+		FloatEq,
+		IrecvWait,
+		Pow2Stride,
+	}
+}

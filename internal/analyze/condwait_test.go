@@ -1,0 +1,17 @@
+package analyze
+
+import "testing"
+
+// TestCondWaitLoop runs the analyzer over its fixture: bare and
+// if-guarded Waits are true positives (including a Wait inside a
+// closure whose loop is in the outer function); for-looped Waits,
+// WaitGroup.Wait and suppressed sites are clean.
+func TestCondWaitLoop(t *testing.T) {
+	for _, tc := range []struct{ name, dir string }{
+		{"fixture", "condwait"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			runFixture(t, tc.dir, CondWaitLoop)
+		})
+	}
+}

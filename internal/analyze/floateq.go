@@ -1,0 +1,64 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// toleranceHelper matches the names of functions that are designated
+// tolerance helpers: their whole purpose is to define a comparison, so
+// exact equality inside them is intentional (e.g. an exact-match fast
+// path before a relative-error check).
+var toleranceHelper = regexp.MustCompile(`(?i)(approx|almost|near|close|within|tol|same)`)
+
+// FloatEq reports == and != between floating-point (or complex)
+// expressions outside _test.go files and designated tolerance helpers.
+// The NaN idiom x != x is exempt.
+//
+// Paper provenance: the reproduction checks serial/parallel
+// equivalence and energy budgets through residuals; a raw float
+// equality in solver or diagnostic code almost always means a
+// tolerance was forgotten, and such comparisons silently flip when the
+// reduction order changes (the mpi runtime guarantees rank-ordered
+// reductions precisely so that tolerated comparisons stay stable).
+var FloatEq = &Analyzer{
+	Name: "float-eq",
+	Doc: "direct ==/!= between floating-point expressions outside tests and " +
+		"tolerance helpers; compare against a tolerance instead",
+	Run: runFloatEq,
+}
+
+func runFloatEq(pass *Pass) error {
+	for _, file := range pass.Files {
+		inspectWithParents(file, func(n ast.Node, parents []ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if !isFloatExpr(pass, bin.X) && !isFloatExpr(pass, bin.Y) {
+				return true
+			}
+			// x != x / x == x: the IEEE NaN test.
+			if types.ExprString(bin.X) == types.ExprString(bin.Y) {
+				return true
+			}
+			if toleranceHelper.MatchString(enclosingFuncName(parents)) {
+				return true
+			}
+			pass.Reportf(bin.OpPos, "floating-point values compared with %s: use a tolerance (math.Abs(a-b) <= eps) or a designated helper", bin.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloatExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

@@ -1,0 +1,41 @@
+package analyze
+
+import "testing"
+
+// TestFloatEq runs the analyzer over its fixture: raw ==/!= between
+// floats and complexes are true positives; NaN idioms, integer
+// comparisons and tolerance helpers are clean.
+func TestFloatEq(t *testing.T) {
+	for _, tc := range []struct{ name, dir string }{
+		{"fixture", "floateq"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			runFixture(t, tc.dir, FloatEq)
+		})
+	}
+}
+
+// TestToleranceHelperNames pins which function names count as
+// designated tolerance helpers.
+func TestToleranceHelperNames(t *testing.T) {
+	cases := []struct {
+		name string
+		want bool
+	}{
+		{"approxEqual", true},
+		{"AlmostSame", true},
+		{"nearlyEq", true},
+		{"withinTol", true},
+		{"Close", true},
+		{"SameShape", true},
+		{"Advance", false},
+		{"Diagnose", false},
+		{"exchangeHalos", false},
+		{"", false},
+	}
+	for _, c := range cases {
+		if got := toleranceHelper.MatchString(c.name); got != c.want {
+			t.Errorf("toleranceHelper(%q) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}

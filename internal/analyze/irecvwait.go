@@ -1,0 +1,178 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// IrecvWait reports mpi.Irecv calls whose *Request is discarded or never
+// completed with Wait in the enclosing function.
+//
+// Paper provenance: the flat-MPI halo exchange (PAPER.md §3) posts
+// MPI_IRECV for each of the four Cartesian neighbours and must complete
+// every receive before the stencils read the halo frame. A dropped
+// request means the kernel can consume a half-filled halo buffer — a
+// nondeterministic corruption that no test reliably catches.
+var IrecvWait = &Analyzer{
+	Name: "irecv-wait",
+	Doc: "an mpi.Irecv whose *Request is discarded or never has Wait called " +
+		"in the enclosing function leaves the receive incomplete while the " +
+		"halo buffer is read",
+	Run: runIrecvWait,
+}
+
+func runIrecvWait(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkIrecvBody(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkIrecvBody inspects one function body (closures included: a
+// request handed to or waited in a nested literal still counts).
+func checkIrecvBody(pass *Pass, body *ast.BlockStmt) {
+	inspectWithParents(body, func(n ast.Node, parents []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isIrecvCall(pass, call) {
+			return true
+		}
+		switch parent := nearestParent(parents).(type) {
+		case *ast.ExprStmt:
+			pass.Reportf(call.Pos(), "result of Irecv is discarded; the receive is never completed with Wait and the buffer may be read half-filled")
+		case *ast.AssignStmt:
+			id := assignedIdent(parent, call)
+			if id == nil {
+				return true // complex LHS (field, index): assume it escapes
+			}
+			if id.Name == "_" {
+				pass.Reportf(call.Pos(), "Irecv request assigned to _; the receive is never completed with Wait")
+				return true
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = pass.TypesInfo.Uses[id]
+			}
+			if obj == nil {
+				return true
+			}
+			if !requestCompleted(pass, body, id, obj) {
+				pass.Reportf(call.Pos(), "Irecv request %s is never completed: call %s.Wait() before reading the receive buffer", id.Name, id.Name)
+			}
+		}
+		// Any other parent (call argument, return value, composite
+		// literal element, ...) hands the request elsewhere; assume the
+		// receiver completes it.
+		return true
+	})
+}
+
+// isIrecvCall recognizes a method call named Irecv returning a pointer
+// to a type with a Wait method (i.e. *mpi.Request or a fixture
+// equivalent).
+func isIrecvCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Irecv" {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok {
+		return true // no type info: keep the syntactic match
+	}
+	ptr, ok := tv.Type.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		if named.Method(i).Name() == "Wait" {
+			return true
+		}
+	}
+	return false
+}
+
+// nearestParent returns the innermost non-paren ancestor.
+func nearestParent(parents []ast.Node) ast.Node {
+	for i := len(parents) - 1; i >= 0; i-- {
+		if _, ok := parents[i].(*ast.ParenExpr); ok {
+			continue
+		}
+		return parents[i]
+	}
+	return nil
+}
+
+// assignedIdent finds the identifier on the LHS of assign that receives
+// the value of call, or nil when the destination is not an identifier.
+func assignedIdent(assign *ast.AssignStmt, call *ast.CallExpr) *ast.Ident {
+	idx := 0
+	if len(assign.Rhs) == len(assign.Lhs) {
+		for i, rhs := range assign.Rhs {
+			if rhs == call {
+				idx = i
+			}
+		}
+	}
+	if idx >= len(assign.Lhs) {
+		return nil
+	}
+	id, _ := assign.Lhs[idx].(*ast.Ident)
+	return id
+}
+
+// blankAssigned reports whether id appears on the RHS of assign with a
+// blank identifier as its destination.
+func blankAssigned(assign *ast.AssignStmt, id *ast.Ident) bool {
+	for i, rhs := range assign.Rhs {
+		if rhs != id {
+			continue
+		}
+		if i < len(assign.Lhs) {
+			if lhs, ok := assign.Lhs[i].(*ast.Ident); ok && lhs.Name == "_" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// requestCompleted reports whether the request object obj (defined at
+// def) is either completed by a Wait call or escapes the function body
+// through any other use (argument, return, store), which we
+// conservatively treat as completion elsewhere.
+func requestCompleted(pass *Pass, body *ast.BlockStmt, def *ast.Ident, obj types.Object) bool {
+	completed := false
+	inspectWithParents(body, func(n ast.Node, parents []ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || id == def || pass.TypesInfo.Uses[id] != obj {
+			return true
+		}
+		parent := nearestParent(parents)
+		if sel, ok := parent.(*ast.SelectorExpr); ok && sel.X == id && sel.Sel.Name == "Wait" {
+			completed = true
+			return true
+		}
+		if assign, ok := parent.(*ast.AssignStmt); ok {
+			for _, lhs := range assign.Lhs {
+				if lhs == id {
+					return true // reassignment target, not a use
+				}
+			}
+			if blankAssigned(assign, id) {
+				return true // `_ = req` silences the compiler, not the receive
+			}
+		}
+		completed = true // escapes: passed, returned, stored, compared...
+		return true
+	})
+	return completed
+}

@@ -1,0 +1,16 @@
+package analyze
+
+import "testing"
+
+// TestIrecvWait runs the analyzer over its fixture: discarded, blank-
+// assigned and never-waited requests are true positives; waited,
+// escaping and suppressed requests are clean.
+func TestIrecvWait(t *testing.T) {
+	for _, tc := range []struct{ name, dir string }{
+		{"fixture", "irecv"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			runFixture(t, tc.dir, IrecvWait)
+		})
+	}
+}

@@ -1,0 +1,36 @@
+package analyze
+
+import "testing"
+
+// TestPow2Stride runs the analyzer over its fixtures: power-of-two
+// dimensions in a hot package (fd) are true positives; padded, small,
+// runtime-sized and non-numeric dimensions are clean, and the identical
+// code in a cold package (viz) is entirely exempt.
+func TestPow2Stride(t *testing.T) {
+	for _, tc := range []struct{ name, dir string }{
+		{"hot-package", "pow2"},
+		{"cold-package", "pow2cold"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			runFixture(t, tc.dir, Pow2Stride)
+		})
+	}
+}
+
+// TestIsPenalizedPow2 pins the threshold arithmetic.
+func TestIsPenalizedPow2(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want bool
+	}{
+		{0, false}, {1, false}, {2, false}, {4, false}, {16, false},
+		{31, false}, {32, true}, {33, false}, {64, true}, {96, false},
+		{255, false}, {256, true}, {257, false}, {511, false}, {512, true},
+		{1024, true}, {4096, true},
+	}
+	for _, c := range cases {
+		if got := isPenalizedPow2(c.n); got != c.want {
+			t.Errorf("isPenalizedPow2(%d) = %v, want %v", c.n, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Package condwait is a cond-wait-loop fixture: sync.Cond.Wait must sit
+// inside a for loop re-checking its predicate.
+package condwait
+
+import "sync"
+
+type mailbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	ready bool
+}
+
+func (mb *mailbox) bareWait() {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if !mb.ready {
+		mb.cond.Wait() // want "sync.Cond.Wait is not guarded by a for loop"
+	}
+}
+
+func (mb *mailbox) unconditionalWait() {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	mb.cond.Wait() // want "sync.Cond.Wait is not guarded by a for loop"
+}
+
+func (mb *mailbox) loopedWait() {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for !mb.ready {
+		mb.cond.Wait()
+	}
+}
+
+func (mb *mailbox) loopedWaitValueCond(c sync.Cond) {
+	for !mb.ready {
+		c.Wait()
+	}
+}
+
+// waitInClosureOutsideLoop: the for loop is in the OUTER function; the
+// closure body starts a fresh scope, so the Wait inside it is bare.
+func (mb *mailbox) waitInClosureOutsideLoop() {
+	for i := 0; i < 3; i++ {
+		func() {
+			mb.mu.Lock()
+			defer mb.mu.Unlock()
+			mb.cond.Wait() // want "sync.Cond.Wait is not guarded by a for loop"
+		}()
+	}
+}
+
+// otherWaitIsFine: Wait on a non-Cond type must not be flagged.
+func otherWaitIsFine(wg *sync.WaitGroup) {
+	wg.Wait()
+}
+
+func (mb *mailbox) suppressedWait() {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	//yyvet:ignore cond-wait-loop fixture: single-waiter handoff, no spurious wakeups
+	mb.cond.Wait()
+}

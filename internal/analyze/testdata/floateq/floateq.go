@@ -1,0 +1,56 @@
+// Package floateq is a float-eq fixture: raw floating-point equality in
+// solver-like code is flagged; NaN idioms, integer comparisons and
+// designated tolerance helpers are not.
+package floateq
+
+import "math"
+
+func badEquality(a, b float64) bool {
+	return a == b // want "floating-point values compared with =="
+}
+
+func badInequality(energy float64) bool {
+	return energy != 0.0 // want "floating-point values compared with !="
+}
+
+func badMixedConst(x float64) bool {
+	if x == 1.5 { // want "floating-point values compared with =="
+		return true
+	}
+	return false
+}
+
+func badComplex(a, b complex128) bool {
+	return a == b // want "floating-point values compared with =="
+}
+
+func nanIdiomIsFine(x float64) bool {
+	return x != x
+}
+
+func intComparisonIsFine(i, j int) bool {
+	return i == j
+}
+
+// approxEqual is a designated tolerance helper: the exact-match fast
+// path (catching infinities) before the relative test is intentional.
+func approxEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// withinTol is another designated helper spelling.
+func withinTol(a, b float64) bool {
+	return a == b
+}
+
+func usesHelper(a, b float64) bool {
+	return approxEqual(a, b, 1e-12)
+}
+
+func suppressedSentinel(dt float64) bool {
+	//yyvet:ignore float-eq fixture: -1 is an exact sentinel, never computed
+	return dt == -1
+}

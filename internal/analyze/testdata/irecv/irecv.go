@@ -1,0 +1,84 @@
+// Package irecv is an irecv-wait fixture: a self-contained miniature of
+// the internal/mpi surface (Comm.Irecv returning a *Request with a Wait
+// method) plus good and bad call sites.
+package irecv
+
+// Comm mimics mpi.Comm.
+type Comm struct{}
+
+// Request mimics mpi.Request.
+type Request struct{ done chan int }
+
+// Wait completes the receive.
+func (r *Request) Wait() int { return <-r.done }
+
+// Irecv mimics the non-blocking receive.
+func (c *Comm) Irecv(src, tag int, buf []float64) *Request {
+	return &Request{done: make(chan int, 1)}
+}
+
+// Recv is a decoy: a method that is NOT Irecv must never be flagged.
+func (c *Comm) Recv(src, tag int, buf []float64) int { return 0 }
+
+func discarded(c *Comm, buf []float64) {
+	c.Irecv(0, 1, buf) // want "result of Irecv is discarded"
+	_ = buf
+}
+
+func blankAssigned(c *Comm, buf []float64) {
+	_ = c.Irecv(0, 1, buf) // want "assigned to _"
+}
+
+func neverWaited(c *Comm, buf []float64) float64 {
+	req := c.Irecv(0, 1, buf) // want "req is never completed"
+	_ = req
+	return buf[0] // read before the receive completed: the bug class
+}
+
+func properlyWaited(c *Comm, buf []float64) float64 {
+	req := c.Irecv(0, 1, buf)
+	req.Wait()
+	return buf[0]
+}
+
+func waitedInDifferentBranch(c *Comm, buf []float64, flag bool) {
+	req := c.Irecv(0, 1, buf)
+	if flag {
+		req.Wait()
+	} else {
+		req.Wait()
+	}
+}
+
+func waitedInClosure(c *Comm, buf []float64) func() int {
+	req := c.Irecv(0, 1, buf)
+	return func() int { return req.Wait() }
+}
+
+func escapesToSlice(c *Comm, buf []float64) []*Request {
+	var reqs []*Request
+	for i := 0; i < 4; i++ {
+		reqs = append(reqs, c.Irecv(i, 1, buf))
+	}
+	return reqs
+}
+
+func escapesAsArgument(c *Comm, buf []float64) {
+	waitAll(c.Irecv(0, 1, buf), c.Irecv(1, 1, buf))
+}
+
+func waitAll(reqs ...*Request) {
+	for _, r := range reqs {
+		r.Wait()
+	}
+}
+
+func blockingRecvIsFine(c *Comm, buf []float64) int {
+	return c.Recv(0, 1, buf)
+}
+
+func suppressed(c *Comm, buf []float64) {
+	//yyvet:ignore irecv-wait fixture: request intentionally dropped to test suppression
+	c.Irecv(0, 1, buf)
+	_ = buf
+}

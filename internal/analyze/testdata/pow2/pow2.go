@@ -1,0 +1,41 @@
+// Package fd is a pow2-stride fixture; its name puts it in the hot set
+// (fd, mhd, overset, sphops) the analyzer guards.
+package fd
+
+const (
+	nr     = 256 // power of two: the penalized radial extent
+	padded = 257
+)
+
+func badMakes() {
+	a := make([]float64, 256)    // want "slice dimension 256 is a power of two"
+	b := make([]float64, 10, 64) // want "slice dimension 64 is a power of two"
+	c := make([]float64, nr)     // want "slice dimension 256 is a power of two"
+	d := make([]float64, 1<<9)   // want "slice dimension 512 is a power of two"
+	e := make([]int, 128)        // want "slice dimension 128 is a power of two"
+	_, _, _, _, _ = a, b, c, d, e
+}
+
+func badArrayTypes() {
+	var plane [512]float64  // want "array dimension 512 is a power of two"
+	var tile [64][3]float64 // want "array dimension 64 is a power of two"
+	_, _ = plane, tile
+}
+
+func goodMakes(n int) {
+	a := make([]float64, padded) // 257: padded off the bank-conflict stride
+	b := make([]float64, 255)    // paper's production choice
+	c := make([]float64, n)      // runtime extent: not this analyzer's business
+	d := make([]float64, 96)     // not a power of two
+	e := make([]*float64, 256)   // pointers are not a vector-swept payload
+	f := make([]float64, 16)     // below the threshold: not a stride
+	w := [4]float64{1, 2, 3, 4}  // small fixed weights are exempt
+	dims := [2]int{8, 8}         // tiny coordinate pairs are exempt
+	_, _, _, _, _, _, _, _ = a, b, c, d, e, f, w, dims
+}
+
+func suppressedMake() {
+	//yyvet:ignore pow2-stride fixture: deliberate bank-conflict reproduction buffer
+	bad := make([]float64, 1024)
+	_ = bad
+}

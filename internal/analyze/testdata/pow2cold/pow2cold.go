@@ -1,0 +1,11 @@
+// Package viz is a pow2-stride fixture for the gating: identical
+// power-of-two dimensioning OUTSIDE the hot packages must not be
+// flagged — bank-conflict strides only matter on the vector-swept hot
+// paths.
+package viz
+
+func coldPathPow2() {
+	framebuffer := make([]float64, 4096)
+	var histogram [256]float64
+	_, _ = framebuffer, histogram
+}

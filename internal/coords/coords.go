@@ -46,7 +46,7 @@ func (s Spherical) ToCartesian() Cartesian {
 // origin maps to {0, 0, 0}; points on the z axis get Phi = 0.
 func (c Cartesian) ToSpherical() Spherical {
 	r := math.Sqrt(c.X*c.X + c.Y*c.Y + c.Z*c.Z)
-	if r == 0 {
+	if r <= 0 {
 		return Spherical{}
 	}
 	theta := math.Acos(clamp(c.Z/r, -1, 1))

@@ -56,9 +56,11 @@ func (c Config) withDefaults() Config {
 	if c.Nt == 0 {
 		c.Nt = 17
 	}
+	//yyvet:ignore float-eq zero-valued config field means unset; defaulting keys on the exact zero value
 	if c.RI == 0 {
 		c.RI = 0.35
 	}
+	//yyvet:ignore float-eq zero-valued config field means unset; defaulting keys on the exact zero value
 	if c.RO == 0 {
 		c.RO = 1
 	}
@@ -70,6 +72,7 @@ func (c Config) withDefaults() Config {
 		ic := mhd.DefaultIC()
 		c.IC = &ic
 	}
+	//yyvet:ignore float-eq zero-valued config field means unset; defaulting keys on the exact zero value
 	if c.SafetyFactor == 0 {
 		c.SafetyFactor = 0.3
 	}

@@ -175,39 +175,62 @@ func (r *Rank) exchangeHalos(fields []*field.Scalar, tagBase int) {
 		}
 	}
 
+	// Each phase follows the paper's non-blocking pattern: post
+	// MPI_IRECV for both neighbours first, send, then complete each
+	// receive with Wait before unpacking (the ordering the irecv-wait
+	// analyzer in cmd/yyvet enforces). The phases cannot overlap each
+	// other: theta packing must see the freshly unpacked phi halos.
+
 	// Phase 1: phi direction.
+	var reqEast, reqWest *mpi.Request
+	var bufEast, bufWest []float64
+	if east >= 0 {
+		bufEast = make([]float64, len(fields)*ntP*nrP)
+		reqEast = r.Cart.Irecv(east, tagBase+2, bufEast)
+	}
+	if west >= 0 {
+		bufWest = make([]float64, len(fields)*ntP*nrP)
+		reqWest = r.Cart.Irecv(west, tagBase+3, bufWest)
+	}
 	if west >= 0 {
 		r.Cart.Send(west, tagBase+2, packPhi(h))
 	}
 	if east >= 0 {
 		r.Cart.Send(east, tagBase+3, packPhi(h+p.Np-1))
 	}
-	if east >= 0 {
-		buf := make([]float64, len(fields)*ntP*nrP)
-		r.Cart.Recv(east, tagBase+2, buf)
-		unpackPhi(h+p.Np, buf)
+	if reqEast != nil {
+		reqEast.Wait()
+		unpackPhi(h+p.Np, bufEast)
 	}
-	if west >= 0 {
-		buf := make([]float64, len(fields)*ntP*nrP)
-		r.Cart.Recv(west, tagBase+3, buf)
-		unpackPhi(h-1, buf)
+	if reqWest != nil {
+		reqWest.Wait()
+		unpackPhi(h-1, bufWest)
 	}
+
 	// Phase 2: theta direction, now carrying phi halos.
+	var reqNorth, reqSouth *mpi.Request
+	var bufNorth, bufSouth []float64
+	if south >= 0 {
+		bufSouth = make([]float64, len(fields)*npP*nrP)
+		reqSouth = r.Cart.Irecv(south, tagBase+0, bufSouth)
+	}
+	if north >= 0 {
+		bufNorth = make([]float64, len(fields)*npP*nrP)
+		reqNorth = r.Cart.Irecv(north, tagBase+1, bufNorth)
+	}
 	if north >= 0 {
 		r.Cart.Send(north, tagBase+0, packTheta(h))
 	}
 	if south >= 0 {
 		r.Cart.Send(south, tagBase+1, packTheta(h+p.Nt-1))
 	}
-	if south >= 0 {
-		buf := make([]float64, len(fields)*npP*nrP)
-		r.Cart.Recv(south, tagBase+0, buf)
-		unpackTheta(h+p.Nt, buf)
+	if reqSouth != nil {
+		reqSouth.Wait()
+		unpackTheta(h+p.Nt, bufSouth)
 	}
-	if north >= 0 {
-		buf := make([]float64, len(fields)*npP*nrP)
-		r.Cart.Recv(north, tagBase+1, buf)
-		unpackTheta(h-1, buf)
+	if reqNorth != nil {
+		reqNorth.Wait()
+		unpackTheta(h-1, bufNorth)
 	}
 }
 
@@ -221,6 +244,16 @@ func (r *Rank) oversetExchange() {
 	h := p.H
 	nrP := r.nrP
 	u := &r.PL.U
+
+	// Post one non-blocking receive per donating peer before any work,
+	// so every incoming rim message has a matching MPI_IRECV in flight
+	// while this rank interpolates its own donations.
+	recvBufs := make([][]float64, len(r.peersRecv))
+	recvReqs := make([]*mpi.Request, len(r.peersRecv))
+	for pi, peer := range r.peersRecv {
+		recvBufs[pi] = make([]float64, len(r.oversetRecv[peer])*8*nrP)
+		recvReqs[pi] = r.World.Irecv(peer, tagOversetBase, recvBufs[pi])
+	}
 
 	// Donate.
 	for _, peer := range r.peersSend {
@@ -260,11 +293,11 @@ func (r *Rank) oversetExchange() {
 		r.World.Send(peer, tagOversetBase, buf)
 	}
 
-	// Receive.
-	for _, peer := range r.peersRecv {
+	// Receive: complete each posted request, then scatter.
+	for pi, peer := range r.peersRecv {
 		targets := r.oversetRecv[peer]
-		buf := make([]float64, len(targets)*8*nrP)
-		r.World.Recv(peer, tagOversetBase, buf)
+		recvReqs[pi].Wait()
+		buf := recvBufs[pi]
 		pos := 0
 		take := func(dst []float64) {
 			copy(dst, buf[pos:pos+nrP])
@@ -387,40 +420,58 @@ func (r *Rank) rimRefresh() {
 
 	// Theta neighbours share this block's column range, so the same
 	// rimCols predicate holds on both sides; likewise for rows in phi.
+	// Posted-receive pattern as in exchangeHalos: Irecv, send, Wait,
+	// unpack.
 	if len(rimCols) > 0 {
+		var reqSouth, reqNorth *mpi.Request
+		var bufSouth, bufNorth []float64
+		if south >= 0 {
+			bufSouth = make([]float64, len(fields)*len(rimCols)*nrP)
+			reqSouth = r.Cart.Irecv(south, tagRimBase+0, bufSouth)
+		}
+		if north >= 0 {
+			bufNorth = make([]float64, len(fields)*len(rimCols)*nrP)
+			reqNorth = r.Cart.Irecv(north, tagRimBase+1, bufNorth)
+		}
 		if north >= 0 {
 			r.Cart.Send(north, tagRimBase+0, packRowCells(h))
 		}
 		if south >= 0 {
 			r.Cart.Send(south, tagRimBase+1, packRowCells(h+p.Nt-1))
 		}
-		if south >= 0 {
-			buf := make([]float64, len(fields)*len(rimCols)*nrP)
-			r.Cart.Recv(south, tagRimBase+0, buf)
-			unpackRowCells(h+p.Nt, buf)
+		if reqSouth != nil {
+			reqSouth.Wait()
+			unpackRowCells(h+p.Nt, bufSouth)
 		}
-		if north >= 0 {
-			buf := make([]float64, len(fields)*len(rimCols)*nrP)
-			r.Cart.Recv(north, tagRimBase+1, buf)
-			unpackRowCells(h-1, buf)
+		if reqNorth != nil {
+			reqNorth.Wait()
+			unpackRowCells(h-1, bufNorth)
 		}
 	}
 	if len(rimRows) > 0 {
+		var reqEast, reqWest *mpi.Request
+		var bufEast, bufWest []float64
+		if east >= 0 {
+			bufEast = make([]float64, len(fields)*len(rimRows)*nrP)
+			reqEast = r.Cart.Irecv(east, tagRimBase+2, bufEast)
+		}
+		if west >= 0 {
+			bufWest = make([]float64, len(fields)*len(rimRows)*nrP)
+			reqWest = r.Cart.Irecv(west, tagRimBase+3, bufWest)
+		}
 		if west >= 0 {
 			r.Cart.Send(west, tagRimBase+2, packColCells(h))
 		}
 		if east >= 0 {
 			r.Cart.Send(east, tagRimBase+3, packColCells(h+p.Np-1))
 		}
-		if east >= 0 {
-			buf := make([]float64, len(fields)*len(rimRows)*nrP)
-			r.Cart.Recv(east, tagRimBase+2, buf)
-			unpackColCells(h+p.Np, buf)
+		if reqEast != nil {
+			reqEast.Wait()
+			unpackColCells(h+p.Np, bufEast)
 		}
-		if west >= 0 {
-			buf := make([]float64, len(fields)*len(rimRows)*nrP)
-			r.Cart.Recv(west, tagRimBase+3, buf)
-			unpackColCells(h-1, buf)
+		if reqWest != nil {
+			reqWest.Wait()
+			unpackColCells(h-1, bufWest)
 		}
 	}
 }

@@ -152,6 +152,7 @@ func NewSubPatch(s Spec, panel Panel, h, ilo, ihi, jlo, jhi, klo, khi int) *Patc
 	for i := 0; i < nrP; i++ {
 		r := s.RI + float64(ilo+i-h)*p.Dr
 		p.R[i] = r
+		//yyvet:ignore float-eq division-by-exact-zero guard: any nonzero radius must yield its reciprocal
 		if r != 0 {
 			p.InvR[i] = 1 / r
 			p.InvR2[i] = 1 / (r * r)
@@ -168,6 +169,7 @@ func NewSubPatch(s Spec, panel Panel, h, ilo, ihi, jlo, jhi, klo, khi int) *Patc
 		st, ct := math.Sincos(th)
 		p.SinT[j] = st
 		p.CosT[j] = ct
+		//yyvet:ignore float-eq division-by-exact-zero guard: any nonzero sin(theta) must yield its reciprocal
 		if st != 0 {
 			p.CotT[j] = ct / st
 			p.InvSinT[j] = 1 / st

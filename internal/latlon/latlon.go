@@ -197,6 +197,7 @@ func (s *HeatSolver) rhs(f, out Field) {
 	for i := range out {
 		out[i] *= s.Kappa
 	}
+	//yyvet:ignore float-eq Adv is a config value: exactly zero means advection disabled, any other value takes the advection path
 	if s.Adv != 0 {
 		s.G.SolidRotationAdvect(f, s.scratch)
 		for i := range out {

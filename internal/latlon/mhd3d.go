@@ -446,7 +446,7 @@ func (s *MHD3D) MaxStableDt(safety float64) float64 {
 			vmax = sp
 		}
 	}
-	if vmax == 0 {
+	if vmax <= 0 {
 		vmax = 1
 	}
 	ri := s.R[0]

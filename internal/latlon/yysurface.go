@@ -129,6 +129,7 @@ func (s *YYSurface) rhs(p int, f, out Field) {
 			w := f[j*np+k-1]
 			lap := (n-2*c+so)*idt2 + cot*(so-n)*idt + (e-2*c+w)*is2*idp2
 			res := s.Kappa * lap
+			//yyvet:ignore float-eq Adv is a config value: exactly zero means advection disabled
 			if s.Adv != 0 {
 				dft := (so - n) * idt
 				dfp := (e - w) * idp

@@ -38,7 +38,7 @@ func ComputeBudget(sv *Solver) Budget {
 		for k := h; k < h+p.Np; k++ {
 			for j := h; j < h+p.Nt; j++ {
 				own := pl.Own[k*ntP+j]
-				if own == 0 {
+				if own <= 0 {
 					continue
 				}
 				rho := pl.U.Rho.Row(j, k)

@@ -61,7 +61,7 @@ func PanelDiagnostics(pl *Panel, prm Params) Diagnostics {
 	for k := h; k < h+p.Np; k++ {
 		for j := h; j < h+p.Nt; j++ {
 			own := pl.Own[k*ntP+j]
-			if own == 0 {
+			if own <= 0 {
 				continue
 			}
 			rho := pl.U.Rho.Row(j, k)
@@ -105,7 +105,7 @@ func OverlapDisagreement(sv *Solver) float64 {
 	h := p.H
 	var maxRel float64
 	scale := yin.U.P.InteriorMaxAbs()
-	if scale == 0 {
+	if scale <= 0 {
 		return 0
 	}
 	for k := h + 1; k < h+p.Np-1; k++ {
@@ -140,6 +140,7 @@ func (sv *Solver) NusseltOuter() float64 {
 	// of radius for the a + b/r profile).
 	ref := 4 * math.Pi * (pf.T(sv.Spec.RI) - pf.T(sv.Spec.RO)) /
 		(1/sv.Spec.RI - 1/sv.Spec.RO)
+	//yyvet:ignore float-eq division-by-exact-zero guard on a sign-indefinite reference flux
 	if ref == 0 {
 		return math.NaN()
 	}
@@ -154,7 +155,7 @@ func (sv *Solver) NusseltOuter() float64 {
 		for k := h; k < h+p.Np; k++ {
 			for j := h; j < h+p.Nt; j++ {
 				own := pl.Own[k*ntP+j]
-				if own == 0 {
+				if own <= 0 {
 					continue
 				}
 				wq := 1.0

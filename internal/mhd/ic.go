@@ -55,6 +55,7 @@ func (pf *Profile) Rho(r float64) float64 {
 	x := pf.RO
 	y := 1.0
 	hstep := (r - pf.RO) / steps
+	//yyvet:ignore float-eq integration span is empty only when r equals RO exactly
 	if hstep == 0 {
 		return y
 	}
@@ -122,7 +123,7 @@ func (p *perturbation) At(c coords.Cartesian) float64 {
 		s += p.amp[m] * math.Sin(k.X*c.X+k.Y*c.Y+k.Z*c.Z+p.phase[m])
 		norm += p.amp[m]
 	}
-	if norm == 0 {
+	if norm <= 0 {
 		return 0
 	}
 	return s / norm

@@ -80,6 +80,7 @@ func (p Params) Validate() error {
 // Ekman returns the Ekman number mu/(2 Omega L^2) with L the shell gap,
 // assuming unit density scale; it is 2e-5 in the paper's production runs.
 func (p Params) Ekman(gap float64) float64 {
+	//yyvet:ignore float-eq Ekman number diverges at the exact zero of Omega (non-rotating configuration)
 	if p.Omega == 0 {
 		return math.Inf(1)
 	}
@@ -90,6 +91,7 @@ func (p Params) Ekman(gap float64) float64 {
 // driving, g0 dT gap^3 / (mu K), with unit density/expansion scales; it is
 // 3e6 in the paper's production runs.
 func (p Params) RayleighEstimate(gap float64) float64 {
+	//yyvet:ignore float-eq Rayleigh estimate diverges at the exact zero of either diffusivity
 	if p.Mu == 0 || p.Kappa == 0 {
 		return math.Inf(1)
 	}

@@ -207,7 +207,7 @@ func MinGridSpacing(s grid.Spec) float64 {
 // StableDT combines the advective and diffusive limits for the given
 // maximum signal speed and grid spacing.
 func StableDT(prm Params, minDx, vmax, safety float64) float64 {
-	if vmax == 0 {
+	if vmax <= 0 {
 		vmax = 1
 	}
 	dtAdv := minDx / vmax

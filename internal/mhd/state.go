@@ -158,7 +158,7 @@ func (pl *Panel) precomputeOwnership() {
 			ti, pi := coords.YinYangAngles(p.Theta[j], p.Phi[k])
 			dOther := math.Max(rimDistance(ti, pi), 0)
 			switch {
-			case dOwn == 0 && dOther == 0:
+			case dOwn <= 0 && dOther <= 0:
 				pl.Own[k*ntP+j] = 0.5
 			default:
 				pl.Own[k*ntP+j] = dOwn / (dOwn + dOther)

@@ -197,12 +197,30 @@ type Request struct {
 func (r *Request) Wait() int { return <-r.done }
 
 // Irecv posts a non-blocking receive into buf; complete it with Wait.
+// The buffer must not be read (and no overlapping Recv posted) until
+// Wait returns — cmd/yyvet's irecv-wait analyzer enforces the Wait.
 func (c *Comm) Irecv(src, tag int, buf []float64) *Request {
 	req := &Request{done: make(chan int, 1)}
 	go func() {
 		req.done <- c.Recv(src, tag, buf)
 	}()
 	return req
+}
+
+// Waitall completes every pending request in order and returns the
+// element counts, the analogue of MPI_WAITALL. Nil requests (receives
+// that were never posted, e.g. at a domain edge) are skipped with a
+// count of -1.
+func Waitall(reqs ...*Request) []int {
+	counts := make([]int, len(reqs))
+	for i, r := range reqs {
+		if r == nil {
+			counts[i] = -1
+			continue
+		}
+		counts[i] = r.Wait()
+	}
+	return counts
 }
 
 // Barrier blocks until every rank of the communicator has entered it.

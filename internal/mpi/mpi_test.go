@@ -142,6 +142,89 @@ func TestIrecvWait(t *testing.T) {
 	}
 }
 
+// TestWaitall: multiple outstanding Irecvs complete together in order;
+// nil entries (edge-of-grid neighbours) are skipped with count -1.
+func TestWaitall(t *testing.T) {
+	err := Run(3, func(c *Comm) {
+		if c.Rank() == 0 {
+			buf1 := make([]float64, 2)
+			buf2 := make([]float64, 3)
+			req1 := c.Irecv(1, 1, buf1)
+			req2 := c.Irecv(2, 2, buf2)
+			counts := Waitall(req1, nil, req2)
+			if counts[0] != 2 || counts[1] != -1 || counts[2] != 3 {
+				t.Errorf("Waitall counts = %v", counts)
+			}
+			if buf1[0] != 10 || buf2[2] != 22 {
+				t.Errorf("payloads %v %v", buf1, buf2)
+			}
+		} else if c.Rank() == 1 {
+			c.Send(0, 1, []float64{10, 11})
+		} else {
+			c.Send(0, 2, []float64{20, 21, 22})
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentIrecvStress is the race-detector regression for the
+// mailbox and condition-variable paths: every rank keeps several
+// receives outstanding while sending, splitting and reducing, so
+// mailbox.take, put's broadcast, Split's rendezvous and the barrier
+// generation counter all run concurrently across rank goroutines. Run
+// with -race (scripts/check.sh does).
+func TestConcurrentIrecvStress(t *testing.T) {
+	const ranks = 16
+	err := Run(ranks, func(c *Comm) {
+		for iter := 0; iter < 20; iter++ {
+			next := (c.Rank() + 1) % ranks
+			prev := (c.Rank() + ranks - 1) % ranks
+			// Two receives in flight at once from the same peer plus
+			// one from the other side.
+			bufA := make([]float64, 8)
+			bufB := make([]float64, 8)
+			bufC := make([]float64, 8)
+			reqA := c.Irecv(prev, iter*3+0, bufA)
+			reqB := c.Irecv(prev, iter*3+1, bufB)
+			reqC := c.Irecv(next, iter*3+2, bufC)
+			payload := make([]float64, 8)
+			for i := range payload {
+				payload[i] = float64(c.Rank()*100 + iter)
+			}
+			c.Send(next, iter*3+0, payload)
+			c.Send(next, iter*3+1, payload)
+			c.Send(prev, iter*3+2, payload)
+			Waitall(reqA, reqB, reqC)
+			if bufA[0] != float64(prev*100+iter) || bufB[0] != bufA[0] {
+				t.Errorf("iter %d: prev payload %v %v", iter, bufA[0], bufB[0])
+			}
+			if bufC[0] != float64(next*100+iter) {
+				t.Errorf("iter %d: next payload %v", iter, bufC[0])
+			}
+			// Interleave the collective paths.
+			sum := []float64{1}
+			c.Allreduce(sum, OpSum)
+			if sum[0] != ranks {
+				t.Errorf("iter %d: allreduce %v", iter, sum[0])
+			}
+			if iter%5 == 0 {
+				sub := c.Split(c.Rank()%2, c.Rank())
+				v := []float64{1}
+				sub.Allreduce(v, OpSum)
+				if v[0] != ranks/2 {
+					t.Errorf("iter %d: split allreduce %v", iter, v[0])
+				}
+			}
+			c.Barrier()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestBarrier(t *testing.T) {
 	var phase int32
 	err := Run(8, func(c *Comm) {

@@ -336,6 +336,7 @@ func gatherScalar3(df *field.Scalar, t Target3, h int, buf []float64) {
 	for a := 0; a < 3; a++ {
 		for b := 0; b < 3; b++ {
 			w := t.WJ[a] * t.WK[b]
+			//yyvet:ignore float-eq flop-saving skip of exactly-zero quadratic weights (weights are sign-indefinite)
 			if w == 0 {
 				continue
 			}

@@ -57,7 +57,7 @@ func AnalyzeSurface(sv *mhd.Solver, sample func(pl *mhd.Panel, j, k int) float64
 		for k := h; k < h+p.Np; k++ {
 			for j := h; j < h+p.Nt; j++ {
 				own := pl.Own[k*ntP+j]
-				if own == 0 {
+				if own <= 0 {
 					continue
 				}
 				wq := 1.0
@@ -103,7 +103,7 @@ func (c SurfaceCoeffs) DipoleVector() coords.Cartesian {
 func (c SurfaceCoeffs) DipoleTiltDeg() float64 {
 	v := c.DipoleVector()
 	m := math.Sqrt(v.X*v.X + v.Y*v.Y + v.Z*v.Z)
-	if m == 0 {
+	if m <= 0 {
 		return 0
 	}
 	return math.Acos(clamp(v.Z/m, -1, 1)) * 180 / math.Pi
@@ -138,7 +138,7 @@ func MagneticMoment(sv *mhd.Solver) coords.Cartesian {
 		for k := h; k < h+p.Np; k++ {
 			for j := h; j < h+p.Nt; j++ {
 				own := pl.Own[k*ntP+j]
-				if own == 0 {
+				if own <= 0 {
 					continue
 				}
 				th, ph := p.Theta[j], p.Phi[k]
@@ -207,14 +207,15 @@ func DetectReversals(mz []float64, persist int, floor float64) []ReversalEvent {
 	i := 0
 	// Find the first established polarity.
 	var cur float64
+	established := false
 	for ; i < len(mz); i++ {
 		switch {
 		case holds(i, 1):
-			cur = 1
+			cur, established = 1, true
 		case holds(i, -1):
-			cur = -1
+			cur, established = -1, true
 		}
-		if cur != 0 {
+		if established {
 			break
 		}
 	}

@@ -297,7 +297,7 @@ func clamp(x, lo, hi float64) float64 {
 // max-abs; 4-connectivity.
 func CountColumns(im *Image, threshold float64) (cyclonic, anticyclonic int) {
 	lim := im.MaxAbs() * threshold
-	if lim == 0 {
+	if lim <= 0 {
 		return 0, 0
 	}
 	sign := make([]int8, len(im.Data))
@@ -358,7 +358,7 @@ func WritePPM(w io.Writer, im *Image) error {
 		return err
 	}
 	scale := im.MaxAbs()
-	if scale == 0 {
+	if scale <= 0 {
 		scale = 1
 	}
 	buf := make([]byte, 0, im.W*im.H*3)
@@ -414,6 +414,7 @@ func OverlapPixelFraction(im *Image) float64 {
 		w := math.Sin((float64(y) + 0.5) * math.Pi / float64(im.H))
 		for x := 0; x < im.W; x++ {
 			total += w
+			//yyvet:ignore float-eq coverage codes are small integers assigned exactly; 3 marks Yin+Yang overlap
 			if im.Data[y*im.W+x] == 3 {
 				overlap += w
 			}

@@ -1,0 +1,33 @@
+#!/bin/sh
+# The full verification gate for this repository. Tier-1 verify
+# (ROADMAP.md) is this script; it supersedes the bare
+# `go build && go test` of the seed.
+#
+#   1. go build      — everything compiles
+#   2. go vet        — the standard toolchain analyzers
+#   3. yyvet         — the repo-specific invariant analyzers
+#                      (internal/analyze: irecv-wait, pow2-stride,
+#                      float-eq, cond-wait-loop)
+#   4. go test       — the full test suite
+#   5. go test -race — the goroutine MPI runtime and its users under
+#                      the race detector
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go run ./cmd/yyvet ./..."
+go run ./cmd/yyvet ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -race ./internal/mpi ./internal/decomp ./internal/overset"
+go test -race ./internal/mpi ./internal/decomp ./internal/overset
+
+echo "==> all checks passed"
