@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mhd"
+	"repro/internal/resilience"
 	"repro/internal/sph"
 	"repro/internal/viz"
 )
@@ -40,6 +41,12 @@ func main() {
 		eta     = flag.Float64("eta", mhd.Default().Eta, "resistivity")
 		seedB   = flag.Float64("seedb", mhd.DefaultIC().SeedBAmp, "magnetic seed amplitude")
 		perturb = flag.Float64("perturb", mhd.DefaultIC().PerturbAmp, "temperature perturbation amplitude")
+
+		campaign  = flag.String("campaign", "", "run a fault-tolerant checkpointed campaign in this directory (resumes if checkpoints exist)")
+		ckptEvery = flag.Int("ckpt-every", 50, "campaign: steps between checkpoints")
+		retries   = flag.Int("retries", 3, "campaign: retry budget per segment")
+		backoff   = flag.Float64("backoff", 0.5, "campaign: dt multiplier per blow-up retry")
+		deadline  = flag.Duration("deadline", 0, "campaign: per-call communication deadline (0 = none)")
 	)
 	flag.Parse()
 
@@ -53,6 +60,41 @@ func main() {
 	ic.SeedBAmp = *seedB
 	ic.PerturbAmp = *perturb
 	cfg := core.Config{Nr: *nr, Nt: *nt, Params: &prm, IC: &ic}
+
+	if *campaign != "" {
+		np := *procs
+		if np == 0 {
+			np = 2
+		}
+		fmt.Printf("campaign: %d steps on %d ranks, checkpoint every %d steps in %s\n",
+			*steps, np, *ckptEvery, *campaign)
+		res, err := resilience.RunCampaign(resilience.Config{
+			Core:            cfg,
+			NProcs:          np,
+			Steps:           *steps,
+			CheckpointEvery: *ckptEvery,
+			Dir:             *campaign,
+			MaxRetries:      *retries,
+			Backoff:         *backoff,
+			Deadline:        *deadline,
+		})
+		if res != nil {
+			if res.Resumed {
+				fmt.Printf("resumed from checkpoint at step %d\n", res.StartStep)
+			}
+			for i, d := range res.Diags {
+				fmt.Printf("%s dt=%.4g\n", d, res.DTs[i])
+			}
+			if res.Retries > 0 {
+				fmt.Printf("recovered from %d failed segment attempt(s)\n", res.Retries)
+			}
+		}
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("campaign complete at step %d\n", res.FinalStep)
+		return
+	}
 
 	if *procs > 0 {
 		fmt.Printf("running %d steps on %d goroutine ranks (2 panels x 2-D grid)\n", *steps, *procs)

@@ -1,0 +1,11 @@
+package analyze
+
+import "testing"
+
+// TestAbortOnErr runs the analyzer over its fixture: captures that fall
+// through to more rank work or loop on are true positives; captures
+// followed by return, Abort or break, tail-position captures, local
+// error variables, non-rank callbacks and suppressed sites are clean.
+func TestAbortOnErr(t *testing.T) {
+	runFixture(t, "abortonerr", AbortOnErr)
+}

@@ -3,6 +3,7 @@ package analyze
 // All returns every analyzer of the suite in stable order.
 func All() []*Analyzer {
 	return []*Analyzer{
+		AbortOnErr,
 		CondWaitLoop,
 		FloatEq,
 		IrecvWait,

@@ -79,6 +79,11 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// WithDefaults returns the config with every zero field replaced by its
+// default, the exact resolution New and RunParallel apply (exported for
+// drivers layered on top, e.g. internal/resilience).
+func (c Config) WithDefaults() Config { return c.withDefaults() }
+
 // Spec returns the grid spec the config describes.
 func (c Config) Spec() grid.Spec {
 	c = c.withDefaults()
@@ -217,14 +222,10 @@ func RunParallel(cfg Config, nProcs, steps, recordEvery int, dt float64) ([]mhd.
 	}
 	var mu sync.Mutex
 	var out []mhd.Diagnostics
-	var rankErr error
 	err = mpi.Run(nProcs, func(w *mpi.Comm) {
 		r, err := decomp.NewRank(w, layout, *cfg.Params, *cfg.IC)
 		if err != nil {
-			mu.Lock()
-			rankErr = err
-			mu.Unlock()
-			return
+			w.Abort(err)
 		}
 		step := dt
 		if step <= 0 {
@@ -244,9 +245,6 @@ func RunParallel(cfg Config, nProcs, steps, recordEvery int, dt float64) ([]mhd.
 	})
 	if err != nil {
 		return nil, err
-	}
-	if rankErr != nil {
-		return nil, rankErr
 	}
 	return out, nil
 }
@@ -283,14 +281,10 @@ func RunParallelWithCheckpoint(cfg Config, nProcs, steps int, dt float64, w io.W
 	}
 	var mu sync.Mutex
 	var out []mhd.Diagnostics
-	var runErr error
 	err = mpi.Run(nProcs, func(wc *mpi.Comm) {
 		r, err := decomp.NewRank(wc, layout, *cfg.Params, *cfg.IC)
 		if err != nil {
-			mu.Lock()
-			runErr = err
-			mu.Unlock()
-			return
+			wc.Abort(err)
 		}
 		step := dt
 		if step <= 0 {
@@ -301,24 +295,20 @@ func RunParallelWithCheckpoint(cfg Config, nProcs, steps int, dt float64, w io.W
 		}
 		d := r.Diagnose()
 		sv, err := r.GatherState()
+		if err != nil {
+			wc.Abort(err)
+		}
 		if wc.Rank() == 0 {
 			mu.Lock()
 			defer mu.Unlock()
 			out = append(out, d)
-			if err != nil {
-				runErr = err
-				return
-			}
 			if err := snapshot.WriteCheckpoint(w, sv); err != nil {
-				runErr = err
+				wc.Abort(err)
 			}
 		}
 	})
 	if err != nil {
 		return nil, err
-	}
-	if runErr != nil {
-		return nil, runErr
 	}
 	return out, nil
 }

@@ -2,8 +2,10 @@ package decomp
 
 import (
 	"math"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/grid"
 	"repro/internal/mhd"
@@ -530,5 +532,72 @@ func TestScatterGatherRoundTrip(t *testing.T) {
 	}
 	if mismatches > 0 {
 		t.Errorf("%d values diverged after scatter restart", mismatches)
+	}
+}
+
+// TestDroppedHaloMessageDeadline is acceptance criterion (a) at the
+// solver level: dropping one halo message of the very first constraint
+// application surfaces a deadline error that names the blocked
+// (src, dst, tag) on the panel communicator, instead of hanging the run.
+// Communicator ids are deterministic: the world is 0 and the first Split
+// numbers the Yin panel 1 (color 0) and the Yang panel 2 (color 1); the
+// 1x2 panel grid's phi-direction halo exchange sends rank 0 -> rank 1
+// under tag tagHaloBase+3.
+func TestDroppedHaloMessageDeadline(t *testing.T) {
+	s := grid.NewSpec(9, 13)
+	const nProcs = 4
+	l, err := NewLayout(s, nProcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.PT != 1 || l.PP != 2 {
+		t.Fatalf("layout picked %dx%d per panel; test assumes 1x2", l.PT, l.PP)
+	}
+	plan := mpi.NewFaultPlan().Add(mpi.Fault{
+		Comm: 1, Src: 0, Dst: 1, Tag: tagHaloBase + 3, Epoch: 0, Action: mpi.Drop,
+	})
+	err = mpi.RunWith(nProcs, mpi.RunConfig{Deadline: 500 * time.Millisecond, Faults: plan}, func(w *mpi.Comm) {
+		if _, err := NewRank(w, l, mhd.Default(), mhd.DefaultIC()); err != nil {
+			w.Abort(err)
+		}
+	})
+	if err == nil {
+		t.Fatal("dropped halo message did not surface a deadline error")
+	}
+	want := "Recv(src=0, dst=1, tag=3, comm=1)"
+	if !strings.Contains(err.Error(), want) {
+		t.Errorf("deadline error does not name the dropped halo envelope %q:\n%v", want, err)
+	}
+}
+
+// TestKilledRankAbortsAdvance: a scripted rank kill during AdvanceScheme
+// (via the Tick fault checkpoint) aborts the whole run promptly, with
+// the surviving ranks woken out of their halo waits.
+func TestKilledRankAbortsAdvance(t *testing.T) {
+	s := grid.NewSpec(9, 13)
+	l, err := NewLayout(s, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := mpi.NewFaultPlan().Kill(2, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- mpi.RunWith(4, mpi.RunConfig{Faults: plan}, func(w *mpi.Comm) {
+			r, err := NewRank(w, l, mhd.Default(), mhd.DefaultIC())
+			if err != nil {
+				w.Abort(err)
+			}
+			for n := 0; n < 3; n++ {
+				r.Advance(2e-3)
+			}
+		})
+	}()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "killed rank 2 at step 1") {
+			t.Errorf("got %v, want the scripted kill", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run wedged after the rank kill")
 	}
 }

@@ -494,8 +494,11 @@ func (r *Rank) Advance(dt float64) {
 }
 
 // AdvanceScheme advances one step with an explicit integrator choice,
-// using the same stage tables as the serial solver.
+// using the same stage tables as the serial solver. The leading Tick is
+// the fault-injection checkpoint: a scripted FaultPlan.Kill for this
+// world rank fires here, before the step's first exchange.
 func (r *Rank) AdvanceScheme(dt float64, scheme mhd.Integrator) {
+	r.World.Tick(r.StepN)
 	pl := r.PL
 	pl.SaveU0()
 	pl.ZeroAcc()

@@ -1,0 +1,116 @@
+package mpi
+
+import (
+	"sync"
+	"time"
+)
+
+// Action is the scripted fate of a matched message.
+type Action int
+
+const (
+	// Drop discards the message; it is never delivered.
+	Drop Action = iota
+	// Delay withholds delivery for the fault's Delay duration.
+	Delay
+	// Duplicate delivers the message twice.
+	Duplicate
+)
+
+// Fault selects one message occurrence on one communicator and the
+// action to apply to it. A message is matched by its envelope
+// (Comm, Src, Dst, Tag) and by Epoch, the zero-based count of messages
+// with that envelope sent so far in the run. Because one sender's sends
+// are program-ordered and communicator ids are assigned
+// deterministically (world is 0; each Split numbers its colors in
+// ascending order), a scripted fault always hits the same message on
+// every run.
+type Fault struct {
+	Comm          int // communicator id (0 = world)
+	Src, Dst, Tag int
+	Epoch         int           // which matching occurrence, 0-based
+	Action        Action        // Drop, Delay or Duplicate
+	Delay         time.Duration // Delay action only
+}
+
+// FaultPlan scripts deterministic failures for one or more runs: message
+// faults by envelope occurrence, and rank kills by step. The plan is
+// stateful — occurrence counters persist across RunWith calls sharing
+// the plan, and each kill fires at most once — so a campaign driver that
+// retries a failed segment sees the fault exactly once and the retry
+// runs clean, mirroring a transient hardware failure.
+type FaultPlan struct {
+	mu     sync.Mutex
+	faults []Fault
+	kills  map[int]int // rank -> step at (or after) which Tick kills it
+	counts map[[4]int]int
+}
+
+// NewFaultPlan returns an empty plan.
+func NewFaultPlan() *FaultPlan {
+	return &FaultPlan{kills: map[int]int{}, counts: map[[4]int]int{}}
+}
+
+// Add appends a scripted message fault and returns the plan for
+// chaining.
+func (p *FaultPlan) Add(f Fault) *FaultPlan {
+	p.mu.Lock()
+	p.faults = append(p.faults, f)
+	p.mu.Unlock()
+	return p
+}
+
+// Drop scripts dropping the epoch-th (src, dst, tag) message on the
+// world communicator.
+func (p *FaultPlan) Drop(src, dst, tag, epoch int) *FaultPlan {
+	return p.Add(Fault{Src: src, Dst: dst, Tag: tag, Epoch: epoch, Action: Drop})
+}
+
+// DelayMsg scripts delaying the epoch-th (src, dst, tag) message on the
+// world communicator by d.
+func (p *FaultPlan) DelayMsg(src, dst, tag, epoch int, d time.Duration) *FaultPlan {
+	return p.Add(Fault{Src: src, Dst: dst, Tag: tag, Epoch: epoch, Action: Delay, Delay: d})
+}
+
+// Duplicate scripts duplicating the epoch-th (src, dst, tag) message on
+// the world communicator.
+func (p *FaultPlan) Duplicate(src, dst, tag, epoch int) *FaultPlan {
+	return p.Add(Fault{Src: src, Dst: dst, Tag: tag, Epoch: epoch, Action: Duplicate})
+}
+
+// Kill scripts killing the given world rank at the first Comm.Tick whose
+// step reaches step. The kill fires once; a retried run continues clean.
+func (p *FaultPlan) Kill(rank, step int) *FaultPlan {
+	p.mu.Lock()
+	p.kills[rank] = step
+	p.mu.Unlock()
+	return p
+}
+
+// actionFor counts this delivery's envelope occurrence and returns the
+// scripted action for it, if any.
+func (p *FaultPlan) actionFor(comm, src, dst, tag int) (Action, time.Duration, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	key := [4]int{comm, src, dst, tag}
+	epoch := p.counts[key]
+	p.counts[key] = epoch + 1
+	for _, f := range p.faults {
+		if f.Comm == comm && f.Src == src && f.Dst == dst && f.Tag == tag && f.Epoch == epoch {
+			return f.Action, f.Delay, true
+		}
+	}
+	return 0, 0, false
+}
+
+// takeKill reports whether rank should die at step, consuming the kill.
+func (p *FaultPlan) takeKill(rank, step int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s, ok := p.kills[rank]
+	if ok && step >= s {
+		delete(p.kills, rank)
+		return true
+	}
+	return false
+}

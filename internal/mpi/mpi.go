@@ -10,12 +10,28 @@
 // mailboxes, so a Send never blocks and deterministic SPMD programs are
 // deadlock-free. Every payload byte is reported to perfcount, feeding the
 // communication term of the Earth Simulator performance model.
+//
+// The runtime is fault-aware, because the paper's production runs were
+// week-long campaigns on 4096 processors where hangs and lost ranks are
+// the norm, not the exception. RunWith accepts a RunConfig carrying a
+// deadline (a rank blocked longer than the deadline aborts the whole run
+// with a diagnostic dump of every blocked rank and every pending
+// envelope, instead of hanging silently) and a scripted FaultPlan
+// (deterministically drop, delay or duplicate a chosen message, or kill
+// a rank at a chosen step) so tests can rehearse failures. Comm.Abort
+// wakes every rank blocked anywhere in the runtime — collectives and
+// point-to-point mailbox waits alike — so Run returns the first error
+// promptly.
 package mpi
 
 import (
+	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/perfcount"
 )
@@ -26,11 +42,17 @@ type message struct {
 	data     []float64
 }
 
+// abortSignal is the panic payload that unwinds a rank woken by an
+// abort. Run's recover recognizes it and keeps the primary abort error
+// rather than reporting every unwound rank as a fresh panic.
+type abortSignal struct{ err error }
+
 // mailbox is an unbounded queue of messages for one (comm, rank) pair.
 type mailbox struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	queue []message
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []message
+	abortErr error
 }
 
 func newMailbox() *mailbox {
@@ -47,11 +69,15 @@ func (mb *mailbox) put(m message) {
 }
 
 // take blocks until a message matching (src, tag) is present and removes
-// the first such message (FIFO per envelope).
+// the first such message (FIFO per envelope). An abort unwinds the
+// waiter instead of leaving it wedged.
 func (mb *mailbox) take(src, tag int) message {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	for {
+		if mb.abortErr != nil {
+			panic(abortSignal{mb.abortErr})
+		}
 		for i, m := range mb.queue {
 			if m.src == src && m.tag == tag {
 				mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
@@ -60,6 +86,60 @@ func (mb *mailbox) take(src, tag int) message {
 		}
 		mb.cond.Wait()
 	}
+}
+
+// abort marks the mailbox dead and wakes its waiters.
+func (mb *mailbox) abort(err error) {
+	mb.mu.Lock()
+	if mb.abortErr == nil {
+		mb.abortErr = err
+	}
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
+// pendingEnvelopes snapshots the undelivered envelopes for diagnostics.
+func (mb *mailbox) pendingEnvelopes() []envelope {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	out := make([]envelope, len(mb.queue))
+	for i, m := range mb.queue {
+		out[i] = envelope{src: m.src, tag: m.tag, elems: len(m.data)}
+	}
+	return out
+}
+
+// envelope is the diagnostic summary of one undelivered message.
+type envelope struct{ src, tag, elems int }
+
+// waiter records one rank blocked in the runtime, for the deadline
+// watchdog's diagnostics.
+type waiter struct {
+	rank, comm int
+	kind       string // "Recv", "Barrier" or "Split"
+	src, tag   int    // Recv only
+	site       string // caller's file:line
+	since      time.Time
+}
+
+func (w *waiter) describe() string {
+	if w.kind == "Recv" {
+		return fmt.Sprintf("Recv(src=%d, dst=%d, tag=%d, comm=%d) at %s", w.src, w.rank, w.tag, w.comm, w.site)
+	}
+	return fmt.Sprintf("%s(comm=%d) at %s", w.kind, w.comm, w.site)
+}
+
+// callerSite names the file:line of the exported entry point's caller;
+// it must be invoked directly from the exported function.
+func callerSite() string {
+	_, file, line, ok := runtime.Caller(2)
+	if !ok {
+		return "?"
+	}
+	if i := strings.LastIndexByte(file, '/'); i >= 0 {
+		file = file[i+1:]
+	}
+	return fmt.Sprintf("%s:%d", file, line)
 }
 
 // context is the state shared by every rank of one Run.
@@ -74,6 +154,11 @@ type context struct {
 	barriers map[string]*barrierState
 	// split rendezvous per (comm id, epoch).
 	splits map[string]*splitState
+
+	cond     *sync.Cond // shared condition for collective waiting
+	cfg      RunConfig
+	abortErr error
+	waiters  map[*waiter]struct{}
 }
 
 type barrierState struct {
@@ -86,14 +171,157 @@ type splitState struct {
 	done    bool
 }
 
-func newContext() *context {
-	return &context{
+func newContext(cfg RunConfig) *context {
+	ctx := &context{
 		boxes:    map[int][]*mailbox{},
 		commIDs:  map[string]int{},
 		nextID:   1,
 		barriers: map[string]*barrierState{},
 		splits:   map[string]*splitState{},
+		cfg:      cfg,
+		waiters:  map[*waiter]struct{}{},
 	}
+	ctx.cond = sync.NewCond(&ctx.mu)
+	return ctx
+}
+
+// abort records the first error and wakes every blocked rank: the
+// collectives waiters through the shared condition and every mailbox
+// waiter through its own. Later aborts keep the first cause.
+func (ctx *context) abort(err error) {
+	ctx.mu.Lock()
+	if ctx.abortErr != nil {
+		ctx.mu.Unlock()
+		return
+	}
+	ctx.abortErr = err
+	var boxes []*mailbox
+	for _, bs := range ctx.boxes {
+		boxes = append(boxes, bs...)
+	}
+	ctx.cond.Broadcast()
+	ctx.mu.Unlock()
+	for _, mb := range boxes {
+		mb.abort(err)
+	}
+}
+
+// register adds a blocked-rank record when a deadline is armed; it
+// returns nil (a no-op for unregister) otherwise.
+func (ctx *context) register(w *waiter) *waiter {
+	if ctx.cfg.Deadline <= 0 {
+		return nil
+	}
+	w.since = time.Now()
+	ctx.mu.Lock()
+	ctx.waiters[w] = struct{}{}
+	ctx.mu.Unlock()
+	return w
+}
+
+func (ctx *context) unregister(w *waiter) {
+	if w == nil {
+		return
+	}
+	ctx.mu.Lock()
+	delete(ctx.waiters, w)
+	ctx.mu.Unlock()
+}
+
+// watchdog polls the waiter registry and aborts the run with a
+// deadlock diagnostic once any rank has been blocked past the deadline.
+func (ctx *context) watchdog(deadline time.Duration, stop <-chan struct{}) {
+	interval := deadline / 4
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			if err := ctx.checkDeadline(deadline); err != nil {
+				ctx.abort(err)
+				return
+			}
+		}
+	}
+}
+
+// checkDeadline returns a diagnostic error when some rank has been
+// blocked longer than the deadline, nil otherwise. The diagnostic names
+// the longest-blocked call's full envelope, lists every blocked rank
+// with its call site, and dumps the pending (sent but unreceived)
+// envelopes of every mailbox — the data needed to see which message a
+// deadlocked exchange is missing.
+func (ctx *context) checkDeadline(deadline time.Duration) error {
+	now := time.Now()
+	ctx.mu.Lock()
+	if ctx.abortErr != nil {
+		ctx.mu.Unlock()
+		return nil
+	}
+	var blocked []*waiter
+	expired := false
+	for w := range ctx.waiters {
+		blocked = append(blocked, w)
+		if now.Sub(w.since) > deadline {
+			expired = true
+		}
+	}
+	type commBox struct {
+		comm, rank int
+		mb         *mailbox
+	}
+	var boxes []commBox
+	if expired {
+		for id, bs := range ctx.boxes {
+			for r, mb := range bs {
+				boxes = append(boxes, commBox{id, r, mb})
+			}
+		}
+	}
+	ctx.mu.Unlock()
+	if !expired {
+		return nil
+	}
+
+	sort.Slice(blocked, func(i, j int) bool { return blocked[i].since.Before(blocked[j].since) })
+	sort.Slice(boxes, func(i, j int) bool {
+		if boxes[i].comm != boxes[j].comm {
+			return boxes[i].comm < boxes[j].comm
+		}
+		return boxes[i].rank < boxes[j].rank
+	})
+
+	var b strings.Builder
+	oldest := blocked[0]
+	fmt.Fprintf(&b, "mpi: deadline %v exceeded: rank %d blocked %v in %s",
+		deadline, oldest.rank, now.Sub(oldest.since).Round(time.Millisecond), oldest.describe())
+	b.WriteString("\nblocked ranks:")
+	for _, w := range blocked {
+		fmt.Fprintf(&b, "\n  rank %d: %s, blocked %v", w.rank, w.describe(), now.Sub(w.since).Round(time.Millisecond))
+	}
+	b.WriteString("\npending envelopes:")
+	const maxEnvelopes = 32
+	listed, total := 0, 0
+	for _, cb := range boxes {
+		for _, e := range cb.mb.pendingEnvelopes() {
+			total++
+			if listed < maxEnvelopes {
+				fmt.Fprintf(&b, "\n  comm %d, rank %d: (src=%d, tag=%d, %d elems)", cb.comm, cb.rank, e.src, e.tag, e.elems)
+				listed++
+			}
+		}
+	}
+	if total == 0 {
+		b.WriteString(" none")
+	} else if total > listed {
+		fmt.Fprintf(&b, "\n  ... and %d more", total-listed)
+	}
+	return errors.New(b.String())
 }
 
 // Comm is one rank's handle on a communicator.
@@ -106,7 +334,6 @@ type Comm struct {
 	splitEpoch   int
 	barrierEpoch int
 	reduceEpoch  int
-	cond         *sync.Cond // shared condition for barrier waiting
 }
 
 // Rank returns the caller's rank within the communicator.
@@ -115,13 +342,33 @@ func (c *Comm) Rank() int { return c.rank }
 // Size returns the number of ranks in the communicator.
 func (c *Comm) Size() int { return c.size }
 
+// RunConfig tunes the fault-tolerance machinery of one Run.
+type RunConfig struct {
+	// Deadline bounds how long any rank may stay blocked in a single
+	// Recv, Wait, Barrier, Split or collective. Once exceeded, the run
+	// aborts with a diagnostic dump of every blocked rank and every
+	// pending envelope instead of hanging. Zero disables the watchdog.
+	// Set it well above the longest compute phase between exchanges.
+	Deadline time.Duration
+	// Faults scripts deterministic failures for tests; nil means none.
+	Faults *FaultPlan
+}
+
 // Run launches n ranks and executes fn on each with its world
 // communicator. It returns an error if any rank panics.
 func Run(n int, fn func(c *Comm)) error {
+	return RunWith(n, RunConfig{}, fn)
+}
+
+// RunWith is Run with fault-tolerance configuration: a blocked-call
+// deadline and a scripted fault plan. On any rank panic, injected rank
+// kill, Abort or deadline expiry, every blocked rank is woken and
+// RunWith returns the first error.
+func RunWith(n int, cfg RunConfig, fn func(c *Comm)) error {
 	if n <= 0 {
 		return fmt.Errorf("mpi: need a positive rank count, got %d", n)
 	}
-	ctx := newContext()
+	ctx := newContext(cfg)
 	boxes := make([]*mailbox, n)
 	for i := range boxes {
 		boxes[i] = newMailbox()
@@ -130,24 +377,47 @@ func Run(n int, fn func(c *Comm)) error {
 
 	var wg sync.WaitGroup
 	errs := make([]error, n)
-	cond := sync.NewCond(&ctx.mu)
 	for r := 0; r < n; r++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
 			defer func() {
-				if rec := recover(); rec != nil {
-					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, rec)
-					// Wake any ranks blocked in collectives so Run ends.
-					ctx.mu.Lock()
-					cond.Broadcast()
-					ctx.mu.Unlock()
+				rec := recover()
+				if rec == nil {
+					return
 				}
+				if ab, ok := rec.(abortSignal); ok {
+					// Woken by an abort that originated elsewhere; the
+					// primary cause is already recorded in the context.
+					errs[rank] = ab.err
+					return
+				}
+				err := fmt.Errorf("mpi: rank %d panicked: %v", rank, rec)
+				errs[rank] = err
+				// Wake every rank blocked in a collective or a mailbox
+				// so Run ends instead of wedging on a lost peer.
+				ctx.abort(err)
 			}()
-			fn(&Comm{ctx: ctx, id: 0, rank: rank, size: n, cond: cond})
+			fn(&Comm{ctx: ctx, id: 0, rank: rank, size: n})
 		}(r)
 	}
+
+	var stopWatch chan struct{}
+	if cfg.Deadline > 0 {
+		stopWatch = make(chan struct{})
+		go ctx.watchdog(cfg.Deadline, stopWatch)
+	}
 	wg.Wait()
+	if stopWatch != nil {
+		close(stopWatch)
+	}
+
+	ctx.mu.Lock()
+	first := ctx.abortErr
+	ctx.mu.Unlock()
+	if first != nil {
+		return first
+	}
 	for _, e := range errs {
 		if e != nil {
 			return e
@@ -156,9 +426,50 @@ func Run(n int, fn func(c *Comm)) error {
 	return nil
 }
 
+// Abort wakes every rank blocked anywhere in the runtime — collectives
+// and point-to-point mailbox waits alike — and makes Run return err (the
+// first abort wins). The calling rank unwinds immediately; Abort does
+// not return. It is the cooperative analogue of MPI_ABORT.
+func (c *Comm) Abort(err error) {
+	if err == nil {
+		err = errors.New("mpi: abort")
+	} else {
+		err = fmt.Errorf("mpi: rank %d aborted: %w", c.rank, err)
+	}
+	c.ctx.abort(err)
+	panic(abortSignal{err})
+}
+
+// Tick is the per-step fault-injection checkpoint: call it once per
+// simulation step with the current step number. A scripted
+// FaultPlan.Kill for this rank fires here, panicking as a lost rank
+// would, which aborts the run. Without a plan it is a no-op.
+func (c *Comm) Tick(step int) {
+	p := c.ctx.cfg.Faults
+	if p == nil {
+		return
+	}
+	if p.takeKill(c.rank, step) {
+		panic(fmt.Sprintf("mpi: fault injection killed rank %d at step %d", c.rank, step))
+	}
+}
+
+// checkUserTag enforces the documented tag contract: user tags are
+// non-negative; the negative space is reserved for internal collectives.
+func checkUserTag(tag int) {
+	if tag < 0 {
+		panic(fmt.Sprintf("mpi: user tag %d is negative; negative tags are reserved for the runtime's internal collectives", tag))
+	}
+}
+
 // Send delivers a copy of data to rank dst under the given tag. It never
-// blocks (buffered semantics).
+// blocks (buffered semantics). The tag must be non-negative.
 func (c *Comm) Send(dst, tag int, data []float64) {
+	checkUserTag(tag)
+	c.send(dst, tag, data)
+}
+
+func (c *Comm) send(dst, tag int, data []float64) {
 	if dst < 0 || dst >= c.size {
 		panic(fmt.Sprintf("mpi: send to invalid rank %d of %d", dst, c.size))
 	}
@@ -167,19 +478,47 @@ func (c *Comm) Send(dst, tag int, data []float64) {
 	c.ctx.mu.Lock()
 	box := c.ctx.boxes[c.id][dst]
 	c.ctx.mu.Unlock()
-	box.put(message{src: c.rank, tag: tag, data: cp})
+	m := message{src: c.rank, tag: tag, data: cp}
+	if p := c.ctx.cfg.Faults; p != nil {
+		if act, d, ok := p.actionFor(c.id, c.rank, dst, tag); ok {
+			switch act {
+			case Drop:
+				return
+			case Delay:
+				perfcount.AddComm(int64(8 * len(data)))
+				time.AfterFunc(d, func() { box.put(m) })
+				return
+			case Duplicate:
+				box.put(m)
+				dup := make([]float64, len(cp))
+				copy(dup, cp)
+				box.put(message{src: c.rank, tag: tag, data: dup})
+				perfcount.AddComm(int64(16 * len(data)))
+				return
+			}
+		}
+	}
+	box.put(m)
 	perfcount.AddComm(int64(8 * len(data)))
 }
 
 // Recv blocks until a message from src with the given tag arrives and
 // copies it into buf, returning the element count. The payload must fit.
+// The tag must be non-negative.
 func (c *Comm) Recv(src, tag int, buf []float64) int {
+	checkUserTag(tag)
+	return c.recv(src, tag, buf, callerSite())
+}
+
+func (c *Comm) recv(src, tag int, buf []float64, site string) int {
 	if src < 0 || src >= c.size {
 		panic(fmt.Sprintf("mpi: recv from invalid rank %d of %d", src, c.size))
 	}
 	c.ctx.mu.Lock()
 	box := c.ctx.boxes[c.id][c.rank]
 	c.ctx.mu.Unlock()
+	w := c.ctx.register(&waiter{rank: c.rank, comm: c.id, kind: "Recv", src: src, tag: tag, site: site})
+	defer c.ctx.unregister(w)
 	m := box.take(src, tag)
 	if len(m.data) > len(buf) {
 		panic(fmt.Sprintf("mpi: message of %d elements overflows buffer of %d", len(m.data), len(buf)))
@@ -188,21 +527,44 @@ func (c *Comm) Recv(src, tag int, buf []float64) int {
 	return len(m.data)
 }
 
+// recvResult carries an Irecv completion, or the panic that ended it.
+type recvResult struct {
+	n   int
+	pan any
+}
+
 // Request is a pending non-blocking receive.
 type Request struct {
-	done chan int
+	done chan recvResult
 }
 
 // Wait blocks until the receive completes and returns the element count.
-func (r *Request) Wait() int { return <-r.done }
+// If the receive was aborted (or panicked), Wait re-panics in the
+// caller's goroutine so the failure unwinds the rank that posted it.
+func (r *Request) Wait() int {
+	res := <-r.done
+	if res.pan != nil {
+		panic(res.pan)
+	}
+	return res.n
+}
 
 // Irecv posts a non-blocking receive into buf; complete it with Wait.
 // The buffer must not be read (and no overlapping Recv posted) until
 // Wait returns — cmd/yyvet's irecv-wait analyzer enforces the Wait.
+// The tag must be non-negative.
 func (c *Comm) Irecv(src, tag int, buf []float64) *Request {
-	req := &Request{done: make(chan int, 1)}
+	checkUserTag(tag)
+	site := callerSite()
+	req := &Request{done: make(chan recvResult, 1)}
 	go func() {
-		req.done <- c.Recv(src, tag, buf)
+		defer func() {
+			if rec := recover(); rec != nil {
+				req.done <- recvResult{pan: rec}
+			}
+		}()
+		n := c.recv(src, tag, buf, site)
+		req.done <- recvResult{n: n}
 	}()
 	return req
 }
@@ -225,6 +587,7 @@ func Waitall(reqs ...*Request) []int {
 
 // Barrier blocks until every rank of the communicator has entered it.
 func (c *Comm) Barrier() {
+	site := callerSite()
 	key := fmt.Sprintf("b:%d:%d", c.id, c.barrierEpoch)
 	c.barrierEpoch++
 	ctx := c.ctx
@@ -238,12 +601,20 @@ func (c *Comm) Barrier() {
 	st.count++
 	if st.count == c.size {
 		st.gen = 1
-		c.cond.Broadcast()
+		ctx.cond.Broadcast()
 		delete(ctx.barriers, key)
 		return
 	}
+	if ctx.cfg.Deadline > 0 {
+		w := &waiter{rank: c.rank, comm: c.id, kind: "Barrier", site: site, since: time.Now()}
+		ctx.waiters[w] = struct{}{}
+		defer delete(ctx.waiters, w)
+	}
 	for st.gen == 0 {
-		c.cond.Wait()
+		if ctx.abortErr != nil {
+			panic(abortSignal{ctx.abortErr})
+		}
+		ctx.cond.Wait()
 	}
 }
 
@@ -276,7 +647,8 @@ func (o Op) apply(a, b float64) float64 {
 }
 
 // internal tags live in a reserved negative space so they can never
-// collide with user tags (which must be non-negative).
+// collide with user tags (which must be non-negative; Send/Recv/Irecv
+// enforce the contract).
 const (
 	tagReduceUp = -1000 - iota
 	tagReduceDown
@@ -288,6 +660,7 @@ const (
 // order at the root for determinism, and replaces vals with the result on
 // every rank.
 func (c *Comm) Allreduce(vals []float64, op Op) {
+	site := callerSite()
 	epoch := c.reduceEpoch
 	c.reduceEpoch++
 	up := tagReduceUp - 4*epoch
@@ -295,7 +668,7 @@ func (c *Comm) Allreduce(vals []float64, op Op) {
 	if c.rank == 0 {
 		buf := make([]float64, len(vals))
 		for src := 1; src < c.size; src++ {
-			n := c.Recv(src, up, buf)
+			n := c.recv(src, up, buf, site)
 			if n != len(vals) {
 				panic("mpi: allreduce length mismatch")
 			}
@@ -304,38 +677,40 @@ func (c *Comm) Allreduce(vals []float64, op Op) {
 			}
 		}
 		for dst := 1; dst < c.size; dst++ {
-			c.Send(dst, down, vals)
+			c.send(dst, down, vals)
 		}
 		return
 	}
-	c.Send(0, up, vals)
-	c.Recv(0, down, vals)
+	c.send(0, up, vals)
+	c.recv(0, down, vals, site)
 }
 
 // Bcast distributes root's vals to every rank.
 func (c *Comm) Bcast(root int, vals []float64) {
+	site := callerSite()
 	epoch := c.reduceEpoch
 	c.reduceEpoch++
 	tag := tagBcast - 4*epoch
 	if c.rank == root {
 		for dst := 0; dst < c.size; dst++ {
 			if dst != root {
-				c.Send(dst, tag, vals)
+				c.send(dst, tag, vals)
 			}
 		}
 		return
 	}
-	c.Recv(root, tag, vals)
+	c.recv(root, tag, vals, site)
 }
 
 // Gather collects each rank's vals at root, concatenated in rank order;
 // non-root ranks get nil.
 func (c *Comm) Gather(root int, vals []float64) []float64 {
+	site := callerSite()
 	epoch := c.reduceEpoch
 	c.reduceEpoch++
 	tag := tagGather - 4*epoch
 	if c.rank != root {
-		c.Send(root, tag, vals)
+		c.send(root, tag, vals)
 		return nil
 	}
 	out := make([]float64, 0, len(vals)*c.size)
@@ -345,7 +720,7 @@ func (c *Comm) Gather(root int, vals []float64) []float64 {
 			out = append(out, vals...)
 			continue
 		}
-		n := c.Recv(src, tag, buf)
+		n := c.recv(src, tag, buf, site)
 		if n != len(vals) {
 			panic("mpi: gather length mismatch")
 		}
@@ -356,13 +731,18 @@ func (c *Comm) Gather(root int, vals []float64) []float64 {
 
 // Split partitions the communicator by color, ordering ranks within each
 // new communicator by (key, old rank), exactly like MPI_COMM_SPLIT. All
-// ranks of the communicator must call it collectively.
+// ranks of the communicator must call it collectively. The resulting
+// communicator ids are deterministic: the colors of one Split epoch are
+// assigned ids in ascending color order, epochs in SPMD program order
+// (so a FaultPlan can script faults on a split communicator).
 func (c *Comm) Split(color, key int) *Comm {
+	site := callerSite()
 	epoch := c.splitEpoch
 	c.splitEpoch++
 	skey := fmt.Sprintf("s:%d:%d", c.id, epoch)
 	ctx := c.ctx
 	ctx.mu.Lock()
+	defer ctx.mu.Unlock()
 	st := ctx.splits[skey]
 	if st == nil {
 		st = &splitState{entries: map[int][2]int{}}
@@ -370,11 +750,45 @@ func (c *Comm) Split(color, key int) *Comm {
 	}
 	st.entries[c.rank] = [2]int{color, key}
 	if len(st.entries) == c.size {
+		// The last arrival assigns the new communicator ids for every
+		// color, in ascending color order, so ids do not depend on which
+		// rank's goroutine reaches the rendezvous exit first.
+		sizes := map[int]int{}
+		for _, ck := range st.entries {
+			sizes[ck[0]]++
+		}
+		colors := make([]int, 0, len(sizes))
+		for col := range sizes {
+			colors = append(colors, col)
+		}
+		sort.Ints(colors)
+		for _, col := range colors {
+			idKey := fmt.Sprintf("c:%d:%d:%d", c.id, epoch, col)
+			newID := ctx.nextID
+			ctx.nextID++
+			ctx.commIDs[idKey] = newID
+			boxes := make([]*mailbox, sizes[col])
+			for i := range boxes {
+				boxes[i] = newMailbox()
+				// A mailbox born during an abort must be born dead, or a
+				// rank racing past the abort could block in it forever.
+				boxes[i].abortErr = ctx.abortErr
+			}
+			ctx.boxes[newID] = boxes
+		}
 		st.done = true
-		c.cond.Broadcast()
+		ctx.cond.Broadcast()
+	}
+	if ctx.cfg.Deadline > 0 {
+		w := &waiter{rank: c.rank, comm: c.id, kind: "Split", site: site, since: time.Now()}
+		ctx.waiters[w] = struct{}{}
+		defer delete(ctx.waiters, w)
 	}
 	for !st.done {
-		c.cond.Wait()
+		if ctx.abortErr != nil {
+			panic(abortSignal{ctx.abortErr})
+		}
+		ctx.cond.Wait()
 	}
 	// Deterministically derive the new communicator for this rank's color.
 	type member struct{ key, rank int }
@@ -390,24 +804,12 @@ func (c *Comm) Split(color, key int) *Comm {
 		}
 		return group[i].rank < group[j].rank
 	})
-	idKey := fmt.Sprintf("c:%d:%d:%d", c.id, epoch, color)
-	newID, ok := ctx.commIDs[idKey]
-	if !ok {
-		newID = ctx.nextID
-		ctx.nextID++
-		ctx.commIDs[idKey] = newID
-		boxes := make([]*mailbox, len(group))
-		for i := range boxes {
-			boxes[i] = newMailbox()
-		}
-		ctx.boxes[newID] = boxes
-	}
+	newID := ctx.commIDs[fmt.Sprintf("c:%d:%d:%d", c.id, epoch, color)]
 	newRank := -1
 	for i, m := range group {
 		if m.rank == c.rank {
 			newRank = i
 		}
 	}
-	ctx.mu.Unlock()
-	return &Comm{ctx: ctx, id: newID, rank: newRank, size: len(group), cond: c.cond}
+	return &Comm{ctx: ctx, id: newID, rank: newRank, size: len(group)}
 }

@@ -1,0 +1,155 @@
+package resilience
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/grid"
+	"repro/internal/mhd"
+	"repro/internal/snapshot"
+)
+
+const (
+	ckptPrefix     = "ckpt-"
+	ckptSuffix     = ".yyck"
+	postmortemName = "postmortem.txt"
+)
+
+// ckptName is the on-disk name of the checkpoint committed at step.
+func ckptName(step int) string {
+	return fmt.Sprintf("%s%09d%s", ckptPrefix, step, ckptSuffix)
+}
+
+// ckptStep parses the step out of a checkpoint file name.
+func ckptStep(name string) (int, bool) {
+	if !strings.HasPrefix(name, ckptPrefix) || !strings.HasSuffix(name, ckptSuffix) {
+		return 0, false
+	}
+	digits := strings.TrimSuffix(strings.TrimPrefix(name, ckptPrefix), ckptSuffix)
+	step, err := strconv.Atoi(digits)
+	if err != nil || step < 0 {
+		return 0, false
+	}
+	return step, true
+}
+
+// listCheckpoints returns the campaign directory's checkpoint steps in
+// ascending order.
+func listCheckpoints(dir string) ([]int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var steps []int
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if step, ok := ckptStep(e.Name()); ok {
+			steps = append(steps, step)
+		}
+	}
+	sort.Ints(steps)
+	return steps, nil
+}
+
+// writeCheckpointFile atomically persists the state: the checkpoint is
+// streamed to a temporary file in the same directory and renamed into
+// place, so a crash mid-write never leaves a half-written file under a
+// checkpoint name (the resume scan would otherwise have to trust it).
+func writeCheckpointFile(dir string, sv *mhd.Solver) (string, error) {
+	final := filepath.Join(dir, ckptName(sv.Step))
+	tmp, err := os.CreateTemp(dir, ckptName(sv.Step)+".tmp-*")
+	if err != nil {
+		return "", fmt.Errorf("resilience: creating checkpoint temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op once the rename has happened
+	if err := snapshot.WriteCheckpoint(tmp, sv); err != nil {
+		tmp.Close()
+		return "", fmt.Errorf("resilience: writing checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return "", fmt.Errorf("resilience: closing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return "", fmt.Errorf("resilience: committing checkpoint: %w", err)
+	}
+	return final, nil
+}
+
+// loadNewest restores the newest checkpoint in dir that reads back valid
+// and matches the campaign's grid. Corrupt, truncated or mismatched
+// files are skipped (collected in skipped) and the scan falls back to
+// the next-newest — a half-written or bit-rotted newest checkpoint must
+// not strand a resumable campaign. Returns (nil, skipped, nil) when no
+// valid checkpoint exists.
+func loadNewest(dir string, spec grid.Spec) (*mhd.Solver, []string, error) {
+	steps, err := listCheckpoints(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var skipped []string
+	for i := len(steps) - 1; i >= 0; i-- {
+		name := ckptName(steps[i])
+		sv, err := readCheckpointFile(filepath.Join(dir, name))
+		if err != nil {
+			skipped = append(skipped, fmt.Sprintf("%s: %v", name, err))
+			continue
+		}
+		if sv.Spec != spec {
+			skipped = append(skipped, fmt.Sprintf("%s: grid %+v does not match campaign %+v", name, sv.Spec, spec))
+			continue
+		}
+		return sv, skipped, nil
+	}
+	return nil, skipped, nil
+}
+
+func readCheckpointFile(path string) (*mhd.Solver, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return snapshot.ReadCheckpoint(f)
+}
+
+// prune deletes all but the newest keep checkpoints.
+func prune(dir string, keep int) error {
+	steps, err := listCheckpoints(dir)
+	if err != nil {
+		return err
+	}
+	for len(steps) > keep {
+		if err := os.Remove(filepath.Join(dir, ckptName(steps[0]))); err != nil {
+			return err
+		}
+		steps = steps[1:]
+	}
+	return nil
+}
+
+// writePostmortem saves a human-readable account of an exhausted
+// segment next to the checkpoints and returns its path (best effort:
+// an empty path means the write itself failed).
+func writePostmortem(dir string, segStart, attempts int, cause error, res *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "campaign post-mortem\n")
+	fmt.Fprintf(&b, "failed segment start step: %d\n", segStart)
+	fmt.Fprintf(&b, "attempts: %d\n", attempts)
+	fmt.Fprintf(&b, "last error: %v\n", cause)
+	fmt.Fprintf(&b, "committed segments: %d\n", len(res.Diags))
+	fmt.Fprintf(&b, "committed dts: %v\n", res.DTs)
+	if len(res.Diags) > 0 {
+		fmt.Fprintf(&b, "last committed diagnostics: %+v\n", res.Diags[len(res.Diags)-1])
+	}
+	path := filepath.Join(dir, postmortemName)
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		return ""
+	}
+	return path
+}

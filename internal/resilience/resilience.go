@@ -1,0 +1,283 @@
+// Package resilience drives fault-tolerant campaigns over the
+// decomposed solver. A campaign is a long run split into checkpointed
+// segments: each segment scatters the last committed state across the
+// ranks, advances a fixed number of steps, gathers the result on rank 0
+// and validates it. A segment that blows up (non-finite state or CFL
+// collapse) or dies in the runtime (rank kill, communication deadline)
+// is rolled back to the last checkpoint on disk and retried — with
+// exponentially backed-off time step when the solver itself failed —
+// until it commits or the retry budget is exhausted, at which point a
+// post-mortem is saved next to the checkpoints and the campaign aborts
+// gracefully. A campaign interrupted between checkpoints (crashed
+// process, killed job) resumes from the newest checkpoint that still
+// reads back valid, falling back past corrupt files.
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/decomp"
+	"repro/internal/mhd"
+	"repro/internal/mpi"
+)
+
+// ErrBlowUp tags segment failures caused by the solver itself (as
+// opposed to runtime faults): a non-finite state after the segment, or
+// a stable time step collapsed below Config.MinDT. Only blow-ups shrink
+// the retry time step; transient runtime faults retry at full dt.
+var ErrBlowUp = errors.New("solver blow-up")
+
+// Config describes a checkpointed campaign. Zero values select
+// defaults.
+type Config struct {
+	// Core selects the grid, physics and initial conditions.
+	Core core.Config
+	// NProcs is the world size of each segment run (default 2).
+	NProcs int
+	// Steps is the campaign's total step count.
+	Steps int
+	// CheckpointEvery is the segment length in steps; a checkpoint is
+	// committed at every multiple (default: Steps, one segment).
+	CheckpointEvery int
+	// Dir is the campaign directory holding checkpoints and, on
+	// failure, the post-mortem. Required; created if missing.
+	Dir string
+	// MaxRetries bounds the retries per segment after the first attempt
+	// (default 3).
+	MaxRetries int
+	// Backoff scales the time step on each blow-up retry (default 0.5).
+	Backoff float64
+	// MinDT declares CFL collapse: a committed-candidate state whose
+	// stable time step falls below it counts as a blow-up (0 disables).
+	MinDT float64
+	// Keep is how many checkpoints to retain on disk (default 2).
+	Keep int
+	// Deadline bounds every blocking runtime call inside a segment; on
+	// expiry the segment fails with the runtime's diagnostic dump of
+	// blocked ranks and pending envelopes (0 disables).
+	Deadline time.Duration
+	// Faults optionally scripts deterministic runtime failures; the
+	// plan is stateful across segments and retries, so a scripted fault
+	// hits once and the retry runs clean.
+	Faults *mpi.FaultPlan
+	// DTSchedule overrides the per-segment time step (indexed by
+	// segment); segments beyond its length auto-estimate. Replaying a
+	// finished campaign's Result.DTs reproduces its committed
+	// trajectory bit-identically.
+	DTSchedule []float64
+	// Perturb, when set, mutates the state a segment starts from — a
+	// test hook for injecting mid-campaign blow-ups.
+	Perturb func(seg, attempt int, sv *mhd.Solver)
+}
+
+func (c Config) withDefaults() Config {
+	c.Core = c.Core.WithDefaults()
+	if c.NProcs == 0 {
+		c.NProcs = 2
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = c.Steps
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 3
+	}
+	//yyvet:ignore float-eq zero-valued config field means unset; defaulting keys on the exact zero value
+	if c.Backoff == 0 {
+		c.Backoff = 0.5
+	}
+	if c.Keep == 0 {
+		c.Keep = 2
+	}
+	return c
+}
+
+// Result is the campaign's committed history.
+type Result struct {
+	// Diags holds one globally reduced diagnostics record per committed
+	// segment.
+	Diags []mhd.Diagnostics
+	// DTs holds the committed time step of each segment — feed it back
+	// as Config.DTSchedule to reproduce the trajectory bit-identically.
+	DTs []float64
+	// Retries counts failed segment attempts across the campaign.
+	Retries int
+	// Resumed reports whether the campaign picked up from a checkpoint
+	// already on disk, and StartStep where it picked up.
+	Resumed   bool
+	StartStep int
+	// FinalStep is the step count reached; Final the gathered state.
+	FinalStep int
+	Final     *mhd.Solver
+}
+
+// RunCampaign executes (or resumes) a checkpointed campaign.
+func RunCampaign(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Steps <= 0 {
+		return nil, fmt.Errorf("resilience: campaign needs a positive step count, got %d", cfg.Steps)
+	}
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("resilience: campaign needs a directory for checkpoints")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	spec := cfg.Core.Spec()
+	layout, err := decomp.NewLayout(spec, cfg.NProcs)
+	if err != nil {
+		return nil, err
+	}
+	rc := mpi.RunConfig{Deadline: cfg.Deadline, Faults: cfg.Faults}
+
+	res := &Result{}
+	state, _, err := loadNewest(cfg.Dir, spec)
+	if err != nil {
+		return nil, err
+	}
+	if state == nil {
+		state, err = mhd.NewSolver(spec, *cfg.Core.Params, *cfg.Core.IC)
+		if err != nil {
+			return nil, err
+		}
+		// Commit the origin so the very first rollback has a checkpoint
+		// to reload.
+		if _, err := writeCheckpointFile(cfg.Dir, state); err != nil {
+			return nil, err
+		}
+	} else {
+		res.Resumed = true
+	}
+	res.StartStep = state.Step
+	res.FinalStep = state.Step
+	res.Final = state
+
+	for state.Step < cfg.Steps {
+		segStart := state.Step
+		segIdx := segStart / cfg.CheckpointEvery
+		n := cfg.CheckpointEvery - segStart%cfg.CheckpointEvery
+		if segStart+n > cfg.Steps {
+			n = cfg.Steps - segStart
+		}
+
+		committed := false
+		blowUps := 0
+		var lastErr error
+		for attempt := 0; attempt <= cfg.MaxRetries; attempt++ {
+			if attempt > 0 {
+				res.Retries++
+				// Roll back: the failed attempt may have consumed or
+				// corrupted the in-memory state, so reload the segment's
+				// own checkpoint from disk.
+				st, _, err := loadNewest(cfg.Dir, spec)
+				if err != nil {
+					return res, err
+				}
+				if st == nil || st.Step != segStart {
+					return res, fmt.Errorf("resilience: rollback found no checkpoint at step %d", segStart)
+				}
+				state = st
+			}
+			var dt float64
+			if segIdx < len(cfg.DTSchedule) {
+				dt = cfg.DTSchedule[segIdx]
+			} else {
+				dt = state.EstimateDT(cfg.Core.SafetyFactor)
+				for b := 0; b < blowUps; b++ {
+					dt *= cfg.Backoff
+				}
+			}
+			if cfg.Perturb != nil {
+				cfg.Perturb(segIdx, attempt, state)
+			}
+			next, diag, err := runSegment(cfg.Core, layout, rc, state, dt, n)
+			if err == nil {
+				err = validate(next, cfg)
+			}
+			if err == nil {
+				state = next
+				res.Diags = append(res.Diags, diag)
+				res.DTs = append(res.DTs, dt)
+				if _, err := writeCheckpointFile(cfg.Dir, state); err != nil {
+					return res, err
+				}
+				if err := prune(cfg.Dir, cfg.Keep); err != nil {
+					return res, err
+				}
+				committed = true
+				break
+			}
+			if errors.Is(err, ErrBlowUp) {
+				blowUps++
+			}
+			lastErr = err
+		}
+		if !committed {
+			pm := writePostmortem(cfg.Dir, segStart, cfg.MaxRetries+1, lastErr, res)
+			return res, fmt.Errorf("resilience: segment at step %d failed after %d attempts (post-mortem: %s): %w",
+				segStart, cfg.MaxRetries+1, pm, lastErr)
+		}
+		res.FinalStep = state.Step
+		res.Final = state
+	}
+	return res, nil
+}
+
+// runSegment executes one checkpoint interval on the decomposed
+// runtime: scatter the committed state, advance steps at dt, gather and
+// diagnose on rank 0. Rank-side errors abort the world so no peer is
+// left blocked.
+func runSegment(ccfg core.Config, layout *decomp.Layout, rc mpi.RunConfig, src *mhd.Solver, dt float64, steps int) (*mhd.Solver, mhd.Diagnostics, error) {
+	var (
+		mu   sync.Mutex
+		next *mhd.Solver
+		diag mhd.Diagnostics
+	)
+	err := mpi.RunWith(layout.NProcs, rc, func(w *mpi.Comm) {
+		r, err := decomp.NewRank(w, layout, *ccfg.Params, *ccfg.IC)
+		if err != nil {
+			w.Abort(err)
+		}
+		var s0 *mhd.Solver
+		if w.Rank() == 0 {
+			s0 = src
+		}
+		if err := r.ScatterState(s0); err != nil {
+			w.Abort(err)
+		}
+		for i := 0; i < steps; i++ {
+			r.Advance(dt)
+		}
+		d := r.Diagnose()
+		sv, err := r.GatherState()
+		if err != nil {
+			w.Abort(err)
+		}
+		if w.Rank() == 0 {
+			mu.Lock()
+			next, diag = sv, d
+			mu.Unlock()
+		}
+	})
+	if err != nil {
+		return nil, mhd.Diagnostics{}, err
+	}
+	return next, diag, nil
+}
+
+// validate decides whether a gathered segment result is committable.
+func validate(sv *mhd.Solver, cfg Config) error {
+	if err := sv.CheckFinite(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBlowUp, err)
+	}
+	if cfg.MinDT > 0 {
+		if dt := sv.EstimateDT(cfg.Core.SafetyFactor); dt < cfg.MinDT {
+			return fmt.Errorf("%w: CFL collapse: stable dt %.3e fell below the %.3e floor", ErrBlowUp, dt, cfg.MinDT)
+		}
+	}
+	return nil
+}

@@ -104,6 +104,20 @@ func ReadCheckpoint(r io.Reader) (*mhd.Solver, error) {
 	if h.Version != Version {
 		return nil, fmt.Errorf("snapshot: unsupported version %d", h.Version)
 	}
+	// Sanity-bound the header before allocating anything from it: a
+	// corrupt (truncated, bit-flipped) file would otherwise request
+	// absurd grid allocations or build a nonsense solver long before the
+	// trailing checksum could reject it.
+	const maxNodes = 1 << 14
+	if h.Nr < 3 || h.Nt < 3 || h.Np < 3 || h.Nr > maxNodes || h.Nt > maxNodes || h.Np > 3*maxNodes {
+		return nil, fmt.Errorf("snapshot: implausible grid %dx%dx%d in header", h.Nr, h.Nt, h.Np)
+	}
+	if !(h.RI > 0 && h.RO > h.RI) || math.IsNaN(h.RI) || math.IsNaN(h.RO) || math.IsInf(h.RO, 0) {
+		return nil, fmt.Errorf("snapshot: implausible shell radii [%g, %g] in header", h.RI, h.RO)
+	}
+	if h.Step < 0 || h.Step > 1<<40 || math.IsNaN(h.Time) || math.IsInf(h.Time, 0) {
+		return nil, fmt.Errorf("snapshot: implausible clock t=%g step=%d in header", h.Time, h.Step)
+	}
 	spec := grid.Spec{Nr: int(h.Nr), Nt: int(h.Nt), Np: int(h.Np), RI: h.RI, RO: h.RO}
 	prm := mhd.Params{Gamma: h.Gamma, Mu: h.Mu, Kappa: h.Kappa, Eta: h.Eta,
 		G0: h.G0, Omega: h.Omega, TIn: h.Ti, MagBC: mhd.MagneticBC(h.MagBC)}

@@ -2,7 +2,9 @@ package snapshot
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/grid"
@@ -207,5 +209,85 @@ func TestWriteVizExport(t *testing.T) {
 	}
 	if !bytes.HasPrefix(buf.Bytes(), []byte("YYVZ")) {
 		t.Error("bad magic")
+	}
+}
+
+// checkpointBytes serializes a small solver for the corruption tests.
+func checkpointBytes(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, makeSolver(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestReadCheckpointTruncated: a checkpoint cut off at any point — an
+// interrupted write, a torn download — must come back as an error, not
+// a panic or a silently partial solver.
+func TestReadCheckpointTruncated(t *testing.T) {
+	raw := checkpointBytes(t)
+	for _, cut := range []int{0, 1, 3, 4, 40, len(Magic) + 112, len(raw) / 2, len(raw) - 5, len(raw) - 1} {
+		if _, err := ReadCheckpoint(bytes.NewReader(raw[:cut])); err == nil {
+			t.Errorf("checkpoint truncated to %d of %d bytes read back without error", cut, len(raw))
+		}
+	}
+}
+
+// TestReadCheckpointBitFlips: every single-bit flip — header, payload
+// or the stored checksum itself — is rejected (CRC-32 detects all
+// single-bit errors; the header additionally carries sanity bounds so
+// a flipped dimension cannot provoke a huge allocation first).
+func TestReadCheckpointBitFlips(t *testing.T) {
+	raw := checkpointBytes(t)
+	positions := make([]int, 0, 256)
+	for i := 0; i < len(Magic)+112 && i < len(raw); i++ {
+		positions = append(positions, i) // the whole header, densely
+	}
+	payload := len(raw) - (len(Magic) + 112) - 4
+	for i := 0; i < 16; i++ { // payload, sampled
+		positions = append(positions, len(Magic)+112+i*payload/16)
+	}
+	for i := len(raw) - 4; i < len(raw); i++ {
+		positions = append(positions, i) // the stored checksum itself
+	}
+	for _, pos := range positions {
+		mut := append([]byte(nil), raw...)
+		mut[pos] ^= 1 << (pos % 8)
+		if _, err := ReadCheckpoint(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("bit flip at byte %d read back without error", pos)
+		}
+	}
+}
+
+// TestReadCheckpointHeaderBounds: implausible header fields are
+// rejected before any allocation sized from them.
+func TestReadCheckpointHeaderBounds(t *testing.T) {
+	raw := checkpointBytes(t)
+	corrupt := func(mutate func([]byte)) error {
+		mut := append([]byte(nil), raw...)
+		mutate(mut)
+		_, err := ReadCheckpoint(bytes.NewReader(mut))
+		return err
+	}
+	// Header field offsets (after the 4-byte magic): Nr at 8, Step at 104.
+	err := corrupt(func(b []byte) { binary.LittleEndian.PutUint32(b[4+4:], 0x7fffffff) })
+	if err == nil || !strings.Contains(err.Error(), "implausible grid") {
+		t.Errorf("huge Nr: got %v, want an implausible-grid rejection", err)
+	}
+	err = corrupt(func(b []byte) { binary.LittleEndian.PutUint64(b[4+104:], ^uint64(0)) })
+	if err == nil || !strings.Contains(err.Error(), "implausible clock") {
+		t.Errorf("negative step: got %v, want an implausible-clock rejection", err)
+	}
+	err = corrupt(func(b []byte) { binary.LittleEndian.PutUint64(b[4+16:], math.Float64bits(math.NaN())) })
+	if err == nil || !strings.Contains(err.Error(), "implausible shell radii") {
+		t.Errorf("NaN RI: got %v, want an implausible-radii rejection", err)
+	}
+}
+
+// TestReadCheckpointEmpty: an empty file is an error, never a panic.
+func TestReadCheckpointEmpty(t *testing.T) {
+	if _, err := ReadCheckpoint(bytes.NewReader(nil)); err == nil {
+		t.Error("empty checkpoint read back without error")
 	}
 }

@@ -7,8 +7,10 @@
 #   2. go vet        — the standard toolchain analyzers
 #   3. yyvet         — the repo-specific invariant analyzers
 #                      (internal/analyze: irecv-wait, pow2-stride,
-#                      float-eq, cond-wait-loop)
-#   4. go test       — the full test suite
+#                      float-eq, cond-wait-loop, abort-on-err)
+#   4. go test       — the full test suite; the explicit -timeout turns
+#                      any residual runtime wedge into a stack-dumped
+#                      failure instead of a hung CI job
 #   5. go test -race — the goroutine MPI runtime and its users under
 #                      the race detector
 set -eu
@@ -24,10 +26,10 @@ go vet ./...
 echo "==> go run ./cmd/yyvet ./..."
 go run ./cmd/yyvet ./...
 
-echo "==> go test ./..."
-go test ./...
+echo "==> go test -timeout 120s ./..."
+go test -timeout 120s ./...
 
-echo "==> go test -race ./internal/mpi ./internal/decomp ./internal/overset"
-go test -race ./internal/mpi ./internal/decomp ./internal/overset
+echo "==> go test -race -timeout 120s ./internal/mpi ./internal/decomp ./internal/overset ./internal/resilience"
+go test -race -timeout 120s ./internal/mpi ./internal/decomp ./internal/overset ./internal/resilience
 
 echo "==> all checks passed"
