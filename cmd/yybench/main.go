@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"repro/internal/bench"
+	"repro/internal/grid"
 )
 
 func main() {
@@ -28,6 +29,8 @@ func main() {
 		scaling   = flag.Bool("scaling", false, "print the model strong-scaling sweep")
 		all       = flag.Bool("all", false, "print everything")
 		measure   = flag.Bool("measure", false, "re-measure the step profile from the live solver instead of the baked reference")
+		jsonDir   = flag.String("json", "", "run the kernel and halo benchmarks and write BENCH_kernels.json/BENCH_halo.json into this directory")
+		gate      = flag.String("gate", "", "re-run the halo benchmarks and fail if allocs/op regresses above this baseline BENCH_halo.json")
 	)
 	flag.Parse()
 
@@ -39,6 +42,17 @@ func main() {
 			fmt.Fprintln(os.Stderr, "yybench:", err)
 			os.Exit(1)
 		}
+	}
+	if *jsonDir != "" {
+		s := grid.NewSpec(17, 17)
+		check(bench.WriteBenchJSON(*jsonDir, s, []int{1, 2, 4}))
+		fmt.Fprintf(w, "wrote %s/BENCH_kernels.json and %s/BENCH_halo.json\n", *jsonDir, *jsonDir)
+		ran = true
+	}
+	if *gate != "" {
+		check(bench.GateHaloAllocs(*gate, grid.NewSpec(17, 17)))
+		fmt.Fprintf(w, "halo alloc gate passed against %s\n", *gate)
+		ran = true
 	}
 	if *all || *table == 1 {
 		bench.RunTable1(w)

@@ -1,0 +1,230 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"repro/internal/decomp"
+	"repro/internal/fd"
+	"repro/internal/field"
+	"repro/internal/grid"
+	"repro/internal/mhd"
+	"repro/internal/par"
+)
+
+// KernelBench is one (kernel, worker-count) measurement of the intra-rank
+// parallelism layer. Speedup is relative to the 1-worker (serial) run of
+// the same kernel in the same report; on a single-CPU host it hovers
+// around 1 and only reflects pool overhead.
+type KernelBench struct {
+	Name         string  `json:"name"`
+	Workers      int     `json:"workers"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	PointsPerSec float64 `json:"points_per_sec"`
+	Speedup      float64 `json:"speedup_vs_serial"`
+}
+
+// HaloBench is one measurement of the zero-alloc halo staging path.
+type HaloBench struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// BenchEnv records the host the numbers were taken on, so a committed
+// report is honest about (for example) a 1-CPU container where no
+// speedup can materialize.
+type BenchEnv struct {
+	CPUs       int    `json:"cpus"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+	Nr         int    `json:"nr"`
+	Nt         int    `json:"nt"`
+	Np         int    `json:"np"`
+}
+
+// KernelReport is the BENCH_kernels.json document.
+type KernelReport struct {
+	Env     BenchEnv      `json:"env"`
+	Kernels []KernelBench `json:"kernels"`
+}
+
+// HaloReport is the BENCH_halo.json document.
+type HaloReport struct {
+	Env        BenchEnv    `json:"env"`
+	Benchmarks []HaloBench `json:"benchmarks"`
+}
+
+func benchEnv(s grid.Spec) BenchEnv {
+	return BenchEnv{
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		Nr:         s.Nr, Nt: s.Nt, Np: s.Np,
+	}
+}
+
+// RunKernelBenches measures the pooled stencil/RHS kernels at each
+// worker count (1 = serial baseline) and derives speedups.
+func RunKernelBenches(s grid.Spec, workers []int) (*KernelReport, error) {
+	sv, err := mhd.NewSolver(s, mhd.Default(), mhd.DefaultIC())
+	if err != nil {
+		return nil, err
+	}
+	pl := sv.Panels[grid.Yin]
+	p := pl.Patch
+	points := float64(p.Nr * p.Nt * p.Np)
+	in := pl.U.P
+	out := field.NewScalar(in.Shape)
+	rhs := mhd.NewState(in.Shape)
+	prm := mhd.Default()
+	mhd.ComputeVTB(pl, &pl.U)
+
+	kernels := []struct {
+		name string
+		fn   func()
+	}{
+		{"fd.Deriv1T", func() { fd.Deriv1T(p, in, out) }},
+		{"fd.Deriv2P", func() { fd.Deriv2P(p, in, out) }},
+		{"mhd.FinishRHS", func() { mhd.FinishRHS(pl, prm, &pl.U, &rhs, nil) }},
+		{"mhd.PanelMaxSpeed", func() { mhd.PanelMaxSpeed(pl, prm) }},
+	}
+
+	rep := &KernelReport{Env: benchEnv(s)}
+	serialNs := map[string]float64{}
+	for _, w := range workers {
+		pool := par.NewPool(w)
+		sv.SetPool(pool)
+		for _, k := range kernels {
+			fn := k.fn
+			res := testing.Benchmark(func(b *testing.B) {
+				for n := 0; n < b.N; n++ {
+					fn()
+				}
+			})
+			ns := float64(res.NsPerOp())
+			if w == 1 {
+				serialNs[k.name] = ns
+			}
+			speedup := 0.0
+			if base := serialNs[k.name]; base > 0 && ns > 0 {
+				speedup = base / ns
+			}
+			rep.Kernels = append(rep.Kernels, KernelBench{
+				Name: k.name, Workers: w, NsPerOp: ns,
+				PointsPerSec: points / (ns * 1e-9),
+				Speedup:      speedup,
+			})
+		}
+		pool.Close()
+		sv.SetPool(nil)
+	}
+	return rep, nil
+}
+
+// RunHaloBenches measures the halo staging path: pack+unpack of a full
+// 8-field exchange phase through the preallocated arena. The committed
+// acceptance number is AllocsPerOp == 0.
+func RunHaloBenches(s grid.Spec) (*HaloReport, error) {
+	p := grid.NewPatch(s, grid.Yin, 1)
+	fields := make([]*field.Scalar, 8)
+	for i := range fields {
+		fields[i] = field.NewScalar(field.Shape{Nr: p.Nr, Nt: p.Nt, Np: p.Np, H: p.H})
+	}
+	hb := decomp.NewHaloBufs(p, len(fields))
+	h := p.H
+
+	rep := &HaloReport{Env: benchEnv(s)}
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"HaloPackUnpackPhi8", func() {
+			buf := hb.PackPhi(fields, h, 0)
+			hb.UnpackPhi(fields, h+p.Np-1, buf)
+		}},
+		{"HaloPackUnpackTheta8", func() {
+			buf := hb.PackTheta(fields, h, 1)
+			hb.UnpackTheta(fields, h+p.Nt-1, buf)
+		}},
+	}
+	for _, c := range cases {
+		fn := c.fn
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for n := 0; n < b.N; n++ {
+				fn()
+			}
+		})
+		rep.Benchmarks = append(rep.Benchmarks, HaloBench{
+			Name:        c.name,
+			NsPerOp:     float64(res.NsPerOp()),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+		})
+	}
+	return rep, nil
+}
+
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// WriteBenchJSON runs both benchmark suites and writes
+// BENCH_kernels.json and BENCH_halo.json into dir.
+func WriteBenchJSON(dir string, s grid.Spec, workers []int) error {
+	kr, err := RunKernelBenches(s, workers)
+	if err != nil {
+		return err
+	}
+	if err := writeJSON(filepath.Join(dir, "BENCH_kernels.json"), kr); err != nil {
+		return err
+	}
+	hr, err := RunHaloBenches(s)
+	if err != nil {
+		return err
+	}
+	return writeJSON(filepath.Join(dir, "BENCH_halo.json"), hr)
+}
+
+// GateHaloAllocs re-measures the halo benchmarks and fails if any
+// allocs/op regresses above the committed baseline — the CI guard that
+// keeps the halo path allocation-free.
+func GateHaloAllocs(baselinePath string, s grid.Spec) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base HaloReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("bench: parsing baseline %s: %w", baselinePath, err)
+	}
+	baseline := map[string]int64{}
+	for _, b := range base.Benchmarks {
+		baseline[b.Name] = b.AllocsPerOp
+	}
+	cur, err := RunHaloBenches(s)
+	if err != nil {
+		return err
+	}
+	for _, b := range cur.Benchmarks {
+		want, ok := baseline[b.Name]
+		if !ok {
+			continue
+		}
+		if b.AllocsPerOp > want {
+			return fmt.Errorf("bench: %s allocates %d allocs/op, baseline %d — halo path regressed",
+				b.Name, b.AllocsPerOp, want)
+		}
+	}
+	return nil
+}

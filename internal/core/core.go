@@ -23,6 +23,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/mhd"
 	"repro/internal/mpi"
+	"repro/internal/par"
 	"repro/internal/snapshot"
 	"repro/internal/sph"
 	"repro/internal/viz"
@@ -47,6 +48,12 @@ type Config struct {
 	// Concurrent steps the two panels on separate goroutines (bit-exact
 	// versus sequential; roughly 2x on multicore hosts).
 	Concurrent bool
+	// Workers sets the intra-rank worker-pool width for the tiled stencil
+	// and overset kernels. 0 selects the automatic split (GOMAXPROCS
+	// divided over the ranks of a parallel run); 1 forces serial kernels.
+	// Every pooled kernel is bit-identical to its serial form, so Workers
+	// changes wall-clock time only.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -98,6 +105,7 @@ type Simulation struct {
 	Solver *mhd.Solver
 
 	dt      float64
+	pool    *par.Pool
 	history []mhd.Diagnostics
 }
 
@@ -110,9 +118,17 @@ func New(cfg Config) (*Simulation, error) {
 	}
 	sv.Concurrent = cfg.Concurrent
 	sim := &Simulation{Cfg: cfg, Solver: sv}
+	if cfg.Workers > 1 {
+		sim.pool = par.NewPool(cfg.Workers)
+		sv.SetPool(sim.pool)
+	}
 	sim.history = append(sim.history, sv.Diagnose())
 	return sim, nil
 }
+
+// Close releases the worker pool, if any. Safe to call on every
+// Simulation, once or more.
+func (s *Simulation) Close() { s.pool.Close() }
 
 // Step advances n time steps with the automatically estimated stable
 // time step, recording diagnostics after the batch.
@@ -223,10 +239,11 @@ func RunParallel(cfg Config, nProcs, steps, recordEvery int, dt float64) ([]mhd.
 	var mu sync.Mutex
 	var out []mhd.Diagnostics
 	err = mpi.Run(nProcs, func(w *mpi.Comm) {
-		r, err := decomp.NewRank(w, layout, *cfg.Params, *cfg.IC)
+		r, err := decomp.NewRankWorkers(w, layout, *cfg.Params, *cfg.IC, cfg.Workers)
 		if err != nil {
 			w.Abort(err)
 		}
+		defer r.Close()
 		step := dt
 		if step <= 0 {
 			step = r.EstimateDT(cfg.SafetyFactor)
@@ -282,10 +299,11 @@ func RunParallelWithCheckpoint(cfg Config, nProcs, steps int, dt float64, w io.W
 	var mu sync.Mutex
 	var out []mhd.Diagnostics
 	err = mpi.Run(nProcs, func(wc *mpi.Comm) {
-		r, err := decomp.NewRank(wc, layout, *cfg.Params, *cfg.IC)
+		r, err := decomp.NewRankWorkers(wc, layout, *cfg.Params, *cfg.IC, cfg.Workers)
 		if err != nil {
 			wc.Abort(err)
 		}
+		defer r.Close()
 		step := dt
 		if step <= 0 {
 			step = r.EstimateDT(cfg.SafetyFactor)

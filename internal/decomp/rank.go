@@ -2,12 +2,14 @@ package decomp
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/field"
 	"repro/internal/grid"
 	"repro/internal/mhd"
 	"repro/internal/mpi"
 	"repro/internal/overset"
+	"repro/internal/par"
 )
 
 // Tag spaces for the three communication phases of a stage.
@@ -41,15 +43,50 @@ type Rank struct {
 	peersSend   []int // sorted peer lists for deterministic iteration
 	peersRecv   []int
 
+	// Preallocated exchange state: the halo/rim staging arena, one
+	// message buffer per overset peer, and the posted-receive request
+	// list — sized once so the steady-state exchange path allocates
+	// nothing.
+	halo      *HaloBufs
+	ovSendBuf map[int][]float64
+	ovRecvBuf map[int][]float64
+	ovReqs    []*mpi.Request
+
+	// pool is the rank's intra-process worker pool (nil means serial
+	// kernels); it is wired into the patch so the stencil kernels of
+	// internal/fd, internal/sphops and internal/mhd route through it.
+	pool *par.Pool
+
 	nrP int // padded radial extent (column length)
 }
 
 // NewRank builds the rank-local solver for world rank w of the layout,
 // splits the world into panels, creates the panel's Cartesian process
-// grid, initializes the local state, and applies all constraints.
+// grid, initializes the local state, and applies all constraints. The
+// rank's worker pool is auto-sized to its share of GOMAXPROCS; use
+// NewRankWorkers to pick the width explicitly. Close the rank after
+// the run to release the pool.
 func NewRank(world *mpi.Comm, l *Layout, prm mhd.Params, ic mhd.InitialConditions) (*Rank, error) {
+	return NewRankWorkers(world, l, prm, ic, 0)
+}
+
+// NewRankWorkers is NewRank with an explicit intra-rank worker count:
+// each rank owns a pool of that many workers, reused across steps, and
+// routes its stencil/overset kernels through it. workers <= 0 selects
+// the automatic per-world share max(1, GOMAXPROCS/worldSize) — the
+// paper's layout of vector pipelines per AP divided among the processes
+// placed on it. workers == 1 keeps the kernels serial. Parallel kernels
+// are bit-identical to serial ones, so the choice never changes
+// results.
+func NewRankWorkers(world *mpi.Comm, l *Layout, prm mhd.Params, ic mhd.InitialConditions, workers int) (*Rank, error) {
 	if world.Size() != l.NProcs {
 		return nil, fmt.Errorf("decomp: layout wants %d processes, world has %d", l.NProcs, world.Size())
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0) / world.Size()
+		if workers < 1 {
+			workers = 1
+		}
 	}
 	panel := l.PanelOf(world.Rank())
 	// MPI_COMM_SPLIT into the Yin and Yang panels.
@@ -60,6 +97,7 @@ func NewRank(world *mpi.Comm, l *Layout, prm mhd.Params, ic mhd.InitialCondition
 		return nil, err
 	}
 	patch := l.SubPatch(world.Rank(), 1)
+	patch.Par = par.NewPool(workers)
 	pl := mhd.NewPanel(patch, prm.Omega)
 	mhd.InitPanel(pl, prm, ic)
 
@@ -70,20 +108,32 @@ func NewRank(world *mpi.Comm, l *Layout, prm mhd.Params, ic mhd.InitialCondition
 		Panel:  panel,
 		PL:     pl,
 		Prm:    prm,
+		pool:   patch.Par,
 		nrP:    l.Spec.Nr + 2*patch.H,
 	}
+	// The rank's largest halo exchange moves the 8 state scalars.
+	r.halo = NewHaloBufs(patch, len(r.stateFields()))
 	if err := r.buildOversetPlan(); err != nil {
+		r.Close()
 		return nil, err
 	}
 	r.applyConstraints()
 	return r, nil
 }
 
+// Close releases the rank's worker pool; the rank must not advance
+// afterwards. Safe on a serial rank and when called twice.
+func (r *Rank) Close() {
+	r.pool.Close()
+}
+
 // buildOversetPlan computes the global rim-interpolation plan (identical
 // on every rank) and keeps the entries where this rank is the donor or
 // the receiver, grouped by the peer's world rank.
 func (r *Rank) buildOversetPlan() error {
-	plan, err := overset.NewPlan(r.Layout.Spec)
+	// The plan is a pure function of the spec; the memoized PlanFor
+	// computes the rim weights once per process instead of once per rank.
+	plan, err := overset.PlanFor(r.Layout.Spec)
 	if err != nil {
 		return err
 	}
@@ -104,6 +154,18 @@ func (r *Rank) buildOversetPlan() error {
 	}
 	r.peersSend = sortedKeys(r.oversetSend)
 	r.peersRecv = sortedKeys(r.oversetRecv)
+	// Pre-size one message buffer per peer (8 columns per target) and
+	// the posted-receive request list, so oversetExchange reuses them
+	// every stage instead of allocating.
+	r.ovSendBuf = map[int][]float64{}
+	for _, peer := range r.peersSend {
+		r.ovSendBuf[peer] = make([]float64, len(r.oversetSend[peer])*8*r.nrP)
+	}
+	r.ovRecvBuf = map[int][]float64{}
+	for _, peer := range r.peersRecv {
+		r.ovRecvBuf[peer] = make([]float64, len(r.oversetRecv[peer])*8*r.nrP)
+	}
+	r.ovReqs = make([]*mpi.Request, len(r.peersRecv))
 	return nil
 }
 
@@ -129,108 +191,75 @@ func (r *Rank) exchangeHalos(fields []*field.Scalar, tagBase int) {
 	north, south, west, east := r.Cart.Neighbours()
 	p := r.PL.Patch
 	h := p.H
-	nrP := r.nrP
-
-	_, ntP, npP := p.Padded()
+	hb := r.halo
+	nf := len(fields)
 
 	// Theta-direction messages span the FULL padded phi range: the phi
 	// exchange runs first, so the theta messages carry the freshly filled
 	// phi-halo values into the diagonal (corner) halo cells. Corner halos
 	// are not needed by the axis-aligned stencils, but the overset donors
 	// interpolate from 2x2 node cells that can straddle a block corner.
-	packTheta := func(j int) []float64 {
-		buf := make([]float64, 0, len(fields)*npP*nrP)
-		for _, f := range fields {
-			for k := 0; k < npP; k++ {
-				buf = append(buf, f.Row(j, k)...)
-			}
-		}
-		return buf
-	}
-	unpackTheta := func(j int, buf []float64) {
-		pos := 0
-		for _, f := range fields {
-			for k := 0; k < npP; k++ {
-				copy(f.Row(j, k), buf[pos:pos+nrP])
-				pos += nrP
-			}
-		}
-	}
-	packPhi := func(k int) []float64 {
-		buf := make([]float64, 0, len(fields)*ntP*nrP)
-		for _, f := range fields {
-			for j := 0; j < ntP; j++ {
-				buf = append(buf, f.Row(j, k)...)
-			}
-		}
-		return buf
-	}
-	unpackPhi := func(k int, buf []float64) {
-		pos := 0
-		for _, f := range fields {
-			for j := 0; j < ntP; j++ {
-				copy(f.Row(j, k), buf[pos:pos+nrP])
-				pos += nrP
-			}
-		}
-	}
-
+	//
 	// Each phase follows the paper's non-blocking pattern: post
 	// MPI_IRECV for both neighbours first, send, then complete each
 	// receive with Wait before unpacking (the ordering the irecv-wait
 	// analyzer in cmd/yyvet enforces). The phases cannot overlap each
 	// other: theta packing must see the freshly unpacked phi halos.
+	// All staging buffers come from the rank's preallocated HaloBufs
+	// arena: Send copies synchronously, and every receive buffer is
+	// consumed within its phase, so reuse is race-free and the
+	// steady-state path allocates nothing.
 
 	// Phase 1: phi direction.
 	var reqEast, reqWest *mpi.Request
 	var bufEast, bufWest []float64
 	if east >= 0 {
-		bufEast = make([]float64, len(fields)*ntP*nrP)
+		bufEast = hb.RecvPhi(nf, dirEast)
 		reqEast = r.Cart.Irecv(east, tagBase+2, bufEast)
 	}
 	if west >= 0 {
-		bufWest = make([]float64, len(fields)*ntP*nrP)
+		bufWest = hb.RecvPhi(nf, dirWest)
 		reqWest = r.Cart.Irecv(west, tagBase+3, bufWest)
 	}
 	if west >= 0 {
-		r.Cart.Send(west, tagBase+2, packPhi(h))
+		r.Cart.Send(west, tagBase+2, hb.PackPhi(fields, h, dirWest))
 	}
 	if east >= 0 {
-		r.Cart.Send(east, tagBase+3, packPhi(h+p.Np-1))
+		r.Cart.Send(east, tagBase+3, hb.PackPhi(fields, h+p.Np-1, dirEast))
 	}
 	if reqEast != nil {
 		reqEast.Wait()
-		unpackPhi(h+p.Np, bufEast)
+		hb.UnpackPhi(fields, h+p.Np, bufEast)
 	}
 	if reqWest != nil {
 		reqWest.Wait()
-		unpackPhi(h-1, bufWest)
+		hb.UnpackPhi(fields, h-1, bufWest)
 	}
 
 	// Phase 2: theta direction, now carrying phi halos.
 	var reqNorth, reqSouth *mpi.Request
 	var bufNorth, bufSouth []float64
 	if south >= 0 {
-		bufSouth = make([]float64, len(fields)*npP*nrP)
+		bufSouth = hb.RecvTheta(nf, dirSouth)
 		reqSouth = r.Cart.Irecv(south, tagBase+0, bufSouth)
 	}
 	if north >= 0 {
-		bufNorth = make([]float64, len(fields)*npP*nrP)
+		bufNorth = hb.RecvTheta(nf, dirNorth)
 		reqNorth = r.Cart.Irecv(north, tagBase+1, bufNorth)
 	}
 	if north >= 0 {
-		r.Cart.Send(north, tagBase+0, packTheta(h))
+		r.Cart.Send(north, tagBase+0, hb.PackTheta(fields, h, dirNorth))
 	}
 	if south >= 0 {
-		r.Cart.Send(south, tagBase+1, packTheta(h+p.Nt-1))
+		r.Cart.Send(south, tagBase+1, hb.PackTheta(fields, h+p.Nt-1, dirSouth))
 	}
 	if reqSouth != nil {
 		reqSouth.Wait()
-		unpackTheta(h+p.Nt, bufSouth)
+		hb.UnpackTheta(fields, h+p.Nt, bufSouth)
 	}
 	if reqNorth != nil {
 		reqNorth.Wait()
-		unpackTheta(h-1, bufNorth)
+		hb.UnpackTheta(fields, h-1, bufNorth)
 	}
 }
 
@@ -247,57 +276,60 @@ func (r *Rank) oversetExchange() {
 
 	// Post one non-blocking receive per donating peer before any work,
 	// so every incoming rim message has a matching MPI_IRECV in flight
-	// while this rank interpolates its own donations.
-	recvBufs := make([][]float64, len(r.peersRecv))
-	recvReqs := make([]*mpi.Request, len(r.peersRecv))
+	// while this rank interpolates its own donations. The per-peer
+	// message buffers and the request list were pre-sized by
+	// buildOversetPlan and are reused every stage.
 	for pi, peer := range r.peersRecv {
-		recvBufs[pi] = make([]float64, len(r.oversetRecv[peer])*8*nrP)
-		recvReqs[pi] = r.World.Irecv(peer, tagOversetBase, recvBufs[pi])
+		r.ovReqs[pi] = r.World.Irecv(peer, tagOversetBase, r.ovRecvBuf[peer])
 	}
 
-	// Donate.
+	// Donate: each target interpolates its 8 columns (2 scalars + 2
+	// rotated vectors) directly into its own disjoint segment of the
+	// peer's send buffer, range-split over the rank's worker pool —
+	// bit-identical to a serial target loop.
 	for _, peer := range r.peersSend {
 		targets := r.oversetSend[peer]
-		buf := make([]float64, 0, len(targets)*8*nrP)
-		col := make([]float64, nrP)
-		colT := make([]float64, nrP)
-		colP := make([]float64, nrP)
-		for _, t := range targets {
-			ldj := t.DJ - p.JOff + h
-			ldk := t.DK - p.KOff + h
-			gather := func(f *field.Scalar, dst []float64) {
-				r0 := f.Row(ldj, ldk)
-				r1 := f.Row(ldj+1, ldk)
-				r2 := f.Row(ldj, ldk+1)
-				r3 := f.Row(ldj+1, ldk+1)
-				for i := range dst {
-					dst[i] = t.W[0]*r0[i] + t.W[1]*r1[i] + t.W[2]*r2[i] + t.W[3]*r3[i]
+		buf := r.ovSendBuf[peer]
+		p.Par.For(len(targets), func(lo, hi int) {
+			for ti := lo; ti < hi; ti++ {
+				t := targets[ti]
+				seg := buf[ti*8*nrP : (ti+1)*8*nrP]
+				ldj := t.DJ - p.JOff + h
+				ldk := t.DK - p.KOff + h
+				gather := func(f *field.Scalar, dst []float64) {
+					r0 := f.Row(ldj, ldk)
+					r1 := f.Row(ldj+1, ldk)
+					r2 := f.Row(ldj, ldk+1)
+					r3 := f.Row(ldj+1, ldk+1)
+					for i := range dst {
+						dst[i] = t.W[0]*r0[i] + t.W[1]*r1[i] + t.W[2]*r2[i] + t.W[3]*r3[i]
+					}
 				}
-			}
-			gather(u.Rho, col)
-			buf = append(buf, col...)
-			gather(u.P, col)
-			buf = append(buf, col...)
-			for _, v := range []*field.Vector{u.F, u.A} {
-				gather(v.R, col)
-				gather(v.T, colT)
-				gather(v.P, colP)
-				for i := range colT {
-					colT[i], colP[i] = t.Rot.Apply(colT[i], colP[i])
+				rotate := func(ct, cp []float64) {
+					for i := range ct {
+						ct[i], cp[i] = t.Rot.Apply(ct[i], cp[i])
+					}
 				}
-				buf = append(buf, col...)
-				buf = append(buf, colT...)
-				buf = append(buf, colP...)
+				gather(u.Rho, seg[0:nrP])
+				gather(u.P, seg[nrP:2*nrP])
+				gather(u.F.R, seg[2*nrP:3*nrP])
+				gather(u.F.T, seg[3*nrP:4*nrP])
+				gather(u.F.P, seg[4*nrP:5*nrP])
+				rotate(seg[3*nrP:4*nrP], seg[4*nrP:5*nrP])
+				gather(u.A.R, seg[5*nrP:6*nrP])
+				gather(u.A.T, seg[6*nrP:7*nrP])
+				gather(u.A.P, seg[7*nrP:8*nrP])
+				rotate(seg[6*nrP:7*nrP], seg[7*nrP:8*nrP])
 			}
-		}
+		})
 		r.World.Send(peer, tagOversetBase, buf)
 	}
 
 	// Receive: complete each posted request, then scatter.
 	for pi, peer := range r.peersRecv {
 		targets := r.oversetRecv[peer]
-		recvReqs[pi].Wait()
-		buf := recvBufs[pi]
+		r.ovReqs[pi].Wait()
+		buf := r.ovRecvBuf[peer]
 		pos := 0
 		take := func(dst []float64) {
 			copy(dst, buf[pos:pos+nrP])
@@ -362,12 +394,16 @@ func (r *Rank) rimRefresh() {
 	north, south, west, east := r.Cart.Neighbours()
 	p := r.PL.Patch
 	h := p.H
-	nrP := r.nrP
+	hb := r.halo
 	fields := r.stateFields()
+	nf := len(fields)
 	spec := r.Layout.Spec
 
-	// Local padded indices of the global rim columns/rows this block owns.
-	var rimCols, rimRows []int
+	// Local padded indices of the global rim columns/rows this block
+	// owns. At most two per direction, so a fixed backing array keeps
+	// this allocation-free.
+	var rimColsA, rimRowsA [2]int
+	rimCols, rimRows := rimColsA[:0], rimRowsA[:0]
 	if p.KOff == 0 {
 		rimCols = append(rimCols, h)
 	}
@@ -381,97 +417,60 @@ func (r *Rank) rimRefresh() {
 		rimRows = append(rimRows, h+p.Nt-1)
 	}
 
-	packRowCells := func(j int) []float64 {
-		buf := make([]float64, 0, len(fields)*len(rimCols)*nrP)
-		for _, f := range fields {
-			for _, k := range rimCols {
-				buf = append(buf, f.Row(j, k)...)
-			}
-		}
-		return buf
-	}
-	unpackRowCells := func(j int, buf []float64) {
-		pos := 0
-		for _, f := range fields {
-			for _, k := range rimCols {
-				copy(f.Row(j, k), buf[pos:pos+nrP])
-				pos += nrP
-			}
-		}
-	}
-	packColCells := func(k int) []float64 {
-		buf := make([]float64, 0, len(fields)*len(rimRows)*nrP)
-		for _, f := range fields {
-			for _, j := range rimRows {
-				buf = append(buf, f.Row(j, k)...)
-			}
-		}
-		return buf
-	}
-	unpackColCells := func(k int, buf []float64) {
-		pos := 0
-		for _, f := range fields {
-			for _, j := range rimRows {
-				copy(f.Row(j, k), buf[pos:pos+nrP])
-				pos += nrP
-			}
-		}
-	}
-
 	// Theta neighbours share this block's column range, so the same
 	// rimCols predicate holds on both sides; likewise for rows in phi.
-	// Posted-receive pattern as in exchangeHalos: Irecv, send, Wait,
-	// unpack.
+	// Posted-receive pattern as in exchangeHalos (Irecv, send, Wait,
+	// unpack), with all staging drawn from the HaloBufs arena.
 	if len(rimCols) > 0 {
 		var reqSouth, reqNorth *mpi.Request
 		var bufSouth, bufNorth []float64
 		if south >= 0 {
-			bufSouth = make([]float64, len(fields)*len(rimCols)*nrP)
+			bufSouth = hb.RecvCells(nf, len(rimCols), dirSouth)
 			reqSouth = r.Cart.Irecv(south, tagRimBase+0, bufSouth)
 		}
 		if north >= 0 {
-			bufNorth = make([]float64, len(fields)*len(rimCols)*nrP)
+			bufNorth = hb.RecvCells(nf, len(rimCols), dirNorth)
 			reqNorth = r.Cart.Irecv(north, tagRimBase+1, bufNorth)
 		}
 		if north >= 0 {
-			r.Cart.Send(north, tagRimBase+0, packRowCells(h))
+			r.Cart.Send(north, tagRimBase+0, hb.PackRowCells(fields, h, rimCols, dirNorth))
 		}
 		if south >= 0 {
-			r.Cart.Send(south, tagRimBase+1, packRowCells(h+p.Nt-1))
+			r.Cart.Send(south, tagRimBase+1, hb.PackRowCells(fields, h+p.Nt-1, rimCols, dirSouth))
 		}
 		if reqSouth != nil {
 			reqSouth.Wait()
-			unpackRowCells(h+p.Nt, bufSouth)
+			hb.UnpackRowCells(fields, h+p.Nt, rimCols, bufSouth)
 		}
 		if reqNorth != nil {
 			reqNorth.Wait()
-			unpackRowCells(h-1, bufNorth)
+			hb.UnpackRowCells(fields, h-1, rimCols, bufNorth)
 		}
 	}
 	if len(rimRows) > 0 {
 		var reqEast, reqWest *mpi.Request
 		var bufEast, bufWest []float64
 		if east >= 0 {
-			bufEast = make([]float64, len(fields)*len(rimRows)*nrP)
+			bufEast = hb.RecvCells(nf, len(rimRows), dirEast)
 			reqEast = r.Cart.Irecv(east, tagRimBase+2, bufEast)
 		}
 		if west >= 0 {
-			bufWest = make([]float64, len(fields)*len(rimRows)*nrP)
+			bufWest = hb.RecvCells(nf, len(rimRows), dirWest)
 			reqWest = r.Cart.Irecv(west, tagRimBase+3, bufWest)
 		}
 		if west >= 0 {
-			r.Cart.Send(west, tagRimBase+2, packColCells(h))
+			r.Cart.Send(west, tagRimBase+2, hb.PackColCells(fields, h, rimRows, dirWest))
 		}
 		if east >= 0 {
-			r.Cart.Send(east, tagRimBase+3, packColCells(h+p.Np-1))
+			r.Cart.Send(east, tagRimBase+3, hb.PackColCells(fields, h+p.Np-1, rimRows, dirEast))
 		}
 		if reqEast != nil {
 			reqEast.Wait()
-			unpackColCells(h+p.Np, bufEast)
+			hb.UnpackColCells(fields, h+p.Np, rimRows, bufEast)
 		}
 		if reqWest != nil {
 			reqWest.Wait()
-			unpackColCells(h-1, bufWest)
+			hb.UnpackColCells(fields, h-1, rimRows, bufWest)
 		}
 	}
 }

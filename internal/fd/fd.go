@@ -27,12 +27,24 @@ func count(p *grid.Patch, fl int) {
 	perfcount.AddVectorLoops(int64(p.Nt)*int64(p.Np), n)
 }
 
+// sweepK runs body(k) for every interior phi index, range-split over
+// the patch worker pool. Each k owns a disjoint set of output rows, so
+// the parallel sweep is bit-identical to the serial one.
+func sweepK(p *grid.Patch, body func(k int)) {
+	h := p.H
+	p.Par.For(p.Np, func(lo, hi int) {
+		for k := h + lo; k < h+hi; k++ {
+			body(k)
+		}
+	})
+}
+
 // Deriv1R writes the first radial derivative of f into out.
 func Deriv1R(p *grid.Patch, f, out *field.Scalar) {
 	h := p.H
 	c := 1 / (2 * p.Dr)
 	lo, hi := p.GlobalEdge(0), p.GlobalEdge(1)
-	for k := h; k < h+p.Np; k++ {
+	sweepK(p, func(k int) {
 		for j := h; j < h+p.Nt; j++ {
 			fr := f.Row(j, k)
 			or := out.Row(j, k)
@@ -48,7 +60,7 @@ func Deriv1R(p *grid.Patch, f, out *field.Scalar) {
 				or[i] = c * (3*fr[i] - 4*fr[i-1] + fr[i-2])
 			}
 		}
-	}
+	})
 	count(p, 3)
 }
 
@@ -59,7 +71,7 @@ func Deriv2R(p *grid.Patch, f, out *field.Scalar) {
 	h := p.H
 	c := 1 / (p.Dr * p.Dr)
 	lo, hi := p.GlobalEdge(0), p.GlobalEdge(1)
-	for k := h; k < h+p.Np; k++ {
+	sweepK(p, func(k int) {
 		for j := h; j < h+p.Nt; j++ {
 			fr := f.Row(j, k)
 			or := out.Row(j, k)
@@ -75,7 +87,7 @@ func Deriv2R(p *grid.Patch, f, out *field.Scalar) {
 				or[i] = c * (fr[i] - 2*fr[i-1] + fr[i-2])
 			}
 		}
-	}
+	})
 	count(p, 4)
 }
 
@@ -84,7 +96,7 @@ func Deriv1T(p *grid.Patch, f, out *field.Scalar) {
 	h := p.H
 	c := 1 / (2 * p.Dt)
 	lo, hi := p.GlobalEdge(2), p.GlobalEdge(3)
-	for k := h; k < h+p.Np; k++ {
+	sweepK(p, func(k int) {
 		for j := h; j < h+p.Nt; j++ {
 			fp := f.Row(j+1, k)
 			fm := f.Row(j-1, k)
@@ -106,7 +118,7 @@ func Deriv1T(p *grid.Patch, f, out *field.Scalar) {
 				}
 			}
 		}
-	}
+	})
 	count(p, 3)
 }
 
@@ -115,7 +127,7 @@ func Deriv2T(p *grid.Patch, f, out *field.Scalar) {
 	h := p.H
 	c := 1 / (p.Dt * p.Dt)
 	lo, hi := p.GlobalEdge(2), p.GlobalEdge(3)
-	for k := h; k < h+p.Np; k++ {
+	sweepK(p, func(k int) {
 		for j := h; j < h+p.Nt; j++ {
 			fc := f.Row(j, k)
 			fp := f.Row(j+1, k)
@@ -138,7 +150,7 @@ func Deriv2T(p *grid.Patch, f, out *field.Scalar) {
 				}
 			}
 		}
-	}
+	})
 	count(p, 4)
 }
 
@@ -147,7 +159,7 @@ func Deriv1P(p *grid.Patch, f, out *field.Scalar) {
 	h := p.H
 	c := 1 / (2 * p.Dp)
 	lo, hi := p.GlobalEdge(4), p.GlobalEdge(5)
-	for k := h; k < h+p.Np; k++ {
+	sweepK(p, func(k int) {
 		kp, km := k+1, k-1
 		oneSided := 0
 		switch {
@@ -177,7 +189,7 @@ func Deriv1P(p *grid.Patch, f, out *field.Scalar) {
 				}
 			}
 		}
-	}
+	})
 	count(p, 3)
 }
 
@@ -186,7 +198,7 @@ func Deriv2P(p *grid.Patch, f, out *field.Scalar) {
 	h := p.H
 	c := 1 / (p.Dp * p.Dp)
 	lo, hi := p.GlobalEdge(4), p.GlobalEdge(5)
-	for k := h; k < h+p.Np; k++ {
+	sweepK(p, func(k int) {
 		oneSided := 0
 		switch {
 		case lo && k == h:
@@ -216,6 +228,6 @@ func Deriv2P(p *grid.Patch, f, out *field.Scalar) {
 				}
 			}
 		}
-	}
+	})
 	count(p, 4)
 }

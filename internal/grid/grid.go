@@ -17,6 +17,7 @@ import (
 	"math"
 
 	"repro/internal/field"
+	"repro/internal/par"
 )
 
 // Panel identifies a component grid of the overset pair.
@@ -120,6 +121,13 @@ type Patch struct {
 	SinT, CosT     []float64
 	CotT, InvSinT  []float64
 	Phi            []float64 // longitude, len Np+2H
+
+	// Par, when non-nil, is the intra-rank worker pool the stencil and
+	// overset kernels route their outer (phi) loops through — the
+	// software stand-in for the vector pipelines of one Earth Simulator
+	// AP. nil (the default) means serial; all kernels are bit-identical
+	// either way because parallel ranges write disjoint rows.
+	Par *par.Pool
 }
 
 // NewPatch builds a full-panel patch with halo width h.

@@ -1,0 +1,133 @@
+package mhd
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/par"
+)
+
+// TestPooledKernelsBitIdentical is the world-size-1 golden test of the
+// intra-rank parallelism layer: the same solver advanced 10 steps with
+// serial kernels and with a 3-worker pool must agree bit for bit in
+// every state variable. The pooled kernels split loops over disjoint
+// index ranges and combine reductions in fixed tile order, so this is
+// an exact equality, not a tolerance comparison.
+func TestPooledKernelsBitIdentical(t *testing.T) {
+	run := func(workers int) *Solver {
+		sv, err := NewSolver(grid.NewSpec(9, 13), Default(), DefaultIC())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if workers > 1 {
+			pool := par.NewPool(workers)
+			defer pool.Close()
+			sv.SetPool(pool)
+		}
+		dt := sv.EstimateDT(0.3)
+		for n := 0; n < 10; n++ {
+			sv.Advance(dt)
+		}
+		return sv
+	}
+	serial := run(1)
+	pooled := run(3)
+	//yyvet:ignore float-eq bit-identity is the property under test
+	if serial.Time != pooled.Time {
+		t.Fatalf("time diverged: serial %x pooled %x", serial.Time, pooled.Time)
+	}
+	for pi, pl := range serial.Panels {
+		pp := pooled.Panels[pi]
+		for vi, f := range pl.U.Scalars() {
+			g := pp.U.Scalars()[vi]
+			for n := range f.Data {
+				//yyvet:ignore float-eq bit-identity is the property under test
+				if f.Data[n] != g.Data[n] {
+					t.Fatalf("panel %d var %d index %d: serial %x pooled %x",
+						pi, vi, n, f.Data[n], g.Data[n])
+				}
+			}
+		}
+	}
+}
+
+// TestPooledDivBFree: advancing 10 steps with pooled kernels keeps
+// B = curl A divergence-free at truncation level — the structural
+// conservation property must survive the parallel code path.
+func TestPooledDivBFree(t *testing.T) {
+	ic := DefaultIC()
+	ic.SeedBAmp = 0.05
+	sv, err := NewSolver(grid.NewSpec(17, 17), Default(), ic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := par.NewPool(3)
+	defer pool.Close()
+	sv.SetPool(pool)
+	dt := sv.EstimateDT(0.3)
+	for n := 0; n < 10; n++ {
+		sv.Advance(dt)
+	}
+	for _, pl := range sv.Panels {
+		ComputeVTB(pl, &pl.U)
+		p := pl.Patch
+		div := p.NewScalar()
+		sphopsDiv(pl, div)
+		h := p.H
+		margin := 2
+		var worst, bscale float64
+		for k := h + margin; k < h+p.Np-margin; k++ {
+			for j := h + margin; j < h+p.Nt-margin; j++ {
+				for i := h + margin; i < h+p.Nr-margin; i++ {
+					if b := math.Abs(pl.B.R.At(i, j, k)); b > bscale {
+						bscale = b
+					}
+					if d := math.Abs(div.At(i, j, k)); d > worst {
+						worst = d
+					}
+				}
+			}
+		}
+		// Truncation-level: |div B| stays a small multiple of |B|/L
+		// at this resolution (h^2-class, observed ~0.02; allow 5x).
+		if worst > 0.1*bscale/0.65 {
+			t.Errorf("%s: pooled divB %g vs B scale %g — above truncation level",
+				pl.Patch.Panel, worst, bscale)
+		}
+	}
+}
+
+// TestPooledEnergyBalance: the discrete magnetic energy budget
+// d(Em)/dt = -LorentzWork - JouleHeat holds with pooled kernels exactly
+// as it does serially (the budget itself is a serial reduction; the
+// advance between measurements runs through the pool).
+func TestPooledEnergyBalance(t *testing.T) {
+	prm := quietParams()
+	prm.Eta = 0.01
+	ic := InitialConditions{SeedBAmp: 0.05, Modes: 0, Seed: 1}
+	sv, err := NewSolver(grid.NewSpec(17, 17), prm, ic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := par.NewPool(3)
+	defer pool.Close()
+	sv.SetPool(pool)
+	dt := sv.EstimateDT(0.2)
+	sv.Advance(dt)
+
+	b := ComputeBudget(sv)
+	em0 := sv.Diagnose().MagneticE
+	small := dt / 4
+	sv.Advance(small)
+	em1 := sv.Diagnose().MagneticE
+	measured := (em1 - em0) / small
+	want := -b.LorentzWork - b.JouleHeat
+	if b.JouleHeat <= 0 {
+		t.Fatalf("no Joule heating: %+v", b)
+	}
+	rel := math.Abs(measured-want) / math.Abs(want)
+	if rel > 0.25 {
+		t.Errorf("pooled dEm/dt = %g, budget predicts %g (%.0f%% off)", measured, want, rel*100)
+	}
+}

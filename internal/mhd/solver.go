@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/grid"
 	"repro/internal/overset"
+	"repro/internal/par"
 )
 
 // Solver is the serial two-panel Yin-Yang geodynamo solver: it advances
@@ -59,7 +60,7 @@ func newSolver(s grid.Spec, prm Params, ic InitialConditions, order int) (*Solve
 	if err := prm.Validate(); err != nil {
 		return nil, err
 	}
-	plan, err := overset.NewPlan(s)
+	plan, err := overset.PlanFor(s)
 	if err != nil {
 		return nil, err
 	}
@@ -80,6 +81,25 @@ func newSolver(s grid.Spec, prm Params, ic InitialConditions, order int) (*Solve
 	sv.applyConstraints()
 	return sv, nil
 }
+
+// SetPool routes the stencil and overset kernels of both panels through
+// the worker pool (nil restores serial kernels). All routed kernels are
+// bit-identical to their serial forms, so SetPool never changes
+// results, only wall-clock time. The solver does not own the pool: the
+// caller creates it once per rank and closes it after the run. Safe
+// with Concurrent — concurrent For calls on one pool are independent.
+func (sv *Solver) SetPool(pool *par.Pool) {
+	for _, pl := range sv.Panels {
+		pl.Patch.Par = pool
+	}
+	sv.ex.SetPool(pool)
+}
+
+// ApplyConstraints re-imposes the wall and overset internal boundary
+// conditions on the current state — the halo-rebuilding step a restored
+// checkpoint needs, since checkpoints carry only the interior (the
+// padded rim values are always a pure function of it).
+func (sv *Solver) ApplyConstraints() { sv.applyConstraints() }
 
 // applyConstraints imposes wall boundary conditions and the Yin-Yang
 // internal boundary condition on the current state of both panels. The
@@ -168,33 +188,38 @@ func (sv *Solver) Advance(dt float64) {
 
 // PanelMaxSpeed returns the fastest characteristic speed on the panel:
 // flow speed plus the fast magnetosonic speed sqrt(cs^2 + vA^2).
-// ComputeVTB must have run for the panel.
+// ComputeVTB must have run for the panel. The reduction is tiled over
+// the patch worker pool with deterministic per-tile partial maxima
+// combined in fixed tile order; because max is exact (comparison, not
+// accumulation), the result is bit-identical to the serial scan.
 func PanelMaxSpeed(pl *Panel, prm Params) float64 {
 	p := pl.Patch
 	h := p.H
-	var vmax float64
-	for k := h; k < h+p.Np; k++ {
-		for j := h; j < h+p.Nt; j++ {
-			rho := pl.U.Rho.Row(j, k)
-			tt := pl.T.Row(j, k)
-			vr := pl.V.R.Row(j, k)
-			vt := pl.V.T.Row(j, k)
-			vp := pl.V.P.Row(j, k)
-			br := pl.B.R.Row(j, k)
-			bt := pl.B.T.Row(j, k)
-			bp := pl.B.P.Row(j, k)
-			for i := h; i < h+p.Nr; i++ {
-				cs2 := prm.Gamma * math.Abs(tt[i])
-				va2 := (br[i]*br[i] + bt[i]*bt[i] + bp[i]*bp[i]) / math.Max(rho[i], 1e-12)
-				sp := math.Sqrt(vr[i]*vr[i]+vt[i]*vt[i]+vp[i]*vp[i]) +
-					math.Sqrt(cs2+va2)
-				if sp > vmax {
-					vmax = sp
+	return p.Par.ReduceMax(p.Np, func(klo, khi int) float64 {
+		var vmax float64
+		for k := h + klo; k < h+khi; k++ {
+			for j := h; j < h+p.Nt; j++ {
+				rho := pl.U.Rho.Row(j, k)
+				tt := pl.T.Row(j, k)
+				vr := pl.V.R.Row(j, k)
+				vt := pl.V.T.Row(j, k)
+				vp := pl.V.P.Row(j, k)
+				br := pl.B.R.Row(j, k)
+				bt := pl.B.T.Row(j, k)
+				bp := pl.B.P.Row(j, k)
+				for i := h; i < h+p.Nr; i++ {
+					cs2 := prm.Gamma * math.Abs(tt[i])
+					va2 := (br[i]*br[i] + bt[i]*bt[i] + bp[i]*bp[i]) / math.Max(rho[i], 1e-12)
+					sp := math.Sqrt(vr[i]*vr[i]+vt[i]*vt[i]+vp[i]*vp[i]) +
+						math.Sqrt(cs2+va2)
+					if sp > vmax {
+						vmax = sp
+					}
 				}
 			}
 		}
-	}
-	return vmax
+		return vmax
+	})
 }
 
 // MinGridSpacing returns the smallest physical node distance of the

@@ -1,0 +1,62 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestPayloadFreeListZeroAlloc pins the zero-alloc half of the halo
+// path that lives in the runtime: once a payload length has been seen,
+// the get/put cycle backing every Send's synchronous copy draws from
+// the exact-length free list and allocates nothing.
+func TestPayloadFreeListZeroAlloc(t *testing.T) {
+	ctx := newContext(RunConfig{})
+	// Warm one bucket.
+	ctx.putBuf(make([]float64, 4096))
+	allocs := testing.AllocsPerRun(100, func() {
+		b := ctx.getBuf(4096)
+		ctx.putBuf(b)
+	})
+	//yyvet:ignore float-eq AllocsPerRun returns an exact small integer
+	if allocs != 0 {
+		t.Fatalf("payload free list allocates %v allocs/op in steady state, want 0", allocs)
+	}
+}
+
+// TestPayloadFreeListExactLength checks the buckets are exact-length:
+// a request for an unseen length allocates a fresh buffer rather than
+// slicing a longer one.
+func TestPayloadFreeListExactLength(t *testing.T) {
+	ctx := newContext(RunConfig{})
+	ctx.putBuf(make([]float64, 64))
+	if got := ctx.getBuf(32); len(got) != 32 || cap(got) != 32 {
+		t.Fatalf("getBuf(32) = len %d cap %d, want exact 32", len(got), cap(got))
+	}
+	if got := ctx.getBuf(64); len(got) != 64 {
+		t.Fatalf("getBuf(64) = len %d, want recycled 64", len(got))
+	}
+}
+
+// TestSendRecvRecyclesPayload checks the end-to-end cycle: a received
+// message's internal copy is returned to the free list and reused by
+// the next same-length send.
+func TestSendRecvRecyclesPayload(t *testing.T) {
+	err := Run(2, func(c *Comm) {
+		peer := 1 - c.Rank()
+		out := make([]float64, 256)
+		in := make([]float64, 256)
+		for round := 0; round < 4; round++ {
+			out[0] = float64(round)
+			req := c.Irecv(peer, 3, in)
+			c.Send(peer, 3, out)
+			req.Wait()
+			//yyvet:ignore float-eq small-integer payload survives the copy exactly
+			if in[0] != float64(round) {
+				c.Abort(fmt.Errorf("round %d: got %v", round, in[0]))
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -147,6 +147,15 @@ type context struct {
 	mu sync.Mutex
 	// mailboxes indexed by communicator id, then rank.
 	boxes map[int][]*mailbox
+
+	// bufMu guards bufPool, the exact-length free lists backing message
+	// payload copies: send draws its copy buffer here and recv returns
+	// it once the receiver has copied the data out, so the steady-state
+	// point-to-point path performs no payload allocations. An explicit
+	// free list (rather than sync.Pool) keeps allocs/op deterministically
+	// zero after warmup, which the halo benchmarks assert.
+	bufMu   sync.Mutex
+	bufPool map[int][][]float64
 	// deterministic communicator ids for Split results.
 	commIDs map[string]int
 	nextID  int
@@ -180,6 +189,7 @@ func newContext(cfg RunConfig) *context {
 		splits:   map[string]*splitState{},
 		cfg:      cfg,
 		waiters:  map[*waiter]struct{}{},
+		bufPool:  map[int][][]float64{},
 	}
 	ctx.cond = sync.NewCond(&ctx.mu)
 	return ctx
@@ -204,6 +214,32 @@ func (ctx *context) abort(err error) {
 	for _, mb := range boxes {
 		mb.abort(err)
 	}
+}
+
+// getBuf returns a payload buffer of exactly n elements, reusing a
+// previously released one when available.
+func (ctx *context) getBuf(n int) []float64 {
+	ctx.bufMu.Lock()
+	if list := ctx.bufPool[n]; len(list) > 0 {
+		b := list[len(list)-1]
+		list[len(list)-1] = nil
+		ctx.bufPool[n] = list[:len(list)-1]
+		ctx.bufMu.Unlock()
+		return b
+	}
+	ctx.bufMu.Unlock()
+	return make([]float64, n)
+}
+
+// putBuf releases a payload buffer back to the free list. The caller
+// must not touch b afterwards.
+func (ctx *context) putBuf(b []float64) {
+	if len(b) == 0 {
+		return
+	}
+	ctx.bufMu.Lock()
+	ctx.bufPool[len(b)] = append(ctx.bufPool[len(b)], b)
+	ctx.bufMu.Unlock()
 }
 
 // register adds a blocked-rank record when a deadline is armed; it
@@ -473,7 +509,7 @@ func (c *Comm) send(dst, tag int, data []float64) {
 	if dst < 0 || dst >= c.size {
 		panic(fmt.Sprintf("mpi: send to invalid rank %d of %d", dst, c.size))
 	}
-	cp := make([]float64, len(data))
+	cp := c.ctx.getBuf(len(data))
 	copy(cp, data)
 	c.ctx.mu.Lock()
 	box := c.ctx.boxes[c.id][dst]
@@ -483,6 +519,7 @@ func (c *Comm) send(dst, tag int, data []float64) {
 		if act, d, ok := p.actionFor(c.id, c.rank, dst, tag); ok {
 			switch act {
 			case Drop:
+				c.ctx.putBuf(cp)
 				return
 			case Delay:
 				perfcount.AddComm(int64(8 * len(data)))
@@ -490,7 +527,7 @@ func (c *Comm) send(dst, tag int, data []float64) {
 				return
 			case Duplicate:
 				box.put(m)
-				dup := make([]float64, len(cp))
+				dup := c.ctx.getBuf(len(cp))
 				copy(dup, cp)
 				box.put(message{src: c.rank, tag: tag, data: dup})
 				perfcount.AddComm(int64(16 * len(data)))
@@ -523,8 +560,12 @@ func (c *Comm) recv(src, tag int, buf []float64, site string) int {
 	if len(m.data) > len(buf) {
 		panic(fmt.Sprintf("mpi: message of %d elements overflows buffer of %d", len(m.data), len(buf)))
 	}
+	n := len(m.data)
 	copy(buf, m.data)
-	return len(m.data)
+	// The payload has been copied out; recycle its buffer for a later
+	// send so the steady-state exchange path stops allocating.
+	c.ctx.putBuf(m.data)
+	return n
 }
 
 // recvResult carries an Irecv completion, or the panic that ended it.

@@ -19,6 +19,7 @@ import (
 	"repro/internal/coords"
 	"repro/internal/field"
 	"repro/internal/grid"
+	"repro/internal/par"
 	"repro/internal/perfcount"
 )
 
@@ -153,9 +154,15 @@ type Exchanger struct {
 	plan *Plan
 	h    int
 	nrP  int
+	pool *par.Pool
 	// staging buffers: per target, one radial column (x3 for vectors)
 	a, b [][3][]float64
 }
+
+// SetPool routes the gather (interpolation) loops through the worker
+// pool; each target owns disjoint staging columns, so the parallel
+// gather is bit-identical to the serial one. nil restores serial.
+func (e *Exchanger) SetPool(pool *par.Pool) { e.pool = pool }
 
 // NewExchanger builds an exchanger for full-panel fields with halo width
 // h over the plan's spec.
@@ -183,10 +190,13 @@ func (e *Exchanger) count(components int) {
 // the partner panel.
 func (e *Exchanger) ExchangeScalar(yin, yang *field.Scalar) {
 	h := e.h
-	for i, t := range e.plan.Targets {
-		gatherScalar(yang, t, h, e.a[i][0]) // Yin rim <- Yang donors
-		gatherScalar(yin, t, h, e.b[i][0])  // Yang rim <- Yin donors
-	}
+	e.pool.For(len(e.plan.Targets), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			t := e.plan.Targets[i]
+			gatherScalar(yang, t, h, e.a[i][0]) // Yin rim <- Yang donors
+			gatherScalar(yin, t, h, e.b[i][0])  // Yang rim <- Yin donors
+		}
+	})
 	for i, t := range e.plan.Targets {
 		copy(yin.Row(t.Recv.J+h, t.Recv.K+h), e.a[i][0])
 		copy(yang.Row(t.Recv.J+h, t.Recv.K+h), e.b[i][0])
@@ -198,10 +208,13 @@ func (e *Exchanger) ExchangeScalar(yin, yang *field.Scalar) {
 // the partner panel, rotating tangential components between the frames.
 // The radial component is frame-invariant.
 func (e *Exchanger) ExchangeVector(yin, yang *field.Vector) {
-	for i, t := range e.plan.Targets {
-		e.gatherVector(yang, t, e.a[i])
-		e.gatherVector(yin, t, e.b[i])
-	}
+	e.pool.For(len(e.plan.Targets), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			t := e.plan.Targets[i]
+			e.gatherVector(yang, t, e.a[i])
+			e.gatherVector(yin, t, e.b[i])
+		}
+	})
 	for i, t := range e.plan.Targets {
 		e.scatterVector(yin, t, e.a[i])
 		e.scatterVector(yang, t, e.b[i])

@@ -1,0 +1,97 @@
+package overset
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+// TestPlanForCaches: the interpolation plan is a pure function of the
+// grid spec, so the cache must hand every caller of the same spec the
+// same *Plan (built once), and distinct specs distinct plans.
+func TestPlanForCaches(t *testing.T) {
+	s := grid.NewSpec(9, 13)
+	a, err := PlanFor(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PlanFor(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("PlanFor rebuilt the plan for an already-seen spec")
+	}
+	c, err := PlanFor(grid.NewSpec(9, 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Error("distinct specs share a plan")
+	}
+}
+
+// TestSampleEntryMatchesInterpAt pins the cached-weights fix: a
+// SampleEntry built once from (theta, phi) must reproduce InterpAt's
+// recomputed-weight result bit for bit, including at the clamped edges
+// of the donor index range.
+func TestSampleEntryMatchesInterpAt(t *testing.T) {
+	s := grid.NewSpec(9, 13)
+	p := grid.NewPatch(s, grid.Yang, 1)
+	f := p.NewScalar()
+	for n := range f.Data {
+		f.Data[n] = math.Sin(0.37 * float64(n))
+	}
+	h := p.H
+	// Sweep the angular footprint including points beyond the node range
+	// (exercising the clamp) and off-node points (fractional weights).
+	for ti := -1; ti <= 2*(s.Nt-1)+1; ti++ {
+		theta := grid.ThetaMin + float64(ti)*p.Dt/2
+		for ki := -1; ki <= 2*(s.Np-1)+1; ki += 3 {
+			phi := grid.PhiMin + float64(ki)*p.Dp/2
+			e := MakeSampleEntry(s, theta, phi)
+			for _, i := range []int{h, h + p.Nr/2, h + p.Nr - 1} {
+				got := e.Sample(f, h, i)
+				want := InterpAt(p, f, theta, phi, i)
+				//yyvet:ignore float-eq bit-identity of cached vs recomputed weights is the property under test
+				if got != want {
+					t.Fatalf("theta=%v phi=%v i=%d: table %x recomputed %x",
+						theta, phi, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestOverlapTableMatchesRecomputed: the cached overlap table equals a
+// freshly recomputed one entry for entry — same sample points, same
+// donor indices, exactly the same weights.
+func TestOverlapTableMatchesRecomputed(t *testing.T) {
+	s := grid.NewSpec(9, 17)
+	cached := OverlapTableFor(s)
+	if again := OverlapTableFor(s); again != cached {
+		t.Error("OverlapTableFor rebuilt the table for an already-seen spec")
+	}
+	fresh := NewOverlapTable(s)
+	if len(cached.Samples) == 0 {
+		t.Fatal("overlap table is empty")
+	}
+	if len(cached.Samples) != len(fresh.Samples) {
+		t.Fatalf("cached %d samples, recomputed %d", len(cached.Samples), len(fresh.Samples))
+	}
+	for n, cs := range cached.Samples {
+		fs := fresh.Samples[n]
+		if cs.J != fs.J || cs.K != fs.K || cs.E.DJ != fs.E.DJ || cs.E.DK != fs.E.DK {
+			t.Fatalf("sample %d: indices (%d,%d;%d,%d) vs (%d,%d;%d,%d)",
+				n, cs.J, cs.K, cs.E.DJ, cs.E.DK, fs.J, fs.K, fs.E.DJ, fs.E.DK)
+		}
+		for w := range cs.E.W {
+			//yyvet:ignore float-eq weight-table equality vs recomputed values is the pinned property
+			if cs.E.W[w] != fs.E.W[w] {
+				t.Fatalf("sample %d weight %d: cached %x recomputed %x",
+					n, w, cs.E.W[w], fs.E.W[w])
+			}
+		}
+	}
+}

@@ -238,10 +238,11 @@ func runSegment(ccfg core.Config, layout *decomp.Layout, rc mpi.RunConfig, src *
 		diag mhd.Diagnostics
 	)
 	err := mpi.RunWith(layout.NProcs, rc, func(w *mpi.Comm) {
-		r, err := decomp.NewRank(w, layout, *ccfg.Params, *ccfg.IC)
+		r, err := decomp.NewRankWorkers(w, layout, *ccfg.Params, *ccfg.IC, ccfg.Workers)
 		if err != nil {
 			w.Abort(err)
 		}
+		defer r.Close()
 		var s0 *mhd.Solver
 		if w.Rank() == 0 {
 			s0 = src

@@ -27,7 +27,7 @@ import (
 // Magic identifies checkpoint files; the version gates format changes.
 const (
 	Magic   = "YYGO"
-	Version = 1
+	Version = 2
 )
 
 // header is the fixed-size preamble of a checkpoint.
@@ -68,8 +68,14 @@ func WriteCheckpoint(w io.Writer, sv *mhd.Solver) error {
 	}
 	for _, pl := range sv.Panels {
 		for _, s := range pl.U.Scalars() {
-			if err := writeFloats(bw, s.Data); err != nil {
-				return err
+			var werr error
+			s.EachInteriorRow(func(i0 int, row []float64) {
+				if werr == nil {
+					werr = writeFloats(bw, row)
+				}
+			})
+			if werr != nil {
+				return werr
 			}
 		}
 	}
@@ -81,8 +87,9 @@ func WriteCheckpoint(w io.Writer, sv *mhd.Solver) error {
 }
 
 // ReadCheckpoint reconstructs a solver from a checkpoint. The restored
-// solver carries the stored parameters and state; no constraint
-// application is run (the stored state already satisfies them).
+// solver carries the stored parameters and the interior state; the
+// constraint application (walls + overset exchange) is re-run to
+// rebuild the padded halo values the payload does not carry.
 func ReadCheckpoint(r io.Reader) (*mhd.Solver, error) {
 	// No read-ahead buffering here: every read below requests exact byte
 	// counts, so the hashed prefix ends exactly where the trailing
@@ -127,8 +134,14 @@ func ReadCheckpoint(r io.Reader) (*mhd.Solver, error) {
 	}
 	for _, pl := range sv.Panels {
 		for _, s := range pl.U.Scalars() {
-			if err := readFloats(br, s.Data); err != nil {
-				return nil, fmt.Errorf("snapshot: reading field: %w", err)
+			var rerr error
+			s.EachInteriorRow(func(i0 int, row []float64) {
+				if rerr == nil {
+					rerr = readFloats(br, row)
+				}
+			})
+			if rerr != nil {
+				return nil, fmt.Errorf("snapshot: reading field: %w", rerr)
 			}
 		}
 	}
@@ -144,6 +157,10 @@ func ReadCheckpoint(r io.Reader) (*mhd.Solver, error) {
 	}
 	sv.Time = h.Time
 	sv.Step = int(h.Step)
+	// The payload is interior-only: rebuild the halo and rim values,
+	// which are a pure function of the interior and the boundary
+	// conditions.
+	sv.ApplyConstraints()
 	return sv, nil
 }
 

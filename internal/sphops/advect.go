@@ -61,11 +61,13 @@ func DivTensorVF(p *grid.Patch, v, f *field.Vector, out *field.Vector, w *Worksp
 		vrD, vtD, vpD := v.R.Data, v.T.Data, v.P.Data
 		fbD := fb.Data
 		prD, ptD, ppD := pr.Data, pt.Data, pp.Data
-		for i := range fbD {
-			prD[i] = vrD[i] * fbD[i]
-			ptD[i] = vtD[i] * fbD[i]
-			ppD[i] = vpD[i] * fbD[i]
-		}
+		p.Par.For(len(fbD), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				prD[i] = vrD[i] * fbD[i]
+				ptD[i] = vtD[i] * fbD[i]
+				ppD[i] = vpD[i] * fbD[i]
+			}
+		})
 		countFull(fb, 3)
 		fd.Deriv1R(p, pr, dr)
 		fd.Deriv1T(p, pt, dt)

@@ -57,14 +57,19 @@ func countN(n, rows, fl int64) {
 
 // sweep runs fn over every interior (j, k) pair and charges the counters
 // with flopsPerNode flops for each interior node. fn must loop its inner
-// radial index over [p.H, p.H+p.Nr).
+// radial index over [p.H, p.H+p.Nr). The phi range is split over the
+// patch worker pool; distinct (j, k) pairs own disjoint output rows, so
+// the parallel sweep is bit-identical to the serial one. fn must only
+// write rows of its own (j, k).
 func sweep(p *grid.Patch, flopsPerNode int, fn func(j, k int)) {
 	h := p.H
-	for k := h; k < h+p.Np; k++ {
-		for j := h; j < h+p.Nt; j++ {
-			fn(j, k)
+	p.Par.For(p.Np, func(klo, khi int) {
+		for k := h + klo; k < h+khi; k++ {
+			for j := h; j < h+p.Nt; j++ {
+				fn(j, k)
+			}
 		}
-	}
+	})
 	n := int64(p.Nr) * int64(p.Nt) * int64(p.Np)
 	perfcount.AddFlops(n * int64(flopsPerNode))
 	perfcount.AddVectorLoops(int64(p.Nt)*int64(p.Np), n)

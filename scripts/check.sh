@@ -12,7 +12,9 @@
 #                      any residual runtime wedge into a stack-dumped
 #                      failure instead of a hung CI job
 #   5. go test -race — the goroutine MPI runtime and its users under
-#                      the race detector
+#                      the race detector, plus the intra-rank worker
+#                      pool (internal/par) and the pooled-kernel +
+#                      halo-exchange stress test in internal/decomp
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -29,7 +31,7 @@ go run ./cmd/yyvet ./...
 echo "==> go test -timeout 120s ./..."
 go test -timeout 120s ./...
 
-echo "==> go test -race -timeout 120s ./internal/mpi ./internal/decomp ./internal/overset ./internal/resilience"
-go test -race -timeout 120s ./internal/mpi ./internal/decomp ./internal/overset ./internal/resilience
+echo "==> go test -race -timeout 120s ./internal/mpi ./internal/decomp ./internal/overset ./internal/resilience ./internal/par"
+go test -race -timeout 120s ./internal/mpi ./internal/decomp ./internal/overset ./internal/resilience ./internal/par
 
 echo "==> all checks passed"
