@@ -1,0 +1,110 @@
+// Command yychaos drives the seeded chaos fuzzer over full decomposed
+// solver runs: randomized drop/delay/duplicate/kill schedules, with
+// liveness, safety (golden-checkpoint byte-identity) and recoverability
+// checked per scenario. Exit status 0 means every scenario passed
+// (success or clean abort), 1 means at least one property violation,
+// 2 means the harness itself failed.
+//
+// Usage:
+//
+//	yychaos [-seeds 25] [-seed0 0] [-steps 5] [-nprocs 2] [-nr 9] [-nt 13] [-v]
+//	yychaos -corpus internal/chaos/testdata/corpus.json
+//
+// A violating seed is minimized to a locally minimal reproducer and
+// printed as a ready-to-commit corpus entry.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+func main() {
+	var (
+		seeds   = flag.Int("seeds", 25, "number of seeded scenarios to run")
+		seed0   = flag.Uint64("seed0", 0, "first seed")
+		steps   = flag.Int("steps", 5, "solver steps per scenario")
+		nprocs  = flag.Int("nprocs", 2, "world size")
+		nr      = flag.Int("nr", 9, "radial grid size")
+		nt      = flag.Int("nt", 13, "latitudinal grid size")
+		corpus  = flag.String("corpus", "", "replay a committed corpus file instead of fuzzing seeds")
+		verbose = flag.Bool("v", false, "print one line per scenario")
+	)
+	flag.Parse()
+
+	r := chaos.NewRunner(chaos.Config{NProcs: *nprocs, Steps: *steps, Nr: *nr, Nt: *nt})
+	if *corpus != "" {
+		os.Exit(replay(r, *corpus, *verbose))
+	}
+	os.Exit(fuzz(r, *seed0, *seeds, *verbose))
+}
+
+// fuzz runs the seed range and reports the first violation, minimized.
+func fuzz(r *chaos.Runner, seed0 uint64, seeds int, verbose bool) int {
+	start := time.Now()
+	counts := map[chaos.Verdict]int{}
+	for i := 0; i < seeds; i++ {
+		seed := seed0 + uint64(i)
+		o := r.RunSeed(seed)
+		counts[o.Verdict]++
+		if verbose {
+			fmt.Printf("seed %-6d %-15s %8s  %s\n", seed, o.Verdict, o.Elapsed.Round(time.Millisecond), o.Scenario)
+		}
+		if o.Verdict.Violation() {
+			fmt.Printf("yychaos: VIOLATION at seed %d: %s\nscenario: %s\n%s\n", seed, o.Verdict, o.Scenario, o.Detail)
+			minimize(r, o)
+			return 1
+		}
+	}
+	fmt.Printf("yychaos: %d scenarios, %d ok, %d clean-abort, 0 violations (%s)\n",
+		seeds, counts[chaos.OK], counts[chaos.CleanAbort], time.Since(start).Round(time.Millisecond))
+	return 0
+}
+
+// replay re-executes a committed corpus and demands recorded verdicts.
+func replay(r *chaos.Runner, path string, verbose bool) int {
+	entries, err := chaos.LoadCorpus(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "yychaos: %v\n", err)
+		return 2
+	}
+	bad := 0
+	for _, e := range entries {
+		o := r.Run(e.Scenario)
+		if verbose || o.Verdict != e.Want {
+			fmt.Printf("%-32s %-15s want %s\n", e.Scenario.Name, o.Verdict, e.Want)
+		}
+		if o.Verdict != e.Want {
+			fmt.Printf("yychaos: corpus entry %q: verdict %s, want %s\n%s\n", e.Scenario.Name, o.Verdict, e.Want, o.Detail)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Printf("yychaos: %d/%d corpus entries failed\n", bad, len(entries))
+		return 1
+	}
+	fmt.Printf("yychaos: corpus ok (%d entries)\n", len(entries))
+	return 0
+}
+
+// minimize shrinks a violating scenario and prints it as a corpus
+// entry (want set to the verdict a fixed transport should produce).
+func minimize(r *chaos.Runner, o chaos.Outcome) {
+	fmt.Println("yychaos: minimizing...")
+	min := chaos.Minimize(o.Scenario, func(s chaos.Scenario) bool {
+		return r.Run(s).Verdict == o.Verdict
+	})
+	min.Name = fmt.Sprintf("seed-%d-minimized", o.Scenario.Seed)
+	entry := chaos.CorpusEntry{Scenario: min, Want: chaos.OK, Note: fmt.Sprintf("minimized from seed %d (%s)", o.Scenario.Seed, o.Verdict)}
+	data, err := json.MarshalIndent([]chaos.CorpusEntry{entry}, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "yychaos: marshaling minimized scenario: %v\n", err)
+		return
+	}
+	fmt.Printf("minimal reproducer (commit to internal/chaos/testdata/corpus.json once fixed):\n%s\n", data)
+}

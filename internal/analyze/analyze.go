@@ -52,9 +52,13 @@ func (f Finding) String() string {
 
 // A Pass carries one analyzer's view of one package.
 type Pass struct {
-	Analyzer  *Analyzer
-	Fset      *token.FileSet
-	Files     []*ast.File
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	// TestFiles holds the package's in-package _test.go files. Most
+	// analyzers target production invariants and range over Files only;
+	// test-targeted analyzers (runwith-deadline) range over TestFiles.
+	TestFiles []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
@@ -131,12 +135,16 @@ func (idx ignoreIndex) covers(pos token.Position, analyzer string) bool {
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 	var findings []Finding
 	for _, pkg := range pkgs {
-		idx := buildIgnoreIndex(pkg.Fset, pkg.Files)
+		scanned := make([]*ast.File, 0, len(pkg.Files)+len(pkg.TestFiles))
+		scanned = append(scanned, pkg.Files...)
+		scanned = append(scanned, pkg.TestFiles...)
+		idx := buildIgnoreIndex(pkg.Fset, scanned)
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer:  a,
 				Fset:      pkg.Fset,
 				Files:     pkg.Files,
+				TestFiles: pkg.TestFiles,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
 				ignores:   idx,

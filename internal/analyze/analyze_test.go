@@ -65,12 +65,12 @@ func runFixture(t *testing.T, dir string, analyzers ...*Analyzer) {
 func collectWants(t *testing.T, dir string) []expectation {
 	t.Helper()
 	fset := token.NewFileSet()
-	files, err := parseDir(fset, dir)
+	files, testFiles, err := parseDir(fset, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var wants []expectation
-	for _, f := range files {
+	for _, f := range append(files, testFiles...) {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text, ok := strings.CutPrefix(c.Text, "// want ")

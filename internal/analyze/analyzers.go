@@ -8,5 +8,6 @@ func All() []*Analyzer {
 		FloatEq,
 		IrecvWait,
 		Pow2Stride,
+		RunWithDeadline,
 	}
 }

@@ -3,12 +3,14 @@ package analyze
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -19,9 +21,14 @@ type Package struct {
 	Path  string // import path, e.g. "repro/internal/mpi"
 	Dir   string // absolute directory
 	Fset  *token.FileSet
-	Files []*ast.File // non-test files only
-	Types *types.Package
-	Info  *types.Info
+	Files []*ast.File // non-test files
+	// TestFiles holds the package's in-package _test.go files, parsed
+	// and type-checked together with Files. They are kept separate so
+	// production-code analyzers keep ranging over Files only, while
+	// test-targeted analyzers (runwith-deadline) range over TestFiles.
+	TestFiles []*ast.File
+	Types     *types.Package
+	Info      *types.Info
 }
 
 // FindModuleRoot walks upward from dir to the nearest directory holding
@@ -64,9 +71,15 @@ func modulePath(root string) (string, error) {
 
 // LoadModule parses and type-checks every package under the module
 // rooted at root (skipping testdata, vendor, hidden and nested-module
-// directories), returning packages sorted by import path. Test files
-// are not loaded: the analyzers' invariants target production code, and
-// several (e.g. float-eq) explicitly exempt tests.
+// directories), returning packages sorted by import path.
+//
+// Type-checking runs in two phases. Phase 1 checks production files in
+// topological import order, registering each result with the module
+// importer. Phase 2 re-checks packages that have in-package _test.go
+// files together with those files, resolving imports against the
+// completed phase-1 set — test files may import module packages that
+// sit later in the production topo order (or each other's packages),
+// so they cannot participate in the ordering itself.
 func LoadModule(root string) ([]*Package, error) {
 	root, err := FindModuleRoot(root)
 	if err != nil {
@@ -81,6 +94,7 @@ func LoadModule(root string) ([]*Package, error) {
 	type rawPkg struct {
 		path, dir string
 		files     []*ast.File
+		testFiles []*ast.File
 		imports   []string
 	}
 	raw := map[string]*rawPkg{}
@@ -100,7 +114,7 @@ func LoadModule(root string) ([]*Package, error) {
 				return filepath.SkipDir // nested module
 			}
 		}
-		files, err := parseDir(fset, path)
+		files, testFiles, err := parseDir(fset, path)
 		if err != nil {
 			return err
 		}
@@ -115,7 +129,7 @@ func LoadModule(root string) ([]*Package, error) {
 		if rel != "." {
 			importPath = modPath + "/" + filepath.ToSlash(rel)
 		}
-		rp := &rawPkg{path: importPath, dir: path, files: files}
+		rp := &rawPkg{path: importPath, dir: path, files: files, testFiles: testFiles}
 		seen := map[string]bool{}
 		for _, f := range files {
 			for _, imp := range f.Imports {
@@ -176,13 +190,30 @@ func LoadModule(root string) ([]*Package, error) {
 	var pkgs []*Package
 	for _, p := range order {
 		rp := raw[p]
-		pkg, err := typeCheck(fset, rp.path, rp.files, imp)
+		pkg, err := typeCheck(fset, rp.path, rp.files, nil, imp)
 		if err != nil {
 			return nil, err
 		}
 		pkg.Dir = rp.dir
 		imp.module[p] = pkg.Types
 		pkgs = append(pkgs, pkg)
+	}
+
+	// Phase 2: re-check packages with test files, now that every
+	// production package is available to the importer. The importer
+	// keeps serving the phase-1 types.Package to importers of p, so
+	// downstream results are unaffected.
+	for i, pkg := range pkgs {
+		rp := raw[pkg.Path]
+		if len(rp.testFiles) == 0 {
+			continue
+		}
+		full, err := typeCheck(fset, rp.path, rp.files, rp.testFiles, imp)
+		if err != nil {
+			return nil, err
+		}
+		full.Dir = rp.dir
+		pkgs[i] = full
 	}
 	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
 	return pkgs, nil
@@ -193,14 +224,14 @@ func LoadModule(root string) ([]*Package, error) {
 // It is the fixture loader used by the analyzer tests.
 func LoadDir(dir, importPath string) (*Package, error) {
 	fset := token.NewFileSet()
-	files, err := parseDir(fset, dir)
+	files, testFiles, err := parseDir(fset, dir)
 	if err != nil {
 		return nil, err
 	}
-	if len(files) == 0 {
+	if len(files) == 0 && len(testFiles) == 0 {
 		return nil, fmt.Errorf("analyze: no Go files in %s", dir)
 	}
-	pkg, err := typeCheck(fset, importPath, files, newModuleImporter(fset))
+	pkg, err := typeCheck(fset, importPath, files, testFiles, newModuleImporter(fset))
 	if err != nil {
 		return nil, err
 	}
@@ -208,29 +239,68 @@ func LoadDir(dir, importPath string) (*Package, error) {
 	return pkg, nil
 }
 
-// parseDir parses every non-test .go file in dir (non-recursive), with
-// comments retained for ignore directives.
-func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+// parseDir parses every .go file in dir (non-recursive), with comments
+// retained for ignore directives, returning non-test and _test.go
+// files separately. External test packages (package foo_test) are not
+// supported — the module does not use them — and would fail the joint
+// type-check with a package-name mismatch.
+func parseDir(fset *token.FileSet, dir string) (files, testFiles []*ast.File, err error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	var files []*ast.File
 	for _, e := range entries {
 		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
 			continue
 		}
-		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		path := filepath.Join(dir, name)
+		src, err := os.ReadFile(path)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		files = append(files, f)
+		if !buildIncluded(src) {
+			continue
+		}
+		f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+		if err != nil {
+			return nil, nil, err
+		}
+		if strings.HasSuffix(name, "_test.go") {
+			testFiles = append(testFiles, f)
+		} else {
+			files = append(files, f)
+		}
 	}
-	return files, nil
+	return files, testFiles, nil
 }
 
-func typeCheck(fset *token.FileSet, importPath string, files []*ast.File, imp types.Importer) (*Package, error) {
+// buildIncluded evaluates the file's //go:build constraint (if any)
+// against the default build configuration — GOOS, GOARCH and release
+// tags only. Files gated on anything else (race, integration tags) are
+// excluded, exactly as a plain `go build` would exclude them; without
+// this, a race/!race constant pair type-checks as a redeclaration.
+func buildIncluded(src []byte) bool {
+	for _, line := range strings.Split(string(src), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if constraint.IsGoBuild(trimmed) {
+			expr, err := constraint.Parse(trimmed)
+			if err != nil {
+				return true
+			}
+			return expr.Eval(func(tag string) bool {
+				return tag == runtime.GOOS || tag == runtime.GOARCH || strings.HasPrefix(tag, "go1")
+			})
+		}
+		if trimmed == "" || strings.HasPrefix(trimmed, "//") {
+			continue
+		}
+		break // reached the package clause: the constraint header is over
+	}
+	return true
+}
+
+func typeCheck(fset *token.FileSet, importPath string, files, testFiles []*ast.File, imp types.Importer) (*Package, error) {
 	info := &types.Info{
 		Types:      map[ast.Expr]types.TypeAndValue{},
 		Defs:       map[*ast.Ident]types.Object{},
@@ -238,11 +308,14 @@ func typeCheck(fset *token.FileSet, importPath string, files []*ast.File, imp ty
 		Selections: map[*ast.SelectorExpr]*types.Selection{},
 	}
 	conf := types.Config{Importer: imp}
-	tpkg, err := conf.Check(importPath, fset, files, info)
+	all := make([]*ast.File, 0, len(files)+len(testFiles))
+	all = append(all, files...)
+	all = append(all, testFiles...)
+	tpkg, err := conf.Check(importPath, fset, all, info)
 	if err != nil {
 		return nil, fmt.Errorf("analyze: type-checking %s: %w", importPath, err)
 	}
-	return &Package{Path: importPath, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+	return &Package{Path: importPath, Fset: fset, Files: files, TestFiles: testFiles, Types: tpkg, Info: info}, nil
 }
 
 // moduleImporter resolves module-internal import paths from the

@@ -1,0 +1,11 @@
+package analyze
+
+import "testing"
+
+// TestRunWithDeadline runs the analyzer over its fixture: test-file
+// RunWith calls whose RunConfig observably lacks Deadline are findings;
+// literals and traced variables that set it, opaque helper-built
+// configs, suppressed sites and production-file callsites are clean.
+func TestRunWithDeadline(t *testing.T) {
+	runFixture(t, "runwithdeadline", RunWithDeadline)
+}

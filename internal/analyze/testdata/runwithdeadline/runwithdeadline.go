@@ -1,0 +1,23 @@
+// Package runwithdeadline is a runwith-deadline fixture: a miniature of
+// the internal/mpi surface (RunWith over a RunConfig with a Deadline
+// field) plus production-side callsites, which the analyzer must leave
+// alone — only _test.go files are in scope.
+package runwithdeadline
+
+// Comm mimics mpi.Comm.
+type Comm struct{}
+
+// RunConfig mimics mpi.RunConfig.
+type RunConfig struct {
+	Deadline int
+	Faults   int
+}
+
+// RunWith mimics mpi.RunWith.
+func RunWith(n int, cfg RunConfig, fn func(*Comm)) error { fn(&Comm{}); return nil }
+
+// productionCallsite runs open-ended on purpose: campaign drivers own
+// their deadlines. Not a finding — this file is not a test file.
+func productionCallsite() error {
+	return RunWith(2, RunConfig{Faults: 1}, func(c *Comm) {})
+}

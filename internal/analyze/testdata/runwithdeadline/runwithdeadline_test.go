@@ -1,0 +1,63 @@
+package runwithdeadline
+
+// literalWithDeadline: the common good shape.
+func literalWithDeadline() {
+	_ = RunWith(2, RunConfig{Deadline: 100, Faults: 1}, func(c *Comm) {})
+}
+
+// literalWithoutDeadline: the bug class — a wedge here blocks until the
+// go test timeout.
+func literalWithoutDeadline() {
+	_ = RunWith(2, RunConfig{Faults: 1}, func(c *Comm) {}) // want "must set RunConfig.Deadline"
+}
+
+// emptyLiteral: zero config means zero deadline.
+func emptyLiteral() {
+	_ = RunWith(2, RunConfig{}, func(c *Comm) {}) // want "must set RunConfig.Deadline"
+}
+
+// positionalLiteral supplies every field, Deadline included.
+func positionalLiteral() {
+	_ = RunWith(2, RunConfig{100, 1}, func(c *Comm) {})
+}
+
+// varWithDeadline: the literal binding is traced through the identifier.
+func varWithDeadline() {
+	cfg := RunConfig{Deadline: 100}
+	_ = RunWith(2, cfg, func(c *Comm) {})
+}
+
+// varWithoutDeadline: traced binding lacks the field and nothing later
+// sets it.
+func varWithoutDeadline() {
+	cfg := RunConfig{Faults: 2}
+	_ = RunWith(2, cfg, func(c *Comm) {}) // want "must set RunConfig.Deadline"
+}
+
+// varFieldAssigned: a later cfg.Deadline store counts.
+func varFieldAssigned() {
+	cfg := RunConfig{Faults: 2}
+	cfg.Deadline = 100
+	_ = RunWith(2, cfg, func(c *Comm) {})
+}
+
+// zeroVar: `var cfg RunConfig` never sets Deadline.
+func zeroVar() {
+	var cfg RunConfig
+	_ = RunWith(2, cfg, func(c *Comm) {}) // want "must set RunConfig.Deadline"
+}
+
+func defaultCfg() RunConfig { return RunConfig{Deadline: 100} }
+
+// helperBuilt: opaque initializers are trusted — helpers are the
+// sanctioned place to centralize deadlines.
+func helperBuilt() {
+	cfg := defaultCfg()
+	_ = RunWith(2, cfg, func(c *Comm) {})
+}
+
+// suppressed: an explicit directive silences the finding.
+func suppressed() {
+	//yyvet:ignore runwith-deadline this test measures the watchdog-free hang itself
+	_ = RunWith(2, RunConfig{}, func(c *Comm) {})
+}

@@ -1,0 +1,107 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestGenScenarioDeterministic: scenario generation is a pure function
+// of the seed — the corpus and any failure report replay exactly.
+func TestGenScenarioDeterministic(t *testing.T) {
+	cfg := Config{}
+	for _, seed := range []uint64{0, 1, 42, 1 << 40} {
+		a := GenScenario(seed, cfg)
+		b := GenScenario(seed, cfg)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: %v vs %v", seed, a, b)
+		}
+	}
+	if reflect.DeepEqual(GenScenario(1, cfg), GenScenario(2, cfg)) {
+		t.Fatal("distinct seeds generated identical scenarios")
+	}
+}
+
+// TestChaosSmoke is the in-test fuzz pass: a batch of seeded scenarios
+// over full solver runs, all three properties checked, zero violations
+// tolerated.
+func TestChaosSmoke(t *testing.T) {
+	seeds := 20
+	if testing.Short() {
+		seeds = 5
+	}
+	r := NewRunner(Config{})
+	for seed := 0; seed < seeds; seed++ {
+		o := r.RunSeed(uint64(seed))
+		if o.Verdict.Violation() {
+			t.Fatalf("seed %d: %s\nscenario: %s\n%s", seed, o.Verdict, o.Scenario, o.Detail)
+		}
+	}
+}
+
+// TestCorpusReplay replays the committed regression corpus: every entry
+// must reproduce its recorded verdict, deterministically.
+func TestCorpusReplay(t *testing.T) {
+	entries, err := LoadCorpus("testdata/corpus.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("empty corpus")
+	}
+	r := NewRunner(Config{})
+	for _, e := range entries {
+		e := e
+		t.Run(e.Scenario.Name, func(t *testing.T) {
+			o := r.Run(e.Scenario)
+			if o.Verdict != e.Want {
+				t.Fatalf("verdict %s, want %s\nscenario: %s\n%s", o.Verdict, e.Want, o.Scenario, o.Detail)
+			}
+		})
+	}
+}
+
+// TestMinimize: greedy delta debugging strips every fault and kill the
+// failure predicate does not depend on.
+func TestMinimize(t *testing.T) {
+	sc := GenScenario(7, Config{})
+	sc.Faults = append(sc.Faults, FaultSpec{Comm: 0, Src: 0, Dst: 1, Tag: 77, Epoch: 3, Action: "drop"})
+	sc.Kills = append(sc.Kills, KillSpec{Rank: 1, Step: 4}, KillSpec{Rank: 0, Step: 2, Silent: true})
+
+	// Synthetic failure: reproduces iff the tag-77 drop and the silent
+	// kill are both present.
+	bad := func(s Scenario) bool {
+		var f, k bool
+		for _, x := range s.Faults {
+			if x.Tag == 77 {
+				f = true
+			}
+		}
+		for _, x := range s.Kills {
+			if x.Silent {
+				k = true
+			}
+		}
+		return f && k
+	}
+	if !bad(sc) {
+		t.Fatal("precondition: scenario must fail")
+	}
+	min := Minimize(sc, bad)
+	if len(min.Faults) != 1 || len(min.Kills) != 1 {
+		t.Fatalf("minimized to %d faults, %d kills; want 1+1: %s", len(min.Faults), len(min.Kills), min)
+	}
+	if min.Faults[0].Tag != 77 || !min.Kills[0].Silent {
+		t.Fatalf("minimizer kept the wrong schedule: %s", min)
+	}
+}
+
+// TestWedgeGuard: the outer liveness guard classifies a run that
+// outlives WedgeTimeout as a wedge instead of blocking the harness.
+func TestWedgeGuard(t *testing.T) {
+	r := NewRunner(Config{WedgeTimeout: time.Millisecond})
+	o := r.Run(Scenario{Name: "any"})
+	if o.Verdict != Wedge {
+		t.Fatalf("verdict %s, want wedge (a 1ms bound cannot fit a solver run)", o.Verdict)
+	}
+}

@@ -1,0 +1,37 @@
+package chaos
+
+// Minimize shrinks a failing scenario to a locally minimal reproducer
+// by greedy delta debugging: it repeatedly tries removing each fault
+// and each kill, keeping any removal under which bad still holds,
+// until no single removal reproduces the failure. bad must be
+// deterministic for the result to mean anything; it is called once per
+// candidate (O(n²) worst case in the schedule length, which is small).
+func Minimize(sc Scenario, bad func(Scenario) bool) Scenario {
+	for {
+		shrunk := false
+		for i := 0; i < len(sc.Faults); i++ {
+			cand := sc
+			cand.Faults = append(append([]FaultSpec{}, sc.Faults[:i]...), sc.Faults[i+1:]...)
+			if bad(cand) {
+				sc = cand
+				shrunk = true
+				break
+			}
+		}
+		if shrunk {
+			continue
+		}
+		for i := 0; i < len(sc.Kills); i++ {
+			cand := sc
+			cand.Kills = append(append([]KillSpec{}, sc.Kills[:i]...), sc.Kills[i+1:]...)
+			if bad(cand) {
+				sc = cand
+				shrunk = true
+				break
+			}
+		}
+		if !shrunk {
+			return sc
+		}
+	}
+}

@@ -1,0 +1,13 @@
+//go:build race
+
+package chaos
+
+import "time"
+
+// campaignHeartbeat under the race detector: instrumentation slows
+// every goroutine 5-20x and serializes scheduling, so a 2ms beater can
+// legitimately go silent past a 40ms confirm threshold while its rank
+// is alive and computing. A 20ms interval (400ms confirm) keeps the
+// detector honest without false positives; kill detection still lands
+// orders of magnitude before the 20s watchdog deadline.
+const campaignHeartbeat = 20 * time.Millisecond

@@ -1,0 +1,204 @@
+package chaos
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/resilience"
+)
+
+// Verdict classifies one scenario execution.
+type Verdict string
+
+const (
+	// OK: the run completed and (for message-fault scenarios) matched
+	// the fault-free golden checkpoint byte for byte.
+	OK Verdict = "ok"
+	// CleanAbort: the run terminated with a diagnosable error — liveness
+	// holds, safety is vacuous (nothing was committed).
+	CleanAbort Verdict = "clean-abort"
+	// Wedge: the scenario did not terminate within WedgeTimeout — a
+	// liveness violation.
+	Wedge Verdict = "wedge"
+	// Mismatch: the run completed under message faults but its
+	// checkpoint differs from the golden run — a safety violation.
+	Mismatch Verdict = "mismatch"
+	// CampaignFailed: a kill schedule did not converge through the
+	// resilience campaign — a recoverability violation.
+	CampaignFailed Verdict = "campaign-failed"
+)
+
+// Violation reports whether the verdict breaks one of the three
+// properties (liveness, safety, recoverability).
+func (v Verdict) Violation() bool {
+	return v == Wedge || v == Mismatch || v == CampaignFailed
+}
+
+// Outcome is the result of executing one scenario.
+type Outcome struct {
+	Scenario Scenario
+	Verdict  Verdict
+	// Detail carries the error or mismatch diagnostic, with the run's
+	// event timeline appended on violations.
+	Detail  string
+	Elapsed time.Duration
+}
+
+// Runner executes scenarios against one solver configuration, caching
+// the fault-free golden checkpoint hash the safety property compares
+// against.
+type Runner struct {
+	cfg Config
+
+	goldenOnce sync.Once
+	golden     [32]byte
+	goldenErr  error
+}
+
+// NewRunner returns a runner for the given configuration.
+func NewRunner(cfg Config) *Runner {
+	return &Runner{cfg: cfg.withDefaults()}
+}
+
+// Config returns the runner's resolved configuration.
+func (r *Runner) Config() Config { return r.cfg }
+
+func (r *Runner) coreConfig() core.Config {
+	return core.Config{Nr: r.cfg.Nr, Nt: r.cfg.Nt}
+}
+
+// Golden returns the fault-free checkpoint hash for the runner's
+// configuration, computing it on first use.
+func (r *Runner) Golden() ([32]byte, error) {
+	r.goldenOnce.Do(func() {
+		var buf bytes.Buffer
+		_, err := core.RunParallelCheckpointWith(r.coreConfig(), mpi.RunConfig{Deadline: r.cfg.Deadline},
+			r.cfg.NProcs, r.cfg.Steps, r.cfg.DT, &buf)
+		if err != nil {
+			r.goldenErr = fmt.Errorf("chaos: golden run failed: %w", err)
+			return
+		}
+		r.golden = sha256.Sum256(buf.Bytes())
+	})
+	return r.golden, r.goldenErr
+}
+
+// RunSeed generates and executes the scenario for one seed.
+func (r *Runner) RunSeed(seed uint64) Outcome {
+	return r.Run(GenScenario(seed, r.cfg))
+}
+
+// Run executes one scenario under the liveness guard: if the run has
+// not terminated within WedgeTimeout the scenario is declared a wedge
+// without waiting any longer (the stuck goroutines are abandoned —
+// the caller is expected to treat a wedge as fatal).
+func (r *Runner) Run(sc Scenario) Outcome {
+	start := time.Now()
+	done := make(chan Outcome, 1)
+	go func() { done <- r.execute(sc) }()
+	select {
+	case o := <-done:
+		o.Elapsed = time.Since(start)
+		return o
+	case <-time.After(r.cfg.WedgeTimeout):
+		return Outcome{
+			Scenario: sc,
+			Verdict:  Wedge,
+			Detail:   fmt.Sprintf("no termination within %v", r.cfg.WedgeTimeout),
+			Elapsed:  time.Since(start),
+		}
+	}
+}
+
+// execute runs the scenario to a verdict: kill schedules go through a
+// resilience campaign (recoverability), pure message-fault schedules
+// through a direct solver run whose checkpoint must match the golden
+// hash (safety).
+func (r *Runner) execute(sc Scenario) Outcome {
+	plan, err := sc.plan()
+	if err != nil {
+		return Outcome{Scenario: sc, Verdict: CleanAbort, Detail: err.Error()}
+	}
+	if len(sc.Kills) > 0 {
+		return r.executeCampaign(sc, plan)
+	}
+	events := mpi.NewEventLog()
+
+	var buf bytes.Buffer
+	_, err = core.RunParallelCheckpointWith(r.coreConfig(), mpi.RunConfig{
+		Deadline:    r.cfg.Deadline,
+		Faults:      plan,
+		Reliability: &mpi.Reliability{AckTimeout: r.cfg.AckTimeout},
+		Events:      events,
+	}, r.cfg.NProcs, r.cfg.Steps, r.cfg.DT, &buf)
+	if err != nil {
+		return Outcome{Scenario: sc, Verdict: CleanAbort, Detail: err.Error()}
+	}
+	want, err := r.Golden()
+	if err != nil {
+		return Outcome{Scenario: sc, Verdict: CleanAbort, Detail: err.Error()}
+	}
+	if got := sha256.Sum256(buf.Bytes()); got != want {
+		return Outcome{
+			Scenario: sc,
+			Verdict:  Mismatch,
+			Detail:   fmt.Sprintf("checkpoint %x differs from golden %x\ntimeline:\n%s", got, want, events),
+		}
+	}
+	return Outcome{Scenario: sc, Verdict: OK}
+}
+
+// executeCampaign checks recoverability: the killed (and possibly also
+// message-faulted) run must converge through checkpointed rollback.
+func (r *Runner) executeCampaign(sc Scenario, plan *mpi.FaultPlan) Outcome {
+	dir, err := os.MkdirTemp("", "yychaos-*")
+	if err != nil {
+		return Outcome{Scenario: sc, Verdict: CleanAbort, Detail: fmt.Sprintf("campaign tempdir: %v", err)}
+	}
+	defer os.RemoveAll(dir)
+
+	every := r.cfg.Steps / 2
+	if every < 1 {
+		every = 1
+	}
+	res, err := resilience.RunCampaign(resilience.Config{
+		Core:            r.coreConfig(),
+		NProcs:          r.cfg.NProcs,
+		Steps:           r.cfg.Steps,
+		CheckpointEvery: every,
+		Dir:             dir,
+		Deadline:        r.cfg.Deadline,
+		Faults:          plan,
+		Reliability:     &mpi.Reliability{AckTimeout: r.cfg.AckTimeout},
+		Heartbeat:       &mpi.Heartbeat{Interval: campaignHeartbeat},
+		DTSchedule:      dtSchedule(r.cfg),
+	})
+	if err != nil {
+		detail := fmt.Sprintf("campaign did not converge: %v", err)
+		if res != nil && len(res.Events) > 0 {
+			detail += "\ntimeline:"
+			for _, e := range res.Events {
+				detail += "\n  " + e.String()
+			}
+		}
+		return Outcome{Scenario: sc, Verdict: CampaignFailed, Detail: detail}
+	}
+	return Outcome{Scenario: sc, Verdict: OK}
+}
+
+// dtSchedule fixes every segment's time step to the configured DT so
+// campaign runs and direct runs advance identically.
+func dtSchedule(cfg Config) []float64 {
+	n := cfg.Steps + 1
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = cfg.DT
+	}
+	return s
+}

@@ -291,6 +291,15 @@ func Reversals(mz []float64, persist int, floor float64) []sph.ReversalEvent {
 // writes a checkpoint to w — the persistence path of a decomposed
 // campaign (its counterpart, decomp.ScatterState, restarts one).
 func RunParallelWithCheckpoint(cfg Config, nProcs, steps int, dt float64, w io.Writer) ([]mhd.Diagnostics, error) {
+	return RunParallelCheckpointWith(cfg, mpi.RunConfig{}, nProcs, steps, dt, w)
+}
+
+// RunParallelCheckpointWith is RunParallelWithCheckpoint under an
+// explicit mpi.RunConfig — deadline, fault plan, reliable transport,
+// heartbeat detection — so fault-injection harnesses (resilience
+// campaigns, the chaos fuzzer) can drive a full solver run through the
+// self-healing runtime.
+func RunParallelCheckpointWith(cfg Config, rc mpi.RunConfig, nProcs, steps int, dt float64, w io.Writer) ([]mhd.Diagnostics, error) {
 	cfg = cfg.withDefaults()
 	layout, err := decomp.NewLayout(cfg.Spec(), nProcs)
 	if err != nil {
@@ -298,7 +307,7 @@ func RunParallelWithCheckpoint(cfg Config, nProcs, steps int, dt float64, w io.W
 	}
 	var mu sync.Mutex
 	var out []mhd.Diagnostics
-	err = mpi.Run(nProcs, func(wc *mpi.Comm) {
+	err = mpi.RunWith(nProcs, rc, func(wc *mpi.Comm) {
 		r, err := decomp.NewRankWorkers(wc, layout, *cfg.Params, *cfg.IC, cfg.Workers)
 		if err != nil {
 			wc.Abort(err)

@@ -582,7 +582,7 @@ func TestKilledRankAbortsAdvance(t *testing.T) {
 	plan := mpi.NewFaultPlan().Kill(2, 1)
 	done := make(chan error, 1)
 	go func() {
-		done <- mpi.RunWith(4, mpi.RunConfig{Faults: plan}, func(w *mpi.Comm) {
+		done <- mpi.RunWith(4, mpi.RunConfig{Deadline: 20 * time.Second, Faults: plan}, func(w *mpi.Comm) {
 			r, err := NewRank(w, l, mhd.Default(), mhd.DefaultIC())
 			if err != nil {
 				w.Abort(err)

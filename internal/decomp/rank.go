@@ -21,6 +21,21 @@ const (
 	tagOversetBase = 100 // + receiver-specific is unnecessary: one msg per peer
 )
 
+// ExchangeTags lists every message tag the decomposed solver uses for
+// its cross-rank exchanges — the halo refreshes (all three field
+// groups), the rim refresh, and the overset exchange. Fault-space
+// fuzzers draw from this list so a generated FaultPlan always targets a
+// tag the solver actually sends.
+func ExchangeTags() []int {
+	tags := make([]int, 0, 17)
+	for _, base := range []int{tagHaloBase, tagHaloBBase, tagHaloAuxBase, tagRimBase} {
+		for d := 0; d < 4; d++ {
+			tags = append(tags, base+d)
+		}
+	}
+	return append(tags, tagOversetBase)
+}
+
 // Rank is one process of the parallel yycore run: a block of one panel,
 // with its neighbour links, halo buffers, and its share of the overset
 // exchange plan.

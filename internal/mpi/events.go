@@ -1,0 +1,95 @@
+package mpi
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Event is one entry of a run's fault/recovery timeline: a scripted
+// fault firing, a reliable-transport retransmission, or a heartbeat
+// state change. Kinds in use:
+//
+//	fault.drop / fault.delay / fault.duplicate — a FaultPlan message
+//	    fault fired on a transmission
+//	fault.kill / fault.kill-silent — a scripted rank kill fired
+//	xport.retransmit / xport.giveup — the reliable transport resent an
+//	    unacked message, or exhausted its retries
+//	hb.suspect / hb.clear / hb.confirm — the heartbeat detector's
+//	    suspect -> confirm escalation (clear: a suspect beat again)
+//	note — a caller-supplied annotation (e.g. segment boundaries)
+type Event struct {
+	// At is the event's offset from the log's creation.
+	At     time.Duration
+	Kind   string
+	Detail string
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("+%-10s %-17s %s", e.At.Round(time.Microsecond), e.Kind, e.Detail)
+}
+
+// EventLog collects the fault and failure-detection timeline of one or
+// more runs sharing it (a campaign passes the same log to every
+// segment, so the post-mortem shows the whole history). It is safe for
+// concurrent use; pass it via RunConfig.Events.
+type EventLog struct {
+	mu     sync.Mutex
+	start  time.Time
+	events []Event
+}
+
+// NewEventLog returns an empty log; offsets are measured from now.
+func NewEventLog() *EventLog {
+	return &EventLog{start: time.Now()}
+}
+
+// Notef appends an event under the given kind.
+func (l *EventLog) Notef(kind, format string, args ...any) {
+	if l == nil {
+		return
+	}
+	e := Event{Kind: kind, Detail: fmt.Sprintf(format, args...)}
+	l.mu.Lock()
+	e.At = time.Since(l.start)
+	l.events = append(l.events, e)
+	l.mu.Unlock()
+}
+
+// Events returns a copy of the timeline in append order.
+func (l *EventLog) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// Len returns the number of recorded events.
+func (l *EventLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// String formats the timeline one event per line.
+func (l *EventLog) String() string {
+	var b strings.Builder
+	for _, e := range l.Events() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// eventf appends to the run's event log, if one was configured.
+func (ctx *context) eventf(kind, format string, args ...any) {
+	ctx.cfg.Events.Notef(kind, format, args...)
+}

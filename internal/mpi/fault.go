@@ -42,13 +42,30 @@ type Fault struct {
 type FaultPlan struct {
 	mu     sync.Mutex
 	faults []Fault
-	kills  map[int]int // rank -> step at (or after) which Tick kills it
+	kills  map[int]killSpec // rank -> the kill Tick fires for it
 	counts map[[4]int]int
 }
 
+// killSpec is one scripted rank kill: the step at (or after) which it
+// fires, and whether the rank dies silently (no panic, no abort — the
+// way a lost node looks) or noisily (a *RankFailedError abort).
+type killSpec struct {
+	step   int
+	silent bool
+}
+
+// killKind is takeKill's verdict for one Tick.
+type killKind int
+
+const (
+	killNone killKind = iota
+	killNoisy
+	killSilent
+)
+
 // NewFaultPlan returns an empty plan.
 func NewFaultPlan() *FaultPlan {
-	return &FaultPlan{kills: map[int]int{}, counts: map[[4]int]int{}}
+	return &FaultPlan{kills: map[int]killSpec{}, counts: map[[4]int]int{}}
 }
 
 // Add appends a scripted message fault and returns the plan for
@@ -82,7 +99,19 @@ func (p *FaultPlan) Duplicate(src, dst, tag, epoch int) *FaultPlan {
 // step reaches step. The kill fires once; a retried run continues clean.
 func (p *FaultPlan) Kill(rank, step int) *FaultPlan {
 	p.mu.Lock()
-	p.kills[rank] = step
+	p.kills[rank] = killSpec{step: step}
+	p.mu.Unlock()
+	return p
+}
+
+// KillSilent scripts a silent death of the given world rank at the first
+// Comm.Tick whose step reaches step: the rank's goroutine simply stops,
+// with no panic and no abort, the way a lost node looks from outside.
+// Only a RunConfig.Heartbeat (or the watchdog deadline as backstop)
+// notices. The kill fires once; a retried run continues clean.
+func (p *FaultPlan) KillSilent(rank, step int) *FaultPlan {
+	p.mu.Lock()
+	p.kills[rank] = killSpec{step: step, silent: true}
 	p.mu.Unlock()
 	return p
 }
@@ -103,14 +132,18 @@ func (p *FaultPlan) actionFor(comm, src, dst, tag int) (Action, time.Duration, b
 	return 0, 0, false
 }
 
-// takeKill reports whether rank should die at step, consuming the kill.
-func (p *FaultPlan) takeKill(rank, step int) bool {
+// takeKill reports whether (and how) rank should die at step, consuming
+// the kill.
+func (p *FaultPlan) takeKill(rank, step int) killKind {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	s, ok := p.kills[rank]
-	if ok && step >= s {
-		delete(p.kills, rank)
-		return true
+	k, ok := p.kills[rank]
+	if !ok || step < k.step {
+		return killNone
 	}
-	return false
+	delete(p.kills, rank)
+	if k.silent {
+		return killSilent
+	}
+	return killNoisy
 }

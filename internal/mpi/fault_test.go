@@ -181,7 +181,7 @@ func TestDelayedMessage(t *testing.T) {
 // identical payloads.
 func TestDuplicatedMessage(t *testing.T) {
 	plan := NewFaultPlan().Duplicate(0, 1, 2, 0)
-	err := RunWith(2, RunConfig{Faults: plan}, func(c *Comm) {
+	err := RunWith(2, RunConfig{Deadline: 5 * time.Second, Faults: plan}, func(c *Comm) {
 		if c.Rank() == 0 {
 			c.Send(1, 2, []float64{7})
 		} else {
@@ -204,7 +204,7 @@ func TestDuplicatedMessage(t *testing.T) {
 // occurrence.
 func TestFaultEpochSelectivity(t *testing.T) {
 	plan := NewFaultPlan().Drop(0, 1, 4, 0)
-	err := RunWith(2, RunConfig{Faults: plan}, func(c *Comm) {
+	err := RunWith(2, RunConfig{Deadline: 5 * time.Second, Faults: plan}, func(c *Comm) {
 		if c.Rank() == 0 {
 			c.Send(1, 4, []float64{1}) // dropped
 			c.Send(1, 4, []float64{2}) // delivered
@@ -225,7 +225,7 @@ func TestFaultEpochSelectivity(t *testing.T) {
 // aborts the run; surviving ranks blocked in exchanges are woken.
 func TestKillRankAtStep(t *testing.T) {
 	plan := NewFaultPlan().Kill(1, 3)
-	err := RunWith(2, RunConfig{Faults: plan}, func(c *Comm) {
+	err := RunWith(2, RunConfig{Deadline: 5 * time.Second, Faults: plan}, func(c *Comm) {
 		peer := 1 - c.Rank()
 		buf := make([]float64, 1)
 		for step := 0; step < 6; step++ {
@@ -238,7 +238,7 @@ func TestKillRankAtStep(t *testing.T) {
 		t.Errorf("got %v, want the scripted kill", err)
 	}
 	// The kill is consumed: the same plan runs clean afterwards.
-	if err := RunWith(2, RunConfig{Faults: plan}, func(c *Comm) {
+	if err := RunWith(2, RunConfig{Deadline: 5 * time.Second, Faults: plan}, func(c *Comm) {
 		for step := 0; step < 6; step++ {
 			c.Tick(step)
 		}

@@ -1,0 +1,167 @@
+package mpi
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Heartbeat configures rank-failure detection. When set on a
+// RunConfig, every rank gets a companion beater goroutine that records
+// a liveness beat each Interval for as long as the rank is alive (the
+// beater is independent of the rank's own progress, so a rank deep in a
+// compute phase or blocked in a healthy exchange keeps beating). A
+// monitor escalates silent ranks suspect -> confirmed: a rank silent
+// past SuspectAfter is suspected (and cleared if it beats again); one
+// silent past ConfirmAfter is declared dead and the run aborts with a
+// *RankFailedError naming the rank and its last completed step — within
+// a few heartbeat intervals, not at the watchdog deadline. The deadline
+// watchdog stays as the backstop for wedges (live ranks stuck waiting
+// on each other), which heartbeats deliberately do not flag.
+type Heartbeat struct {
+	// Interval is the beat period (default 5ms).
+	Interval time.Duration
+	// SuspectAfter is the silence after which a rank is suspected
+	// (default 4x Interval).
+	SuspectAfter time.Duration
+	// ConfirmAfter is the silence after which a suspected rank is
+	// confirmed dead and the run aborts (default 20x Interval — generous
+	// against scheduler and GC stalls of a loaded host).
+	ConfirmAfter time.Duration
+}
+
+// withDefaults fills zero fields with the documented defaults.
+func (h Heartbeat) withDefaults() Heartbeat {
+	if h.Interval <= 0 {
+		h.Interval = 5 * time.Millisecond
+	}
+	if h.SuspectAfter <= 0 {
+		h.SuspectAfter = 4 * h.Interval
+	}
+	if h.ConfirmAfter <= 0 {
+		h.ConfirmAfter = 20 * h.Interval
+	}
+	if h.ConfirmAfter < h.SuspectAfter {
+		h.ConfirmAfter = h.SuspectAfter
+	}
+	return h
+}
+
+// RankFailedError reports a dead rank: killed by a scripted fault, or
+// confirmed dead by heartbeat silence. Campaign drivers match it with
+// errors.As to treat rank loss as a transient, retryable failure.
+type RankFailedError struct {
+	// Rank is the world rank that died.
+	Rank int
+	// Step is the last step the rank reached (its last Comm.Tick).
+	Step int
+	// Silent reports heartbeat detection of an unannounced death, as
+	// opposed to a scripted kill that unwound the rank directly.
+	Silent bool
+	// Silence is the heartbeat silence at confirmation (Silent only).
+	Silence time.Duration
+}
+
+func (e *RankFailedError) Error() string {
+	if e.Silent {
+		return fmt.Sprintf("mpi: rank %d failed: heartbeat silent for %v (last completed step %d)",
+			e.Rank, e.Silence.Round(time.Millisecond), e.Step)
+	}
+	return fmt.Sprintf("mpi: fault injection killed rank %d at step %d", e.Rank, e.Step)
+}
+
+// hbState is the per-run heartbeat bookkeeping: one beat timestamp,
+// completion flag and suspicion flag per rank, shared lock-free between
+// the beaters and the monitor.
+type hbState struct {
+	ctx *context
+	cfg Heartbeat
+
+	lastBeat  []atomic.Int64 // UnixNano of the rank's latest beat
+	completed []atomic.Bool  // fn returned normally: silence is not death
+	suspected []atomic.Bool
+	stops     []chan struct{} // closed when the rank goroutine exits
+}
+
+func newHBState(ctx *context, cfg Heartbeat, n int) *hbState {
+	hb := &hbState{
+		ctx:       ctx,
+		cfg:       cfg.withDefaults(),
+		lastBeat:  make([]atomic.Int64, n),
+		completed: make([]atomic.Bool, n),
+		suspected: make([]atomic.Bool, n),
+		stops:     make([]chan struct{}, n),
+	}
+	now := time.Now().UnixNano()
+	for r := 0; r < n; r++ {
+		hb.lastBeat[r].Store(now)
+		hb.stops[r] = make(chan struct{})
+	}
+	return hb
+}
+
+// startBeater launches rank's companion beater goroutine.
+func (hb *hbState) startBeater(rank int) {
+	go func() {
+		ticker := time.NewTicker(hb.cfg.Interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-hb.stops[rank]:
+				return
+			case <-ticker.C:
+				hb.lastBeat[rank].Store(time.Now().UnixNano())
+			}
+		}
+	}()
+}
+
+// markCompleted records a normal return of the rank function; the
+// monitor then ignores the rank's silence. It must be called before
+// rankExited stops the beater, so the monitor never observes a
+// stopped-but-uncompleted healthy rank.
+func (hb *hbState) markCompleted(rank int) {
+	hb.completed[rank].Store(true)
+}
+
+// rankExited stops the rank's beater (normal return, panic and silent
+// death alike — a dead rank must fall silent).
+func (hb *hbState) rankExited(rank int) {
+	close(hb.stops[rank])
+}
+
+// monitor scans the beat records and escalates silent ranks; it runs
+// until stop closes or it confirms a death.
+func (hb *hbState) monitor(stop <-chan struct{}) {
+	ticker := time.NewTicker(hb.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			now := time.Now()
+			for r := range hb.lastBeat {
+				if hb.completed[r].Load() {
+					continue
+				}
+				silence := now.Sub(time.Unix(0, hb.lastBeat[r].Load()))
+				step := int(hb.ctx.lastStep[r].Load())
+				switch {
+				case silence > hb.cfg.ConfirmAfter:
+					hb.ctx.eventf("hb.confirm", "rank=%d silence=%v step=%d", r, silence.Round(time.Millisecond), step)
+					hb.ctx.abort(&RankFailedError{Rank: r, Step: step, Silent: true, Silence: silence})
+					return
+				case silence > hb.cfg.SuspectAfter:
+					if hb.suspected[r].CompareAndSwap(false, true) {
+						hb.ctx.eventf("hb.suspect", "rank=%d silence=%v step=%d", r, silence.Round(time.Millisecond), step)
+					}
+				default:
+					if hb.suspected[r].CompareAndSwap(true, false) {
+						hb.ctx.eventf("hb.clear", "rank=%d beat again", r)
+					}
+				}
+			}
+		}
+	}
+}

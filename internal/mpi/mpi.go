@@ -31,14 +31,19 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/perfcount"
 )
 
-// message is a delivered payload with its matching envelope.
+// message is a delivered payload with its matching envelope. Messages
+// sent through the reliable transport additionally carry their stream
+// sequence number (rel marks them; seq is meaningless otherwise).
 type message struct {
 	src, tag int
+	seq      int
+	rel      bool
 	data     []float64
 }
 
@@ -48,30 +53,79 @@ type message struct {
 type abortSignal struct{ err error }
 
 // mailbox is an unbounded queue of messages for one (comm, rank) pair.
+// Under the reliable transport it is also the receiver endpoint: put
+// suppresses duplicate sequence numbers and acknowledges deliveries,
+// and take releases sequenced messages strictly in order.
 type mailbox struct {
 	mu       sync.Mutex
 	cond     *sync.Cond
 	queue    []message
 	abortErr error
+
+	ctx         *context
+	comm, owner int
+	// expected maps (src, tag) to the next sequence number take may
+	// release; anything below it is a duplicate. Lazily allocated by the
+	// first reliable insertion.
+	expected map[[2]int]int
 }
 
-func newMailbox() *mailbox {
-	mb := &mailbox{}
+func newMailbox(ctx *context, comm, owner int) *mailbox {
+	mb := &mailbox{ctx: ctx, comm: comm, owner: owner}
 	mb.cond = sync.NewCond(&mb.mu)
 	return mb
 }
 
 func (mb *mailbox) put(m message) {
+	if m.rel {
+		mb.putReliable(m)
+		return
+	}
 	mb.mu.Lock()
 	mb.queue = append(mb.queue, m)
 	mb.mu.Unlock()
 	mb.cond.Broadcast()
 }
 
+// putReliable inserts a sequenced message, suppressing duplicates
+// (already released, or still queued), and acknowledges the sequence
+// number either way — a retransmission racing a delayed original must
+// settle the sender's timer even though its payload is discarded.
+func (mb *mailbox) putReliable(m message) {
+	key := [2]int{m.src, m.tag}
+	mb.mu.Lock()
+	if mb.expected == nil {
+		mb.expected = map[[2]int]int{}
+	}
+	dup := m.seq < mb.expected[key]
+	if !dup {
+		for _, q := range mb.queue {
+			if q.rel && q.src == m.src && q.tag == m.tag && q.seq == m.seq {
+				dup = true
+				break
+			}
+		}
+	}
+	if !dup {
+		mb.queue = append(mb.queue, m)
+	}
+	mb.mu.Unlock()
+	if dup {
+		mb.ctx.putBuf(m.data)
+	} else {
+		mb.cond.Broadcast()
+	}
+	if rs := mb.ctx.rel; rs != nil {
+		rs.ack(mb.comm, m.src, mb.owner, m.tag, m.seq)
+	}
+}
+
 // take blocks until a message matching (src, tag) is present and removes
-// the first such message (FIFO per envelope). An abort unwinds the
-// waiter instead of leaving it wedged.
+// the first such message (FIFO per envelope; sequenced messages only in
+// sequence order, so a reordered retransmission cannot overtake). An
+// abort unwinds the waiter instead of leaving it wedged.
 func (mb *mailbox) take(src, tag int) message {
+	key := [2]int{src, tag}
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	for {
@@ -79,10 +133,19 @@ func (mb *mailbox) take(src, tag int) message {
 			panic(abortSignal{mb.abortErr})
 		}
 		for i, m := range mb.queue {
-			if m.src == src && m.tag == tag {
-				mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
-				return m
+			if m.src != src || m.tag != tag {
+				continue
 			}
+			if m.rel {
+				// mb.expected is non-nil here: a queued reliable message
+				// implies putReliable allocated it.
+				if m.seq != mb.expected[key] {
+					continue
+				}
+				mb.expected[key]++
+			}
+			mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
+			return m
 		}
 		mb.cond.Wait()
 	}
@@ -168,6 +231,12 @@ type context struct {
 	cfg      RunConfig
 	abortErr error
 	waiters  map[*waiter]struct{}
+
+	// rel is the reliable-transport state (nil on fail-fast runs).
+	rel *relState
+	// lastStep records, per world rank, the last step number the rank
+	// passed to Comm.Tick (-1 before the first), for failure diagnostics.
+	lastStep []atomic.Int64
 }
 
 type barrierState struct {
@@ -388,6 +457,21 @@ type RunConfig struct {
 	Deadline time.Duration
 	// Faults scripts deterministic failures for tests; nil means none.
 	Faults *FaultPlan
+	// Reliability, when non-nil, enables the ack/retransmit transport:
+	// point-to-point sends carry sequence numbers, drops are retransmitted
+	// with exponential backoff, duplicates are suppressed, and delayed
+	// messages cannot be overtaken by their retransmissions. Nil keeps the
+	// fail-fast transport.
+	Reliability *Reliability
+	// Heartbeat, when non-nil, enables rank-failure detection: a dead
+	// rank is confirmed within a few heartbeat intervals and the run
+	// aborts with a *RankFailedError, instead of waiting out the full
+	// watchdog Deadline.
+	Heartbeat *Heartbeat
+	// Events, when non-nil, collects the run's fault, transport and
+	// heartbeat timeline. A log may be shared across runs (a campaign's
+	// segments) to accumulate one history.
+	Events *EventLog
 }
 
 // Run launches n ranks and executes fn on each with its world
@@ -405,11 +489,29 @@ func RunWith(n int, cfg RunConfig, fn func(c *Comm)) error {
 		return fmt.Errorf("mpi: need a positive rank count, got %d", n)
 	}
 	ctx := newContext(cfg)
+	ctx.lastStep = make([]atomic.Int64, n)
+	for i := range ctx.lastStep {
+		ctx.lastStep[i].Store(-1)
+	}
+	if cfg.Reliability != nil {
+		ctx.rel = newRelState(ctx, *cfg.Reliability)
+	}
 	boxes := make([]*mailbox, n)
 	for i := range boxes {
-		boxes[i] = newMailbox()
+		boxes[i] = newMailbox(ctx, 0, i)
 	}
 	ctx.boxes[0] = boxes
+
+	var hb *hbState
+	var stopHB chan struct{}
+	if cfg.Heartbeat != nil {
+		hb = newHBState(ctx, *cfg.Heartbeat, n)
+		stopHB = make(chan struct{})
+		for r := 0; r < n; r++ {
+			hb.startBeater(r)
+		}
+		go hb.monitor(stopHB)
+	}
 
 	var wg sync.WaitGroup
 	errs := make([]error, n)
@@ -417,6 +519,12 @@ func RunWith(n int, cfg RunConfig, fn func(c *Comm)) error {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
+			if hb != nil {
+				// Runs on every exit — return, panic and runtime.Goexit
+				// (a scripted silent death) alike: a dead rank must fall
+				// silent so the monitor can see it.
+				defer hb.rankExited(rank)
+			}
 			defer func() {
 				rec := recover()
 				if rec == nil {
@@ -428,13 +536,25 @@ func RunWith(n int, cfg RunConfig, fn func(c *Comm)) error {
 					errs[rank] = ab.err
 					return
 				}
-				err := fmt.Errorf("mpi: rank %d panicked: %v", rank, rec)
+				var err error
+				if rf, ok := rec.(*RankFailedError); ok {
+					// Keep the typed error so campaign drivers can match
+					// rank loss with errors.As.
+					err = rf
+				} else {
+					err = fmt.Errorf("mpi: rank %d panicked: %v", rank, rec)
+				}
 				errs[rank] = err
 				// Wake every rank blocked in a collective or a mailbox
 				// so Run ends instead of wedging on a lost peer.
 				ctx.abort(err)
 			}()
 			fn(&Comm{ctx: ctx, id: 0, rank: rank, size: n})
+			if hb != nil {
+				// Marked before the deferred rankExited stops the beater,
+				// so the monitor never sees a completed rank as silent.
+				hb.markCompleted(rank)
+			}
 		}(r)
 	}
 
@@ -446,6 +566,14 @@ func RunWith(n int, cfg RunConfig, fn func(c *Comm)) error {
 	wg.Wait()
 	if stopWatch != nil {
 		close(stopWatch)
+	}
+	if stopHB != nil {
+		close(stopHB)
+	}
+	if ctx.rel != nil {
+		// A message still unacked now was simply never received (the run
+		// is over); cancel its timer rather than aborting a finished run.
+		ctx.rel.stop()
 	}
 
 	ctx.mu.Lock()
@@ -477,16 +605,32 @@ func (c *Comm) Abort(err error) {
 }
 
 // Tick is the per-step fault-injection checkpoint: call it once per
-// simulation step with the current step number. A scripted
-// FaultPlan.Kill for this rank fires here, panicking as a lost rank
-// would, which aborts the run. Without a plan it is a no-op.
+// simulation step with the current step number. It records the step as
+// the rank's progress mark (reported by failure diagnostics), and a
+// scripted FaultPlan kill for this rank fires here: a noisy Kill
+// panics with a *RankFailedError, aborting the run as a crashed rank
+// would; a KillSilent stops the rank's goroutine without a word, the
+// way a lost node looks from outside — only a Heartbeat (or the
+// watchdog deadline) notices. Without a plan the progress mark is the
+// only effect.
 func (c *Comm) Tick(step int) {
+	if c.id == 0 && c.rank < len(c.ctx.lastStep) {
+		c.ctx.lastStep[c.rank].Store(int64(step))
+	}
 	p := c.ctx.cfg.Faults
 	if p == nil {
 		return
 	}
-	if p.takeKill(c.rank, step) {
-		panic(fmt.Sprintf("mpi: fault injection killed rank %d at step %d", c.rank, step))
+	switch p.takeKill(c.rank, step) {
+	case killNoisy:
+		c.ctx.eventf("fault.kill", "rank=%d step=%d", c.rank, step)
+		panic(&RankFailedError{Rank: c.rank, Step: step})
+	case killSilent:
+		c.ctx.eventf("fault.kill-silent", "rank=%d step=%d", c.rank, step)
+		// Goexit still runs the rank's deferred cleanups (worker pools,
+		// WaitGroup), but skips the completion mark and the abort — the
+		// rank just goes quiet.
+		runtime.Goexit()
 	}
 }
 
@@ -498,45 +642,72 @@ func checkUserTag(tag int) {
 	}
 }
 
+// checkPeer validates a point-to-point peer rank up front, panicking
+// with a clear diagnostic instead of letting a bad envelope wedge a
+// mailbox: an out-of-range rank has no mailbox, and a self-send (or a
+// receive from oneself) in this SPMD runtime is a program error that
+// would otherwise block until the watchdog deadline.
+func (c *Comm) checkPeer(op string, peer int) {
+	if peer < 0 || peer >= c.size {
+		panic(fmt.Sprintf("mpi: %s invalid rank %d of %d on comm %d", op, peer, c.size, c.id))
+	}
+	if peer == c.rank {
+		panic(fmt.Sprintf("mpi: rank %d attempted %s itself on comm %d; self-messaging is a program error", c.rank, op, c.id))
+	}
+}
+
 // Send delivers a copy of data to rank dst under the given tag. It never
-// blocks (buffered semantics). The tag must be non-negative.
+// blocks (buffered semantics). The tag must be non-negative; dst must be
+// a valid peer (in range and not the sender itself).
 func (c *Comm) Send(dst, tag int, data []float64) {
 	checkUserTag(tag)
 	c.send(dst, tag, data)
 }
 
 func (c *Comm) send(dst, tag int, data []float64) {
-	if dst < 0 || dst >= c.size {
-		panic(fmt.Sprintf("mpi: send to invalid rank %d of %d", dst, c.size))
-	}
-	cp := c.ctx.getBuf(len(data))
-	copy(cp, data)
+	c.checkPeer("send to", dst)
 	c.ctx.mu.Lock()
 	box := c.ctx.boxes[c.id][dst]
 	c.ctx.mu.Unlock()
-	m := message{src: c.rank, tag: tag, data: cp}
-	if p := c.ctx.cfg.Faults; p != nil {
-		if act, d, ok := p.actionFor(c.id, c.rank, dst, tag); ok {
+	if rs := c.ctx.rel; rs != nil {
+		rs.send(c.id, c.rank, dst, tag, data, box)
+		return
+	}
+	cp := c.ctx.getBuf(len(data))
+	copy(cp, data)
+	c.ctx.deliver(box, message{src: c.rank, tag: tag, data: cp})
+}
+
+// deliver passes one wire copy through the scripted fault plan (if any)
+// and into the destination mailbox, charging perfcount for the bytes
+// actually transmitted. Both the fail-fast path and every reliable
+// (re)transmission funnel through here, so faults apply uniformly.
+func (ctx *context) deliver(box *mailbox, m message) {
+	if p := ctx.cfg.Faults; p != nil {
+		if act, d, ok := p.actionFor(box.comm, m.src, box.owner, m.tag); ok {
 			switch act {
 			case Drop:
-				c.ctx.putBuf(cp)
+				ctx.eventf("fault.drop", "comm=%d src=%d dst=%d tag=%d elems=%d", box.comm, m.src, box.owner, m.tag, len(m.data))
+				ctx.putBuf(m.data)
 				return
 			case Delay:
-				perfcount.AddComm(int64(8 * len(data)))
+				ctx.eventf("fault.delay", "comm=%d src=%d dst=%d tag=%d elems=%d delay=%v", box.comm, m.src, box.owner, m.tag, len(m.data), d)
+				perfcount.AddComm(int64(8 * len(m.data)))
 				time.AfterFunc(d, func() { box.put(m) })
 				return
 			case Duplicate:
+				ctx.eventf("fault.duplicate", "comm=%d src=%d dst=%d tag=%d elems=%d", box.comm, m.src, box.owner, m.tag, len(m.data))
 				box.put(m)
-				dup := c.ctx.getBuf(len(cp))
-				copy(dup, cp)
-				box.put(message{src: c.rank, tag: tag, data: dup})
-				perfcount.AddComm(int64(16 * len(data)))
+				dup := ctx.getBuf(len(m.data))
+				copy(dup, m.data)
+				box.put(message{src: m.src, tag: m.tag, seq: m.seq, rel: m.rel, data: dup})
+				perfcount.AddComm(int64(16 * len(m.data)))
 				return
 			}
 		}
 	}
 	box.put(m)
-	perfcount.AddComm(int64(8 * len(data)))
+	perfcount.AddComm(int64(8 * len(m.data)))
 }
 
 // Recv blocks until a message from src with the given tag arrives and
@@ -548,9 +719,7 @@ func (c *Comm) Recv(src, tag int, buf []float64) int {
 }
 
 func (c *Comm) recv(src, tag int, buf []float64, site string) int {
-	if src < 0 || src >= c.size {
-		panic(fmt.Sprintf("mpi: recv from invalid rank %d of %d", src, c.size))
-	}
+	c.checkPeer("recv from", src)
 	c.ctx.mu.Lock()
 	box := c.ctx.boxes[c.id][c.rank]
 	c.ctx.mu.Unlock()
@@ -593,9 +762,12 @@ func (r *Request) Wait() int {
 // Irecv posts a non-blocking receive into buf; complete it with Wait.
 // The buffer must not be read (and no overlapping Recv posted) until
 // Wait returns — cmd/yyvet's irecv-wait analyzer enforces the Wait.
-// The tag must be non-negative.
+// The tag must be non-negative. The peer is validated up front, in the
+// caller's goroutine, so a bad src fails the posting rank immediately
+// instead of surfacing only at Wait.
 func (c *Comm) Irecv(src, tag int, buf []float64) *Request {
 	checkUserTag(tag)
+	c.checkPeer("recv from", src)
 	site := callerSite()
 	req := &Request{done: make(chan recvResult, 1)}
 	go func() {
@@ -810,7 +982,7 @@ func (c *Comm) Split(color, key int) *Comm {
 			ctx.commIDs[idKey] = newID
 			boxes := make([]*mailbox, sizes[col])
 			for i := range boxes {
-				boxes[i] = newMailbox()
+				boxes[i] = newMailbox(ctx, newID, i)
 				// A mailbox born during an abort must be born dead, or a
 				// rank racing past the abort could block in it forever.
 				boxes[i].abortErr = ctx.abortErr

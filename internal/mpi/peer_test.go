@@ -1,0 +1,76 @@
+package mpi
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSendPeerValidation: out-of-range and self destinations fail the
+// run with a clear diagnostic instead of wedging a mailbox.
+func TestSendPeerValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		dst  int
+		want string
+	}{
+		{"out-of-range", 5, "invalid rank 5 of 2"},
+		{"negative", -1, "invalid rank -1 of 2"},
+		{"self", 0, "self-messaging"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := RunWith(2, RunConfig{Deadline: time.Second}, func(c *Comm) {
+				if c.Rank() == 0 {
+					c.Send(tc.dst, 0, []float64{1})
+				}
+			})
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Send(%d): want error containing %q, got %v", tc.dst, tc.want, err)
+			}
+		})
+	}
+}
+
+// TestIrecvPeerValidation: Irecv validates its peer up front, in the
+// posting rank's goroutine — the failure does not wait for Wait.
+func TestIrecvPeerValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		src  int
+		want string
+	}{
+		{"out-of-range", 7, "invalid rank 7 of 2"},
+		{"self", 1, "self-messaging"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := RunWith(2, RunConfig{Deadline: time.Second}, func(c *Comm) {
+				if c.Rank() == 1 {
+					var buf [1]float64
+					// Deliberately never Wait: the up-front validation
+					// must fail the rank anyway.
+					c.Irecv(tc.src, 0, buf[:]) //yyvet:ignore irecv-wait
+				}
+			})
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Irecv(%d): want error containing %q, got %v", tc.src, tc.want, err)
+			}
+		})
+	}
+}
+
+// TestRecvPeerValidation: blocking Recv rejects a self source, which
+// could otherwise block forever waiting on a message only the waiting
+// rank itself could send.
+func TestRecvPeerValidation(t *testing.T) {
+	err := RunWith(2, RunConfig{Deadline: time.Second}, func(c *Comm) {
+		if c.Rank() == 0 {
+			var buf [1]float64
+			c.Recv(0, 0, buf[:])
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "self-messaging") {
+		t.Fatalf("Recv(self): want self-messaging error, got %v", err)
+	}
+}

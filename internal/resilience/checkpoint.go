@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/grid"
 	"repro/internal/mhd"
+	"repro/internal/mpi"
 	"repro/internal/snapshot"
 )
 
@@ -57,10 +58,24 @@ func listCheckpoints(dir string) ([]int, error) {
 	return steps, nil
 }
 
-// writeCheckpointFile atomically persists the state: the checkpoint is
-// streamed to a temporary file in the same directory and renamed into
-// place, so a crash mid-write never leaves a half-written file under a
-// checkpoint name (the resume scan would otherwise have to trust it).
+// ckptSyncHook, when non-nil, observes the durability sequence of
+// writeCheckpointFile — ("sync-file", tmp), ("rename", final),
+// ("sync-dir", dir) in order. Test seam only.
+var ckptSyncHook func(op, path string)
+
+func noteSync(op, path string) {
+	if ckptSyncHook != nil {
+		ckptSyncHook(op, path)
+	}
+}
+
+// writeCheckpointFile atomically and durably persists the state: the
+// checkpoint is streamed to a temporary file in the same directory,
+// fsynced, renamed into place, and the directory itself is fsynced.
+// The rename keeps a crash mid-write from leaving a half-written file
+// under a checkpoint name; the two fsyncs keep a host crash right after
+// the rename from leaving a zero-length (data never flushed) or
+// unlinked (directory entry never flushed) "newest" checkpoint.
 func writeCheckpointFile(dir string, sv *mhd.Solver) (string, error) {
 	final := filepath.Join(dir, ckptName(sv.Step))
 	tmp, err := os.CreateTemp(dir, ckptName(sv.Step)+".tmp-*")
@@ -72,13 +87,37 @@ func writeCheckpointFile(dir string, sv *mhd.Solver) (string, error) {
 		tmp.Close()
 		return "", fmt.Errorf("resilience: writing checkpoint: %w", err)
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return "", fmt.Errorf("resilience: syncing checkpoint: %w", err)
+	}
+	noteSync("sync-file", tmp.Name())
 	if err := tmp.Close(); err != nil {
 		return "", fmt.Errorf("resilience: closing checkpoint: %w", err)
 	}
 	if err := os.Rename(tmp.Name(), final); err != nil {
 		return "", fmt.Errorf("resilience: committing checkpoint: %w", err)
 	}
+	noteSync("rename", final)
+	if err := syncDir(dir); err != nil {
+		return "", err
+	}
+	noteSync("sync-dir", dir)
 	return final, nil
+}
+
+// syncDir flushes a directory's entries so a committed rename survives
+// a host crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("resilience: opening checkpoint dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("resilience: syncing checkpoint dir: %w", err)
+	}
+	return nil
 }
 
 // loadNewest restores the newest checkpoint in dir that reads back valid
@@ -135,8 +174,11 @@ func prune(dir string, keep int) error {
 
 // writePostmortem saves a human-readable account of an exhausted
 // segment next to the checkpoints and returns its path (best effort:
-// an empty path means the write itself failed).
-func writePostmortem(dir string, segStart, attempts int, cause error, res *Result) string {
+// an empty path means the write itself failed). The account ends with
+// the campaign's fault/heartbeat event timeline — what dropped, who was
+// suspected or confirmed dead, and when — so a failed campaign is
+// diagnosable from this one file.
+func writePostmortem(dir string, segStart, attempts int, cause error, res *Result, events *mpi.EventLog) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "campaign post-mortem\n")
 	fmt.Fprintf(&b, "failed segment start step: %d\n", segStart)
@@ -146,6 +188,14 @@ func writePostmortem(dir string, segStart, attempts int, cause error, res *Resul
 	fmt.Fprintf(&b, "committed dts: %v\n", res.DTs)
 	if len(res.Diags) > 0 {
 		fmt.Fprintf(&b, "last committed diagnostics: %+v\n", res.Diags[len(res.Diags)-1])
+	}
+	if n := events.Len(); n > 0 {
+		fmt.Fprintf(&b, "event timeline (%d events):\n", n)
+		for _, e := range events.Events() {
+			fmt.Fprintf(&b, "  %s\n", e)
+		}
+	} else {
+		fmt.Fprintf(&b, "event timeline: empty\n")
 	}
 	path := filepath.Join(dir, postmortemName)
 	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {

@@ -65,6 +65,14 @@ type Config struct {
 	// plan is stateful across segments and retries, so a scripted fault
 	// hits once and the retry runs clean.
 	Faults *mpi.FaultPlan
+	// Reliability, when non-nil, runs every segment on the ack/retransmit
+	// transport, so transient message drops, duplicates and delays are
+	// absorbed in-flight instead of costing a rollback-and-retry.
+	Reliability *mpi.Reliability
+	// Heartbeat, when non-nil, enables in-segment rank-failure detection:
+	// a dead rank fails the segment as a typed *mpi.RankFailedError
+	// within a few heartbeat intervals, instead of at Deadline expiry.
+	Heartbeat *mpi.Heartbeat
 	// DTSchedule overrides the per-segment time step (indexed by
 	// segment); segments beyond its length auto-estimate. Replaying a
 	// finished campaign's Result.DTs reproduces its committed
@@ -113,6 +121,10 @@ type Result struct {
 	// FinalStep is the step count reached; Final the gathered state.
 	FinalStep int
 	Final     *mhd.Solver
+	// Events is the campaign's fault/transport/heartbeat timeline,
+	// accumulated across every segment and retry (and written to the
+	// post-mortem when the campaign aborts).
+	Events []mpi.Event
 }
 
 // RunCampaign executes (or resumes) a checkpointed campaign.
@@ -132,9 +144,20 @@ func RunCampaign(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	rc := mpi.RunConfig{Deadline: cfg.Deadline, Faults: cfg.Faults}
+	// One shared log across every segment and retry: the post-mortem can
+	// then show the whole campaign's fault history, not just the last
+	// attempt's.
+	events := mpi.NewEventLog()
+	rc := mpi.RunConfig{
+		Deadline:    cfg.Deadline,
+		Faults:      cfg.Faults,
+		Reliability: cfg.Reliability,
+		Heartbeat:   cfg.Heartbeat,
+		Events:      events,
+	}
 
 	res := &Result{}
+	defer func() { res.Events = events.Events() }()
 	state, _, err := loadNewest(cfg.Dir, spec)
 	if err != nil {
 		return nil, err
@@ -194,9 +217,13 @@ func RunCampaign(cfg Config) (*Result, error) {
 			if cfg.Perturb != nil {
 				cfg.Perturb(segIdx, attempt, state)
 			}
+			events.Notef("note", "segment start=%d steps=%d attempt=%d dt=%.6g", segStart, n, attempt, dt)
 			next, diag, err := runSegment(cfg.Core, layout, rc, state, dt, n)
 			if err == nil {
 				err = validate(next, cfg)
+			}
+			if err != nil {
+				events.Notef("note", "segment start=%d attempt=%d failed: %v", segStart, attempt, err)
 			}
 			if err == nil {
 				state = next
@@ -217,7 +244,7 @@ func RunCampaign(cfg Config) (*Result, error) {
 			lastErr = err
 		}
 		if !committed {
-			pm := writePostmortem(cfg.Dir, segStart, cfg.MaxRetries+1, lastErr, res)
+			pm := writePostmortem(cfg.Dir, segStart, cfg.MaxRetries+1, lastErr, res, events)
 			return res, fmt.Errorf("resilience: segment at step %d failed after %d attempts (post-mortem: %s): %w",
 				segStart, cfg.MaxRetries+1, pm, lastErr)
 		}

@@ -7,14 +7,21 @@
 #   2. go vet        — the standard toolchain analyzers
 #   3. yyvet         — the repo-specific invariant analyzers
 #                      (internal/analyze: irecv-wait, pow2-stride,
-#                      float-eq, cond-wait-loop, abort-on-err)
+#                      float-eq, cond-wait-loop, abort-on-err,
+#                      runwith-deadline)
 #   4. go test       — the full test suite; the explicit -timeout turns
 #                      any residual runtime wedge into a stack-dumped
 #                      failure instead of a hung CI job
 #   5. go test -race — the goroutine MPI runtime and its users under
 #                      the race detector, plus the intra-rank worker
-#                      pool (internal/par) and the pooled-kernel +
-#                      halo-exchange stress test in internal/decomp
+#                      pool (internal/par), the chaos harness and the
+#                      pooled-kernel + halo-exchange stress test in
+#                      internal/decomp
+#   6. yychaos       — the seeded chaos smoke: randomized fault
+#                      schedules over full solver runs (liveness,
+#                      golden-checkpoint safety, campaign
+#                      recoverability), then the committed regression
+#                      corpus replayed for its recorded verdicts
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -31,7 +38,13 @@ go run ./cmd/yyvet ./...
 echo "==> go test -timeout 120s ./..."
 go test -timeout 120s ./...
 
-echo "==> go test -race -timeout 120s ./internal/mpi ./internal/decomp ./internal/overset ./internal/resilience ./internal/par"
-go test -race -timeout 120s ./internal/mpi ./internal/decomp ./internal/overset ./internal/resilience ./internal/par
+echo "==> go test -race -timeout 240s ./internal/mpi ./internal/decomp ./internal/overset ./internal/resilience ./internal/par ./internal/chaos"
+go test -race -timeout 240s ./internal/mpi ./internal/decomp ./internal/overset ./internal/resilience ./internal/par ./internal/chaos
+
+echo "==> chaos smoke: go run ./cmd/yychaos -seeds 25 -steps 5"
+go run ./cmd/yychaos -seeds 25 -steps 5
+
+echo "==> chaos corpus replay: go run ./cmd/yychaos -corpus internal/chaos/testdata/corpus.json"
+go run ./cmd/yychaos -corpus internal/chaos/testdata/corpus.json
 
 echo "==> all checks passed"
