@@ -29,8 +29,9 @@ func main() {
 		scaling   = flag.Bool("scaling", false, "print the model strong-scaling sweep")
 		all       = flag.Bool("all", false, "print everything")
 		measure   = flag.Bool("measure", false, "re-measure the step profile from the live solver instead of the baked reference")
-		jsonDir   = flag.String("json", "", "run the kernel and halo benchmarks and write BENCH_kernels.json/BENCH_halo.json into this directory")
+		jsonDir   = flag.String("json", "", "run the kernel, halo and observability benchmarks and write BENCH_kernels.json/BENCH_halo.json/BENCH_obs.json into this directory")
 		gate      = flag.String("gate", "", "re-run the halo benchmarks and fail if allocs/op regresses above this baseline BENCH_halo.json")
+		gateObs   = flag.String("gate-obs", "", "re-run the observability benchmarks and fail if allocs/op (strict) or ns/op (10x slack) regresses above this baseline BENCH_obs.json")
 	)
 	flag.Parse()
 
@@ -46,12 +47,17 @@ func main() {
 	if *jsonDir != "" {
 		s := grid.NewSpec(17, 17)
 		check(bench.WriteBenchJSON(*jsonDir, s, []int{1, 2, 4}))
-		fmt.Fprintf(w, "wrote %s/BENCH_kernels.json and %s/BENCH_halo.json\n", *jsonDir, *jsonDir)
+		fmt.Fprintf(w, "wrote %s/BENCH_kernels.json, %s/BENCH_halo.json and %s/BENCH_obs.json\n", *jsonDir, *jsonDir, *jsonDir)
 		ran = true
 	}
 	if *gate != "" {
 		check(bench.GateHaloAllocs(*gate, grid.NewSpec(17, 17)))
 		fmt.Fprintf(w, "halo alloc gate passed against %s\n", *gate)
+		ran = true
+	}
+	if *gateObs != "" {
+		check(bench.GateObsOverhead(*gateObs))
+		fmt.Fprintf(w, "observability overhead gate passed against %s\n", *gateObs)
 		ran = true
 	}
 	if *all || *table == 1 {

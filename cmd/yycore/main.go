@@ -17,6 +17,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mhd"
+	"repro/internal/mpi"
+	"repro/internal/obs"
+	"repro/internal/perfcount"
 	"repro/internal/resilience"
 	"repro/internal/sph"
 	"repro/internal/viz"
@@ -47,6 +50,9 @@ func main() {
 		retries   = flag.Int("retries", 3, "campaign: retry budget per segment")
 		backoff   = flag.Float64("backoff", 0.5, "campaign: dt multiplier per blow-up retry")
 		deadline  = flag.Duration("deadline", 0, "campaign: per-call communication deadline (0 = none)")
+
+		trace     = flag.String("trace", "", "record per-rank phase spans and write a Chrome trace_event JSON here (view in ui.perfetto.dev)")
+		runreport = flag.String("runreport", "", "write a PROGINF-style run report here at the end (\"-\" = stdout)")
 	)
 	flag.Parse()
 
@@ -60,6 +66,17 @@ func main() {
 	ic.SeedBAmp = *seedB
 	ic.PerturbAmp = *perturb
 	cfg := core.Config{Nr: *nr, Nt: *nt, Params: &prm, IC: &ic}
+
+	// Observability: one recorder and one event log for whichever run
+	// mode executes below; exported at the end by writeObs.
+	var rec *obs.Recorder
+	var events *mpi.EventLog
+	perf0 := perfcount.Read()
+	if *trace != "" || *runreport != "" {
+		rec = obs.New(obs.Config{})
+		events = mpi.NewEventLog()
+		cfg.Obs = rec
+	}
 
 	if *campaign != "" {
 		np := *procs
@@ -77,6 +94,8 @@ func main() {
 			MaxRetries:      *retries,
 			Backoff:         *backoff,
 			Deadline:        *deadline,
+			Obs:             rec,
+			Events:          events,
 		})
 		if res != nil {
 			if res.Resumed {
@@ -93,6 +112,7 @@ func main() {
 			fail(err)
 		}
 		fmt.Printf("campaign complete at step %d\n", res.FinalStep)
+		writeObs(*trace, *runreport, rec, events, perf0)
 		return
 	}
 
@@ -105,6 +125,7 @@ func main() {
 		for _, d := range hist {
 			fmt.Println(d)
 		}
+		writeObs(*trace, *runreport, rec, events, perf0)
 		return
 	}
 
@@ -181,6 +202,45 @@ func main() {
 			fail(err)
 		}
 		fmt.Printf("wrote %s\n", *slice)
+	}
+	sim.Close()
+	writeObs(*trace, *runreport, rec, events, perf0)
+}
+
+// writeObs exports the run's observability products: the Perfetto trace
+// (with the event log merged as instants) and/or the PROGINF-style run
+// report. A nil recorder means neither flag was set.
+func writeObs(tracePath, reportPath string, rec *obs.Recorder, events *mpi.EventLog, perf0 perfcount.Snapshot) {
+	if rec == nil {
+		return
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			fail(err)
+		}
+		if err := core.WriteTrace(f, rec, events); err != nil {
+			fail(err)
+		}
+		f.Close()
+		fmt.Printf("wrote trace %s (open in https://ui.perfetto.dev)\n", tracePath)
+	}
+	if reportPath != "" {
+		w := os.Stdout
+		if reportPath != "-" {
+			f, err := os.Create(reportPath)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := core.WriteRunReport(w, rec, perfcount.Read().Sub(perf0)); err != nil {
+			fail(err)
+		}
+		if reportPath != "-" {
+			fmt.Printf("wrote run report %s\n", reportPath)
+		}
 	}
 }
 

@@ -1,0 +1,208 @@
+// Command yytrace merges and summarizes Chrome trace_event JSON files
+// produced by yycore -trace (or any tool emitting the same format).
+//
+// Summarize one trace (per-track span totals and percentages):
+//
+//	yytrace run.json
+//
+// Merge several runs into one file, each input on its own process row
+// in Perfetto:
+//
+//	yytrace -o merged.json run1.json run2.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// event mirrors the trace_event fields our tools emit, keeping unknown
+// args intact for round-tripping.
+type event struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []event `json:"traceEvents"`
+	DisplayTimeUnit string  `json:"displayTimeUnit,omitempty"`
+}
+
+func main() {
+	var (
+		out     = flag.String("o", "", "write the merged trace here instead of summarizing")
+		summary = flag.Bool("summary", false, "print the per-track summary (default when -o is not given)")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: yytrace [-o merged.json] [-summary] trace.json...")
+		os.Exit(2)
+	}
+
+	var merged []event
+	for i, path := range flag.Args() {
+		tf, err := load(path)
+		if err != nil {
+			fail(err)
+		}
+		for _, ev := range tf.TraceEvents {
+			// Each input file becomes its own process row, so merged
+			// runs do not collide on (pid, tid).
+			ev.PID = i
+			merged = append(merged, ev)
+		}
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		enc := json.NewEncoder(f)
+		if err := enc.Encode(traceFile{TraceEvents: merged, DisplayTimeUnit: "ms"}); err != nil {
+			fail(err)
+		}
+		f.Close()
+		fmt.Printf("wrote %s (%d events from %d files)\n", *out, len(merged), flag.NArg())
+		if !*summary {
+			return
+		}
+	}
+	summarize(merged)
+}
+
+func load(path string) (traceFile, error) {
+	var tf traceFile
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return tf, err
+	}
+	if err := json.Unmarshal(data, &tf); err != nil {
+		// Also accept the bare-array form of the format.
+		var evs []event
+		if aerr := json.Unmarshal(data, &evs); aerr != nil {
+			return tf, fmt.Errorf("%s: %v", path, err)
+		}
+		tf.TraceEvents = evs
+	}
+	return tf, nil
+}
+
+type trackKey struct{ pid, tid int }
+type rowKey struct {
+	trackKey
+	name string
+}
+
+// summarize prints, per track, each span name's count, total time and
+// share of the track's wall span, plus the instants seen.
+func summarize(evs []event) {
+	names := map[trackKey]string{}
+	rows := map[rowKey]*struct {
+		count int
+		total float64
+	}{}
+	walls := map[trackKey][2]float64{} // min ts, max ts+dur
+	instants := map[string]int{}
+	for _, ev := range evs {
+		tk := trackKey{ev.PID, ev.TID}
+		switch ev.Phase {
+		case "M":
+			if ev.Name == "thread_name" && ev.Args != nil {
+				if n, ok := ev.Args["name"].(string); ok {
+					names[tk] = n
+				}
+			}
+		case "X":
+			rk := rowKey{tk, ev.Name}
+			r := rows[rk]
+			if r == nil {
+				r = &struct {
+					count int
+					total float64
+				}{}
+				rows[rk] = r
+			}
+			r.count++
+			r.total += ev.Dur
+			w, ok := walls[tk]
+			if !ok {
+				w = [2]float64{ev.TS, ev.TS + ev.Dur}
+			}
+			if ev.TS < w[0] {
+				w[0] = ev.TS
+			}
+			if ev.TS+ev.Dur > w[1] {
+				w[1] = ev.TS + ev.Dur
+			}
+			walls[tk] = w
+		case "i":
+			instants[ev.Name]++
+		}
+	}
+
+	tracks := make([]trackKey, 0, len(walls))
+	for tk := range walls {
+		tracks = append(tracks, tk)
+	}
+	sort.Slice(tracks, func(i, j int) bool {
+		if tracks[i].pid != tracks[j].pid {
+			return tracks[i].pid < tracks[j].pid
+		}
+		return tracks[i].tid < tracks[j].tid
+	})
+	for _, tk := range tracks {
+		label := names[tk]
+		if label == "" {
+			label = fmt.Sprintf("tid %d", tk.tid)
+		}
+		wall := walls[tk][1] - walls[tk][0]
+		fmt.Printf("\n[pid %d] %s  (wall %.3f ms)\n", tk.pid, label, wall/1e3)
+		fmt.Printf("  %-18s %8s %14s %8s\n", "span", "count", "total(ms)", "%wall")
+		type line struct {
+			name  string
+			count int
+			total float64
+		}
+		var lines []line
+		for rk, r := range rows {
+			if rk.trackKey == tk {
+				lines = append(lines, line{rk.name, r.count, r.total})
+			}
+		}
+		sort.Slice(lines, func(i, j int) bool { return lines[i].total > lines[j].total })
+		for _, l := range lines {
+			pct := 0.0
+			if wall > 0 {
+				pct = 100 * l.total / wall
+			}
+			fmt.Printf("  %-18s %8d %14.3f %8.2f\n", l.name, l.count, l.total/1e3, pct)
+		}
+	}
+	if len(instants) > 0 {
+		fmt.Printf("\nInstants:\n")
+		keys := make([]string, 0, len(instants))
+		for k := range instants {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("  %-24s %6d\n", k, instants[k])
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "yytrace:", err)
+	os.Exit(1)
+}

@@ -9,5 +9,6 @@ func All() []*Analyzer {
 		IrecvWait,
 		Pow2Stride,
 		RunWithDeadline,
+		SpanEnd,
 	}
 }

@@ -1,0 +1,17 @@
+package analyze
+
+import "testing"
+
+// TestSpanEnd runs the analyzer over its fixture: discarded, blank-
+// assigned, never-ended and early-return spans are true positives;
+// deferred, chained, closure-closed, escaping and suppressed spans are
+// clean, as is a Begin-named decoy without an End method.
+func TestSpanEnd(t *testing.T) {
+	for _, tc := range []struct{ name, dir string }{
+		{"fixture", "spanend"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			runFixture(t, tc.dir, SpanEnd)
+		})
+	}
+}

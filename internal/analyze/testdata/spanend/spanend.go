@@ -1,0 +1,126 @@
+// Package spanend is a span-end fixture: a self-contained miniature of
+// the internal/obs surface (RankRec.Begin returning a Span with an End
+// method) plus good and bad call sites.
+package spanend
+
+// Rec mimics obs.RankRec.
+type Rec struct{}
+
+// Span mimics obs.Span.
+type Span struct{ start int64 }
+
+// End closes the span.
+func (s Span) End() {}
+
+// Begin opens a span of the given kind.
+func (r *Rec) Begin(kind int) Span { return Span{} }
+
+// Mark is a decoy: Begin-like name shape but no End on its result must
+// never be flagged.
+func (r *Rec) Mark(kind int) int64 { return 0 }
+
+func discarded(r *Rec) {
+	r.Begin(1) // want "result of Begin is discarded"
+}
+
+func blankAssigned(r *Rec) {
+	_ = r.Begin(1) // want "span assigned to _"
+}
+
+func neverEnded(r *Rec) int {
+	sp := r.Begin(1) // want "sp is never ended"
+	_ = sp
+	return 0
+}
+
+func deferredChain(r *Rec) {
+	defer r.Begin(1).End()
+}
+
+func immediateChain(r *Rec) {
+	r.Begin(1).End()
+}
+
+func deferredIdent(r *Rec, x int) int {
+	sp := r.Begin(1)
+	defer sp.End()
+	if x > 0 {
+		return x // covered by the defer
+	}
+	return -x
+}
+
+func explicitEndStraightLine(r *Rec) {
+	sp := r.Begin(1)
+	work()
+	sp.End()
+}
+
+func explicitEndInLoop(r *Rec) {
+	for i := 0; i < 4; i++ {
+		w := r.Begin(2)
+		work()
+		w.End()
+	}
+}
+
+func earlyReturnBetween(r *Rec, x int) int {
+	sp := r.Begin(1)
+	if x > 0 {
+		return x // want "return between sp.Begin and sp.End leaves the span open"
+	}
+	sp.End()
+	return -x
+}
+
+func returnAfterEndIsFine(r *Rec, x int) int {
+	sp := r.Begin(1)
+	work()
+	sp.End()
+	if x > 0 {
+		return x
+	}
+	return -x
+}
+
+func endedInClosure(r *Rec) func() {
+	sp := r.Begin(1)
+	return func() { sp.End() }
+}
+
+func escapesAsArgument(r *Rec) {
+	sp := r.Begin(1)
+	closeLater(sp)
+}
+
+func closureReturnDoesNotCount(r *Rec) {
+	sp := r.Begin(1)
+	f := func() int { return 1 } // this return exits the literal only
+	_ = f()
+	sp.End()
+}
+
+func beginInsideClosure(r *Rec) func(bool) int {
+	return func(flag bool) int {
+		sp := r.Begin(1)
+		if flag {
+			return 1 // want "return between sp.Begin and sp.End leaves the span open"
+		}
+		sp.End()
+		return 0
+	}
+}
+
+func suppressed(r *Rec) {
+	//yyvet:ignore span-end interval is closed by the flush goroutine
+	r.Begin(1)
+}
+
+func decoyNotFlagged(r *Rec) {
+	r.Mark(1)
+	_ = r.Mark(2)
+}
+
+func work() {}
+
+func closeLater(s Span) {}

@@ -179,8 +179,8 @@ func writeJSON(path string, v any) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-// WriteBenchJSON runs both benchmark suites and writes
-// BENCH_kernels.json and BENCH_halo.json into dir.
+// WriteBenchJSON runs the benchmark suites and writes
+// BENCH_kernels.json, BENCH_halo.json and BENCH_obs.json into dir.
 func WriteBenchJSON(dir string, s grid.Spec, workers []int) error {
 	kr, err := RunKernelBenches(s, workers)
 	if err != nil {
@@ -193,7 +193,10 @@ func WriteBenchJSON(dir string, s grid.Spec, workers []int) error {
 	if err != nil {
 		return err
 	}
-	return writeJSON(filepath.Join(dir, "BENCH_halo.json"), hr)
+	if err := writeJSON(filepath.Join(dir, "BENCH_halo.json"), hr); err != nil {
+		return err
+	}
+	return writeJSON(filepath.Join(dir, "BENCH_obs.json"), RunObsBenches())
 }
 
 // GateHaloAllocs re-measures the halo benchmarks and fails if any

@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/obs"
+)
+
+// ObsBench is one measurement of the observability hot path. The
+// committed acceptance number is AllocsPerOp == 0 on every row: tracing
+// rides inside the solver step and must never touch the allocator.
+type ObsBench struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// ObsReport is the BENCH_obs.json document.
+type ObsReport struct {
+	Env        BenchEnv   `json:"env"`
+	Benchmarks []ObsBench `json:"benchmarks"`
+}
+
+// RunObsBenches measures the per-event costs a traced run pays on every
+// span, histogram observation and delivery count.
+func RunObsBenches() *ObsReport {
+	rec := obs.New(obs.Config{})
+	rr := rec.RankFor(0)
+	// Warm the per-(comm,tag) map so the steady-state read-lock path is
+	// what gets measured, exactly as in a long run.
+	rec.CommDelivered(0, 5, 1024)
+	rec.CommWaited(0, 5, 1000)
+
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"SpanBeginEnd", func() { rr.Begin(obs.SpanRHS).End() }},
+		{"CommDelivered", func() { rec.CommDelivered(0, 5, 1024) }},
+		{"CommWaitHistObserve", func() { rec.CommWaited(0, 5, 1000) }},
+		{"SetGauge", func() { rr.SetGauge("dt", 1e-3) }},
+	}
+	rep := &ObsReport{Env: benchEnv(grid.NewSpec(17, 17))}
+	for _, c := range cases {
+		fn := c.fn
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for n := 0; n < b.N; n++ {
+				fn()
+			}
+		})
+		rep.Benchmarks = append(rep.Benchmarks, ObsBench{
+			Name:        c.name,
+			NsPerOp:     float64(res.NsPerOp()),
+			AllocsPerOp: res.AllocsPerOp(),
+		})
+	}
+	return rep
+}
+
+// GateObsOverhead re-measures the observability hot path and fails if
+// allocs/op regresses above the committed baseline (strict: the rings
+// and histograms are preallocated, so any alloc is a bug) or if ns/op
+// blows past a generous multiple of it (shared-CI noise allowance; only
+// an order-of-magnitude regression, e.g. an accidental lock or
+// formatting call on the hot path, should trip it).
+func GateObsOverhead(baselinePath string) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base ObsReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("bench: parsing baseline %s: %w", baselinePath, err)
+	}
+	baseline := map[string]ObsBench{}
+	for _, b := range base.Benchmarks {
+		baseline[b.Name] = b
+	}
+	cur := RunObsBenches()
+	for _, b := range cur.Benchmarks {
+		want, ok := baseline[b.Name]
+		if !ok {
+			continue
+		}
+		if b.AllocsPerOp > want.AllocsPerOp {
+			return fmt.Errorf("bench: %s allocates %d allocs/op, baseline %d — tracing hot path regressed",
+				b.Name, b.AllocsPerOp, want.AllocsPerOp)
+		}
+		if limit := 10*want.NsPerOp + 100; b.NsPerOp > limit {
+			return fmt.Errorf("bench: %s takes %.0f ns/op, baseline %.0f (limit %.0f) — tracing hot path regressed",
+				b.Name, b.NsPerOp, want.NsPerOp, limit)
+		}
+	}
+	return nil
+}

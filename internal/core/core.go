@@ -23,6 +23,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/mhd"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/snapshot"
 	"repro/internal/sph"
@@ -54,6 +55,12 @@ type Config struct {
 	// Every pooled kernel is bit-identical to its serial form, so Workers
 	// changes wall-clock time only.
 	Workers int
+	// Obs, when non-nil, records the run's observability data: per-rank
+	// phase spans (exportable as a Perfetto trace), per-(comm,tag)
+	// message metrics, and per-step physics gauges, aggregated into a
+	// PROGINF-style run report. Tracing never perturbs the physics: a
+	// traced run's checkpoint is byte-identical to an untraced one.
+	Obs *obs.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -106,29 +113,39 @@ type Simulation struct {
 
 	dt      float64
 	pool    *par.Pool
+	rr      *obs.RankRec
 	history []mhd.Diagnostics
 }
 
 // New builds and initializes a simulation.
 func New(cfg Config) (*Simulation, error) {
 	cfg = cfg.withDefaults()
+	// A serial run records on rank 0's track; nil Obs makes rr nil and
+	// every span call a no-op.
+	rr := cfg.Obs.RankFor(0)
+	rr.Open()
+	defer rr.Begin(obs.SpanSetup).End()
 	sv, err := mhd.NewSolver(cfg.Spec(), *cfg.Params, *cfg.IC)
 	if err != nil {
 		return nil, err
 	}
 	sv.Concurrent = cfg.Concurrent
-	sim := &Simulation{Cfg: cfg, Solver: sv}
+	sim := &Simulation{Cfg: cfg, Solver: sv, rr: rr}
 	if cfg.Workers > 1 {
 		sim.pool = par.NewPool(cfg.Workers)
 		sv.SetPool(sim.pool)
+		sim.pool.SetGauge(rr.PoolGauge())
 	}
 	sim.history = append(sim.history, sv.Diagnose())
 	return sim, nil
 }
 
-// Close releases the worker pool, if any. Safe to call on every
-// Simulation, once or more.
-func (s *Simulation) Close() { s.pool.Close() }
+// Close releases the worker pool, if any, and closes the observability
+// window. Safe to call on every Simulation, once or more.
+func (s *Simulation) Close() {
+	s.pool.Close()
+	s.rr.Close()
+}
 
 // Step advances n time steps with the automatically estimated stable
 // time step, recording diagnostics after the batch.
@@ -138,12 +155,19 @@ func (s *Simulation) Step(n int) error {
 	}
 	s.dt = s.Solver.EstimateDT(s.Cfg.SafetyFactor)
 	for i := 0; i < n; i++ {
+		s.rr.SetStep(s.Solver.Step)
+		sp := s.rr.Begin(obs.SpanStep)
 		s.Solver.Advance(s.dt)
+		sp.End()
+		s.rr.SetGauge("dt", s.dt)
 	}
 	if err := s.Solver.CheckFinite(); err != nil {
 		return err
 	}
-	s.history = append(s.history, s.Solver.Diagnose())
+	dg := s.rr.Begin(obs.SpanDiagnose)
+	d := s.Solver.Diagnose()
+	dg.End()
+	s.history = append(s.history, d)
 	return nil
 }
 
@@ -238,12 +262,18 @@ func RunParallel(cfg Config, nProcs, steps, recordEvery int, dt float64) ([]mhd.
 	}
 	var mu sync.Mutex
 	var out []mhd.Diagnostics
-	err = mpi.Run(nProcs, func(w *mpi.Comm) {
+	err = mpi.RunWith(nProcs, mpi.RunConfig{Obs: cfg.Obs}, func(w *mpi.Comm) {
+		rr := cfg.Obs.RankFor(w.Rank())
+		rr.Open()
+		defer rr.Close()
+		sp := rr.Begin(obs.SpanSetup)
 		r, err := decomp.NewRankWorkers(w, layout, *cfg.Params, *cfg.IC, cfg.Workers)
 		if err != nil {
 			w.Abort(err)
 		}
 		defer r.Close()
+		r.SetObs(rr)
+		sp.End()
 		step := dt
 		if step <= 0 {
 			step = r.EstimateDT(cfg.SafetyFactor)
@@ -301,6 +331,12 @@ func RunParallelWithCheckpoint(cfg Config, nProcs, steps int, dt float64, w io.W
 // self-healing runtime.
 func RunParallelCheckpointWith(cfg Config, rc mpi.RunConfig, nProcs, steps int, dt float64, w io.Writer) ([]mhd.Diagnostics, error) {
 	cfg = cfg.withDefaults()
+	// One effective recorder: the run config's (a campaign's shared
+	// recorder) wins; the core config's is the fallback.
+	if rc.Obs == nil {
+		rc.Obs = cfg.Obs
+	}
+	rec := rc.Obs
 	layout, err := decomp.NewLayout(cfg.Spec(), nProcs)
 	if err != nil {
 		return nil, err
@@ -308,11 +344,17 @@ func RunParallelCheckpointWith(cfg Config, rc mpi.RunConfig, nProcs, steps int, 
 	var mu sync.Mutex
 	var out []mhd.Diagnostics
 	err = mpi.RunWith(nProcs, rc, func(wc *mpi.Comm) {
+		rr := rec.RankFor(wc.Rank())
+		rr.Open()
+		defer rr.Close()
+		sp := rr.Begin(obs.SpanSetup)
 		r, err := decomp.NewRankWorkers(wc, layout, *cfg.Params, *cfg.IC, cfg.Workers)
 		if err != nil {
 			wc.Abort(err)
 		}
 		defer r.Close()
+		r.SetObs(rr)
+		sp.End()
 		step := dt
 		if step <= 0 {
 			step = r.EstimateDT(cfg.SafetyFactor)
@@ -329,8 +371,11 @@ func RunParallelCheckpointWith(cfg Config, rc mpi.RunConfig, nProcs, steps int, 
 			mu.Lock()
 			defer mu.Unlock()
 			out = append(out, d)
-			if err := snapshot.WriteCheckpoint(w, sv); err != nil {
-				wc.Abort(err)
+			cw := rr.Begin(obs.SpanCkptWrite)
+			werr := snapshot.WriteCheckpoint(w, sv)
+			cw.End()
+			if werr != nil {
+				wc.Abort(werr)
 			}
 		}
 	})

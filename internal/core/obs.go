@@ -1,0 +1,46 @@
+package core
+
+import (
+	"io"
+
+	"repro/internal/mpi"
+	"repro/internal/obs"
+	"repro/internal/perfcount"
+)
+
+// InstantsFromEvents converts a runtime event log (fault injections,
+// transport retransmissions, heartbeat transitions, campaign segment
+// notes) into trace instants on the recorder's clock, re-basing each
+// event's offset from the log's start time onto the recorder epoch.
+// The conversion lives here because obs is a leaf package: it cannot
+// import the runtime it observes.
+func InstantsFromEvents(rec *obs.Recorder, log *mpi.EventLog) []obs.Instant {
+	if rec == nil || log == nil {
+		return nil
+	}
+	base := log.Start().Sub(rec.Epoch())
+	evs := log.Events()
+	out := make([]obs.Instant, 0, len(evs))
+	for _, e := range evs {
+		out = append(out, obs.Instant{At: base + e.At, Name: e.Kind, Detail: e.Detail})
+	}
+	return out
+}
+
+// WriteTrace exports the recorder's timeline as Chrome trace_event JSON
+// with the event log (may be nil) merged in as instant markers — the
+// one-call export for drivers.
+func WriteTrace(w io.Writer, rec *obs.Recorder, log *mpi.EventLog) error {
+	return rec.WriteTrace(w, InstantsFromEvents(rec, log))
+}
+
+// WriteRunReport builds the PROGINF-style run report from the recorder
+// and the given perfcount interval and writes it to w.
+func WriteRunReport(w io.Writer, rec *obs.Recorder, perf perfcount.Snapshot) error {
+	rep := rec.BuildReport(perf)
+	if rep == nil {
+		return nil
+	}
+	_, err := io.WriteString(w, rep.Format())
+	return err
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/mpi"
+	"repro/internal/obs"
+	"repro/internal/perfcount"
+)
+
+// tracedRun executes a 4-rank checkpointed run with a recorder attached
+// and returns the checkpoint hash plus the recorder for inspection.
+func tracedRun(t *testing.T, cfg Config, steps int, dt float64, nProcs int) ([32]byte, *obs.Recorder) {
+	t.Helper()
+	rec := obs.New(obs.Config{SpanCap: 1 << 16})
+	cfg.Obs = rec
+	var buf bytes.Buffer
+	if _, err := RunParallelWithCheckpoint(cfg, nProcs, steps, dt, &buf); err != nil {
+		t.Fatal(err)
+	}
+	return sha256.Sum256(buf.Bytes()), rec
+}
+
+// TestTracedRunByteIdenticalToGolden is the observability acceptance
+// gate for physics neutrality: a fully traced 4-rank run produces a
+// checkpoint byte-identical to the untraced serial golden. Tracing reads
+// clocks and writes its own rings; it must never change a bit of state.
+func TestTracedRunByteIdenticalToGolden(t *testing.T) {
+	cfg := Config{Nr: 9, Nt: 13}
+	const steps = 10
+	const dt = 2e-3
+
+	want := checkpointSum(t, cfg, steps, dt)
+	got, rec := tracedRun(t, cfg, steps, dt, 4)
+	if got != want {
+		t.Fatalf("traced checkpoint %x differs from untraced golden %x", got, want)
+	}
+	// The run must actually have been traced, not silently no-opped.
+	for _, rank := range []int{0, 1, 2, 3} {
+		if rec.RankFor(rank).Len() == 0 {
+			t.Fatalf("rank %d recorded no spans", rank)
+		}
+	}
+}
+
+// traceShape is the subset of trace_event JSON the assertions read.
+type traceShape struct {
+	TraceEvents []struct {
+		Name  string         `json:"name"`
+		Phase string         `json:"ph"`
+		TID   int            `json:"tid"`
+		Dur   float64        `json:"dur"`
+		Args  map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+// TestTraceCoverageAndTracks pins the trace acceptance criteria: the
+// exported JSON parses, carries one named track per rank, and depth-0
+// spans cover at least 95% of each rank's open..close wall window.
+func TestTraceCoverageAndTracks(t *testing.T) {
+	cfg := Config{Nr: 9, Nt: 13}
+	_, rec := tracedRun(t, cfg, 10, 2e-3, 4)
+
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, rec, nil); err != nil {
+		t.Fatal(err)
+	}
+	var tr traceShape
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	tracks := map[int]string{}
+	spans := map[int]int{}
+	for _, ev := range tr.TraceEvents {
+		switch ev.Phase {
+		case "M":
+			if ev.Name == "thread_name" {
+				name, _ := ev.Args["name"].(string)
+				tracks[ev.TID] = name
+			}
+		case "X":
+			spans[ev.TID]++
+		}
+	}
+	for _, rank := range []int{0, 1, 2, 3} {
+		tid := rank + 1
+		if tracks[tid] == "" {
+			t.Errorf("rank %d has no thread_name metadata track", rank)
+		}
+		if spans[tid] == 0 {
+			t.Errorf("rank %d track has no duration events", rank)
+		}
+	}
+
+	rep := rec.BuildReport(perfcount.Snapshot{})
+	if len(rep.Ranks) != 4 {
+		t.Fatalf("report has %d ranks, want 4", len(rep.Ranks))
+	}
+	for _, rs := range rep.Ranks {
+		if cov := rs.Coverage(); cov < 0.95 {
+			t.Errorf("rank %d span coverage %.1f%% below the 95%% acceptance floor", rs.Rank, 100*cov)
+		}
+	}
+}
+
+// TestReportPercentagesSumTo100 pins the run-report accounting: the
+// compute/comm/wait split of a real traced run sums to 100% within 1
+// point (by construction compute is the remainder, so the tolerance only
+// absorbs formatting rounding).
+func TestReportPercentagesSumTo100(t *testing.T) {
+	cfg := Config{Nr: 9, Nt: 13}
+	_, rec := tracedRun(t, cfg, 10, 2e-3, 4)
+
+	rep := rec.BuildReport(perfcount.Snapshot{})
+	comp, comm, wait := rep.ClassPercents()
+	sum := comp + comm + wait
+	if sum < 99 || sum > 101 {
+		t.Fatalf("compute %.3f + comm %.3f + wait %.3f = %.3f, want 100±1", comp, comm, wait, sum)
+	}
+	if comp <= 0 {
+		t.Fatalf("compute share %.3f%% is not positive", comp)
+	}
+	if rep.Steps != 10 {
+		t.Fatalf("report counted %d steps, want 10", rep.Steps)
+	}
+}
+
+// TestFaultEventsAppearAsTraceInstants runs the PR 4 fault scenario with
+// tracing attached: transport faults and retransmissions recorded in the
+// runtime event log come out of the trace export as instant markers, the
+// checkpoint still matches the golden, and tracing plus reliability
+// compose.
+func TestFaultEventsAppearAsTraceInstants(t *testing.T) {
+	cfg := Config{Nr: 9, Nt: 13}
+	const steps = 10
+	const dt = 2e-3
+
+	want := checkpointSum(t, cfg, steps, dt)
+
+	rec := obs.New(obs.Config{SpanCap: 1 << 16})
+	events := mpi.NewEventLog()
+	var buf bytes.Buffer
+	if _, err := RunParallelCheckpointWith(cfg, mpi.RunConfig{
+		Deadline:    30 * time.Second,
+		Faults:      faultEveryExchange(),
+		Reliability: &mpi.Reliability{AckTimeout: 3 * time.Millisecond},
+		Events:      events,
+		Obs:         rec,
+	}, 4, steps, dt, &buf); err != nil {
+		t.Fatalf("traced reliable faulted run failed: %v\n%s", err, events)
+	}
+	if got := sha256.Sum256(buf.Bytes()); got != want {
+		t.Fatalf("traced faulted checkpoint %x differs from golden %x", got, want)
+	}
+
+	var out bytes.Buffer
+	if err := WriteTrace(&out, rec, events); err != nil {
+		t.Fatal(err)
+	}
+	var tr traceShape
+	if err := json.Unmarshal(out.Bytes(), &tr); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	instants := map[string]int{}
+	for _, ev := range tr.TraceEvents {
+		if ev.Phase == "i" {
+			instants[ev.Name]++
+		}
+	}
+	if instants["fault.drop"] == 0 || instants["xport.retransmit"] == 0 {
+		t.Fatalf("fault/transport events missing from trace instants: %v", instants)
+	}
+}

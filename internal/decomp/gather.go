@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/mhd"
+	"repro/internal/obs"
 )
 
 const tagGatherBase = 200
@@ -14,6 +15,7 @@ const tagGatherBase = 200
 // would hold at every patch node, so it can be checkpointed, analyzed or
 // continued serially.
 func (r *Rank) GatherState() (*mhd.Solver, error) {
+	defer r.obs.Begin(obs.SpanGather).End()
 	me := r.World.Rank()
 	p := r.PL.Patch
 	h := p.H
@@ -76,6 +78,7 @@ const tagScatterBase = 210
 // global state; other ranks pass nil. Halos, walls and rims are
 // re-established by a constraint application afterwards.
 func (r *Rank) ScatterState(src *mhd.Solver) error {
+	defer r.obs.Begin(obs.SpanScatter).End()
 	me := r.World.Rank()
 	if me == 0 {
 		if src == nil {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/mhd"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/overset"
 	"repro/internal/par"
 )
@@ -72,7 +73,22 @@ type Rank struct {
 	// internal/fd, internal/sphops and internal/mhd route through it.
 	pool *par.Pool
 
+	// obs is the rank's span recorder (nil when the run is untraced;
+	// every span call degrades to a nil check). lastDT remembers the
+	// most recent step size for the CFL gauge.
+	obs    *obs.RankRec
+	lastDT float64
+
 	nrP int // padded radial extent (column length)
+}
+
+// SetObs attaches the rank's span recorder and wires the worker pool's
+// utilization gauge. Call right after NewRank, before the first
+// Advance; a nil recorder (or nil method receiver sub-recorder) keeps
+// the rank untraced.
+func (r *Rank) SetObs(rr *obs.RankRec) {
+	r.obs = rr
+	r.pool.SetGauge(rr.PoolGauge())
 }
 
 // NewRank builds the rank-local solver for world rank w of the layout,
@@ -226,6 +242,7 @@ func (r *Rank) exchangeHalos(fields []*field.Scalar, tagBase int) {
 	// steady-state path allocates nothing.
 
 	// Phase 1: phi direction.
+	sp := r.obs.Begin(obs.SpanHaloPack)
 	var reqEast, reqWest *mpi.Request
 	var bufEast, bufWest []float64
 	if east >= 0 {
@@ -242,16 +259,26 @@ func (r *Rank) exchangeHalos(fields []*field.Scalar, tagBase int) {
 	if east >= 0 {
 		r.Cart.Send(east, tagBase+3, hb.PackPhi(fields, h+p.Np-1, dirEast))
 	}
+	sp.End()
 	if reqEast != nil {
+		w := r.obs.Begin(obs.SpanHaloWait)
 		reqEast.Wait()
+		w.End()
+		u := r.obs.Begin(obs.SpanHaloUnpack)
 		hb.UnpackPhi(fields, h+p.Np, bufEast)
+		u.End()
 	}
 	if reqWest != nil {
+		w := r.obs.Begin(obs.SpanHaloWait)
 		reqWest.Wait()
+		w.End()
+		u := r.obs.Begin(obs.SpanHaloUnpack)
 		hb.UnpackPhi(fields, h-1, bufWest)
+		u.End()
 	}
 
 	// Phase 2: theta direction, now carrying phi halos.
+	sp = r.obs.Begin(obs.SpanHaloPack)
 	var reqNorth, reqSouth *mpi.Request
 	var bufNorth, bufSouth []float64
 	if south >= 0 {
@@ -268,13 +295,22 @@ func (r *Rank) exchangeHalos(fields []*field.Scalar, tagBase int) {
 	if south >= 0 {
 		r.Cart.Send(south, tagBase+1, hb.PackTheta(fields, h+p.Nt-1, dirSouth))
 	}
+	sp.End()
 	if reqSouth != nil {
+		w := r.obs.Begin(obs.SpanHaloWait)
 		reqSouth.Wait()
+		w.End()
+		u := r.obs.Begin(obs.SpanHaloUnpack)
 		hb.UnpackTheta(fields, h+p.Nt, bufSouth)
+		u.End()
 	}
 	if reqNorth != nil {
+		w := r.obs.Begin(obs.SpanHaloWait)
 		reqNorth.Wait()
+		w.End()
+		u := r.obs.Begin(obs.SpanHaloUnpack)
 		hb.UnpackTheta(fields, h-1, bufNorth)
+		u.End()
 	}
 }
 
@@ -294,6 +330,7 @@ func (r *Rank) oversetExchange() {
 	// while this rank interpolates its own donations. The per-peer
 	// message buffers and the request list were pre-sized by
 	// buildOversetPlan and are reused every stage.
+	sp := r.obs.Begin(obs.SpanOversetDonate)
 	for pi, peer := range r.peersRecv {
 		r.ovReqs[pi] = r.World.Irecv(peer, tagOversetBase, r.ovRecvBuf[peer])
 	}
@@ -339,11 +376,15 @@ func (r *Rank) oversetExchange() {
 		})
 		r.World.Send(peer, tagOversetBase, buf)
 	}
+	sp.End()
 
 	// Receive: complete each posted request, then scatter.
 	for pi, peer := range r.peersRecv {
 		targets := r.oversetRecv[peer]
+		w := r.obs.Begin(obs.SpanOversetWait)
 		r.ovReqs[pi].Wait()
+		w.End()
+		rv := r.obs.Begin(obs.SpanOversetRecv)
 		buf := r.ovRecvBuf[peer]
 		pos := 0
 		take := func(dst []float64) {
@@ -361,6 +402,7 @@ func (r *Rank) oversetExchange() {
 				take(v.P.Row(lj, lk))
 			}
 		}
+		rv.End()
 	}
 }
 
@@ -406,6 +448,7 @@ func (r *Rank) applyConstraints() {
 // rimRefresh re-sends only the halo cells that sit on the panel's global
 // rim rows/columns after the overset exchange rewrote them.
 func (r *Rank) rimRefresh() {
+	defer r.obs.Begin(obs.SpanRim).End()
 	north, south, west, east := r.Cart.Neighbours()
 	p := r.PL.Patch
 	h := p.H
@@ -454,11 +497,15 @@ func (r *Rank) rimRefresh() {
 			r.Cart.Send(south, tagRimBase+1, hb.PackRowCells(fields, h+p.Nt-1, rimCols, dirSouth))
 		}
 		if reqSouth != nil {
+			w := r.obs.Begin(obs.SpanHaloWait)
 			reqSouth.Wait()
+			w.End()
 			hb.UnpackRowCells(fields, h+p.Nt, rimCols, bufSouth)
 		}
 		if reqNorth != nil {
+			w := r.obs.Begin(obs.SpanHaloWait)
 			reqNorth.Wait()
+			w.End()
 			hb.UnpackRowCells(fields, h-1, rimCols, bufNorth)
 		}
 	}
@@ -480,11 +527,15 @@ func (r *Rank) rimRefresh() {
 			r.Cart.Send(east, tagRimBase+3, hb.PackColCells(fields, h+p.Np-1, rimRows, dirEast))
 		}
 		if reqEast != nil {
+			w := r.obs.Begin(obs.SpanHaloWait)
 			reqEast.Wait()
+			w.End()
 			hb.UnpackColCells(fields, h+p.Np, rimRows, bufEast)
 		}
 		if reqWest != nil {
+			w := r.obs.Begin(obs.SpanHaloWait)
 			reqWest.Wait()
+			w.End()
 			hb.UnpackColCells(fields, h-1, rimRows, bufWest)
 		}
 	}
@@ -494,6 +545,7 @@ func (r *Rank) rimRefresh() {
 // the subsidiary fields, refresh the magnetic-field halos (its curl is
 // differentiated), then finish.
 func (r *Rank) rhs(u, out *mhd.State) {
+	defer r.obs.Begin(obs.SpanRHS).End()
 	mhd.ComputeVTB(r.PL, u)
 	r.exchangeHalos([]*field.Scalar{r.PL.B.R, r.PL.B.T, r.PL.B.P}, tagHaloBBase)
 	mhd.FinishRHS(r.PL, r.Prm, u, out, func(fs ...*field.Scalar) {
@@ -513,6 +565,10 @@ func (r *Rank) Advance(dt float64) {
 // world rank fires here, before the step's first exchange.
 func (r *Rank) AdvanceScheme(dt float64, scheme mhd.Integrator) {
 	r.World.Tick(r.StepN)
+	r.obs.SetStep(r.StepN)
+	defer r.obs.Begin(obs.SpanStep).End()
+	r.obs.SetGauge("dt", dt)
+	r.lastDT = dt
 	pl := r.PL
 	pl.SaveU0()
 	pl.ZeroAcc()
@@ -535,19 +591,35 @@ func (r *Rank) AdvanceScheme(dt float64, scheme mhd.Integrator) {
 func (r *Rank) EstimateDT(safety float64) float64 {
 	mhd.ComputeVTB(r.PL, &r.PL.U)
 	v := []float64{mhd.PanelMaxSpeed(r.PL, r.Prm)}
+	c := r.obs.Begin(obs.SpanCollective)
 	r.World.Allreduce(v, mpi.OpMax)
+	c.End()
 	return mhd.StableDT(r.Prm, mhd.MinGridSpacing(r.Layout.Spec), v[0], safety)
 }
 
 // Diagnose returns globally reduced diagnostics (identical on every
 // rank).
 func (r *Rank) Diagnose() mhd.Diagnostics {
+	defer r.obs.Begin(obs.SpanDiagnose).End()
 	mhd.ComputeVTB(r.PL, &r.PL.U)
 	d := mhd.PanelDiagnostics(r.PL, r.Prm)
 	sums := []float64{d.Mass, d.KineticE, d.MagneticE, d.InternalE}
+	c := r.obs.Begin(obs.SpanCollective)
 	r.World.Allreduce(sums, mpi.OpSum)
+	c.End()
 	maxs := []float64{d.MaxV, d.MaxB}
+	c = r.obs.Begin(obs.SpanCollective)
 	r.World.Allreduce(maxs, mpi.OpMax)
+	c.End()
+	if r.obs != nil {
+		// Per-step physics gauges, computed from already-reduced values
+		// and rank-local fields only — tracing must add no collectives,
+		// so it can never change the run's communication pattern.
+		if dx := mhd.MinGridSpacing(r.Layout.Spec); dx > 0 && r.lastDT > 0 {
+			r.obs.SetGauge("cfl", r.lastDT*maxs[0]/dx)
+		}
+		r.obs.SetGauge("divb", mhd.DivBMax(r.PL))
+	}
 	return mhd.Diagnostics{
 		Time: r.Time, Step: r.StepN,
 		Mass: sums[0], KineticE: sums[1], MagneticE: sums[2], InternalE: sums[3],

@@ -175,3 +175,32 @@ func (sv *Solver) NusseltOuter() float64 {
 func sphopsDiv(pl *Panel, out *field.Scalar) {
 	sphops.Div(pl.Patch, pl.B, out, pl.W)
 }
+
+// DivBMax returns the maximum |div B| over the panel's owned interior
+// nodes (radial walls excluded, where the one-sided context dominates).
+// ComputeVTB must have run for the panel. It allocates a scratch field
+// per call, so it belongs on the diagnostic cadence, not the step path;
+// the observability layer records it as the per-step solenoidal-quality
+// gauge.
+func DivBMax(pl *Panel) float64 {
+	div := pl.Patch.NewScalar()
+	sphopsDiv(pl, div)
+	p := pl.Patch
+	h := p.H
+	_, ntP, _ := p.Padded()
+	var m float64
+	for k := h; k < h+p.Np; k++ {
+		for j := h; j < h+p.Nt; j++ {
+			if pl.Own[k*ntP+j] <= 0 {
+				continue
+			}
+			row := div.Row(j, k)
+			for i := h + 1; i < h+p.Nr-1; i++ {
+				if a := math.Abs(row[i]); a > m {
+					m = a
+				}
+			}
+		}
+	}
+	return m
+}

@@ -30,22 +30,54 @@ func (e Event) String() string {
 	return fmt.Sprintf("+%-10s %-17s %s", e.At.Round(time.Microsecond), e.Kind, e.Detail)
 }
 
+// DefaultEventCap bounds an EventLog built by NewEventLog. A long chaos
+// campaign can fire faults for hours; the log keeps the most recent
+// DefaultEventCap events and counts the rest instead of growing without
+// bound.
+const DefaultEventCap = 4096
+
 // EventLog collects the fault and failure-detection timeline of one or
 // more runs sharing it (a campaign passes the same log to every
-// segment, so the post-mortem shows the whole history). It is safe for
-// concurrent use; pass it via RunConfig.Events.
+// segment, so the post-mortem shows the whole history). It is a bounded
+// ring: once full, the oldest events are overwritten and counted in
+// Dropped. It is safe for concurrent use; pass it via RunConfig.Events.
 type EventLog struct {
-	mu     sync.Mutex
-	start  time.Time
-	events []Event
+	mu      sync.Mutex
+	start   time.Time
+	ring    []Event
+	head    int // next write position
+	n       int // filled entries (<= cap)
+	dropped int64
 }
 
-// NewEventLog returns an empty log; offsets are measured from now.
+// NewEventLog returns an empty log with the default capacity; offsets
+// are measured from now.
 func NewEventLog() *EventLog {
-	return &EventLog{start: time.Now()}
+	return NewEventLogSize(DefaultEventCap)
 }
 
-// Notef appends an event under the given kind.
+// NewEventLogSize returns an empty log retaining at most capacity
+// events (values < 1 select the default).
+func NewEventLogSize(capacity int) *EventLog {
+	if capacity < 1 {
+		capacity = DefaultEventCap
+	}
+	return &EventLog{start: time.Now(), ring: make([]Event, capacity)}
+}
+
+// Start returns the log's time origin (event At offsets are measured
+// from it).
+func (l *EventLog) Start() time.Time {
+	if l == nil {
+		return time.Time{}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.start
+}
+
+// Notef appends an event under the given kind, overwriting the oldest
+// event if the log is full.
 func (l *EventLog) Notef(kind, format string, args ...any) {
 	if l == nil {
 		return
@@ -53,35 +85,65 @@ func (l *EventLog) Notef(kind, format string, args ...any) {
 	e := Event{Kind: kind, Detail: fmt.Sprintf(format, args...)}
 	l.mu.Lock()
 	e.At = time.Since(l.start)
-	l.events = append(l.events, e)
+	if l.n == len(l.ring) {
+		l.dropped++
+	} else {
+		l.n++
+	}
+	l.ring[l.head] = e
+	l.head++
+	if l.head == len(l.ring) {
+		l.head = 0
+	}
 	l.mu.Unlock()
 }
 
-// Events returns a copy of the timeline in append order.
+// Events returns a copy of the retained timeline, oldest first.
 func (l *EventLog) Events() []Event {
 	if l == nil {
 		return nil
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	out := make([]Event, len(l.events))
-	copy(out, l.events)
+	out := make([]Event, 0, l.n)
+	first := l.head - l.n
+	if first < 0 {
+		first += len(l.ring)
+	}
+	for i := 0; i < l.n; i++ {
+		out = append(out, l.ring[(first+i)%len(l.ring)])
+	}
 	return out
 }
 
-// Len returns the number of recorded events.
+// Len returns the number of retained events.
 func (l *EventLog) Len() int {
 	if l == nil {
 		return 0
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return len(l.events)
+	return l.n
 }
 
-// String formats the timeline one event per line.
+// Dropped returns how many events were overwritten because the log was
+// full.
+func (l *EventLog) Dropped() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// String formats the timeline one event per line, noting overwritten
+// events when the ring filled up.
 func (l *EventLog) String() string {
 	var b strings.Builder
+	if d := l.Dropped(); d > 0 {
+		fmt.Fprintf(&b, "(%d older events dropped)\n", d)
+	}
 	for _, e := range l.Events() {
 		b.WriteString(e.String())
 		b.WriteByte('\n')

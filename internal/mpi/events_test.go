@@ -1,0 +1,56 @@
+package mpi
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEventLogRingBoundsGrowth(t *testing.T) {
+	l := NewEventLogSize(4)
+	for i := 0; i < 10; i++ {
+		l.Notef("note", "event %d", i)
+	}
+	if l.Len() != 4 {
+		t.Fatalf("Len = %d, want 4 (bounded)", l.Len())
+	}
+	if l.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", l.Dropped())
+	}
+	evs := l.Events()
+	for i, e := range evs {
+		want := []string{"event 6", "event 7", "event 8", "event 9"}[i]
+		if e.Detail != want {
+			t.Fatalf("event %d = %q, want %q (oldest-first, newest retained)", i, e.Detail, want)
+		}
+	}
+	if s := l.String(); !strings.Contains(s, "6 older events dropped") {
+		t.Fatalf("String does not note the drop count:\n%s", s)
+	}
+}
+
+func TestEventLogNoDropUnderCap(t *testing.T) {
+	l := NewEventLog()
+	for i := 0; i < 100; i++ {
+		l.Notef("note", "e%d", i)
+	}
+	if l.Len() != 100 || l.Dropped() != 0 {
+		t.Fatalf("Len=%d Dropped=%d, want 100/0", l.Len(), l.Dropped())
+	}
+	if l.Events()[0].Detail != "e0" {
+		t.Fatal("append order lost")
+	}
+	if l.Start().IsZero() {
+		t.Fatal("Start must be stamped")
+	}
+}
+
+func TestEventLogNilSafe(t *testing.T) {
+	var l *EventLog
+	l.Notef("note", "x")
+	if l.Len() != 0 || l.Dropped() != 0 || l.Events() != nil {
+		t.Fatal("nil log must be empty")
+	}
+	if !l.Start().IsZero() {
+		t.Fatal("nil log has no start")
+	}
+}

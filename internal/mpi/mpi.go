@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/perfcount"
 )
 
@@ -472,6 +473,11 @@ type RunConfig struct {
 	// heartbeat timeline. A log may be shared across runs (a campaign's
 	// segments) to accumulate one history.
 	Events *EventLog
+	// Obs, when non-nil, feeds the observability runtime: every message
+	// delivery is counted per (comm,tag) and every blocking receive's
+	// wait time lands in the per-tag histogram. Nil costs one nil check
+	// per call.
+	Obs *obs.Recorder
 }
 
 // Run launches n ranks and executes fn on each with its world
@@ -693,6 +699,7 @@ func (ctx *context) deliver(box *mailbox, m message) {
 			case Delay:
 				ctx.eventf("fault.delay", "comm=%d src=%d dst=%d tag=%d elems=%d delay=%v", box.comm, m.src, box.owner, m.tag, len(m.data), d)
 				perfcount.AddComm(int64(8 * len(m.data)))
+				ctx.cfg.Obs.CommDelivered(box.comm, m.tag, 8*len(m.data))
 				time.AfterFunc(d, func() { box.put(m) })
 				return
 			case Duplicate:
@@ -702,12 +709,14 @@ func (ctx *context) deliver(box *mailbox, m message) {
 				copy(dup, m.data)
 				box.put(message{src: m.src, tag: m.tag, seq: m.seq, rel: m.rel, data: dup})
 				perfcount.AddComm(int64(16 * len(m.data)))
+				ctx.cfg.Obs.CommDelivered(box.comm, m.tag, 16*len(m.data))
 				return
 			}
 		}
 	}
 	box.put(m)
 	perfcount.AddComm(int64(8 * len(m.data)))
+	ctx.cfg.Obs.CommDelivered(box.comm, m.tag, 8*len(m.data))
 }
 
 // Recv blocks until a message from src with the given tag arrives and
@@ -725,7 +734,14 @@ func (c *Comm) recv(src, tag int, buf []float64, site string) int {
 	c.ctx.mu.Unlock()
 	w := c.ctx.register(&waiter{rank: c.rank, comm: c.id, kind: "Recv", src: src, tag: tag, site: site})
 	defer c.ctx.unregister(w)
+	var t0 time.Time
+	if c.ctx.cfg.Obs != nil {
+		t0 = time.Now()
+	}
 	m := box.take(src, tag)
+	if o := c.ctx.cfg.Obs; o != nil {
+		o.CommWaited(c.id, tag, time.Since(t0).Nanoseconds())
+	}
 	if len(m.data) > len(buf) {
 		panic(fmt.Sprintf("mpi: message of %d elements overflows buffer of %d", len(m.data), len(buf)))
 	}

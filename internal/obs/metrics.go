@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// TagKey identifies one message stream: a communicator id plus a tag.
+// Negative tags are the runtime's internal collective space; user halo,
+// rim, overset, scatter and gather traffic uses the non-negative tags
+// enumerated by decomp.ExchangeTags.
+type TagKey struct {
+	Comm int
+	Tag  int
+}
+
+// histBuckets is the number of log2 buckets in a Hist: bucket i counts
+// observations v with bit-length i, i.e. v in [2^(i-1), 2^i), so 63
+// buckets cover every non-negative int64.
+const histBuckets = 64
+
+// Hist is a lock-free log2-bucketed histogram of non-negative int64
+// observations (wait nanoseconds, message bytes). Observe is 0 allocs
+// and a handful of atomic adds; it is safe for concurrent use.
+type Hist struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// Observe records one value (negative values are clamped to 0).
+func (h *Hist) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Hist) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total of all observations.
+func (h *Hist) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Mean returns Sum/Count (0 when empty).
+func (h *Hist) Mean() float64 {
+	c := h.Count()
+	if c == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(c)
+}
+
+// Quantile returns an upper bound for the q-quantile (0<=q<=1) from the
+// log2 buckets: the top edge of the bucket holding the q-th
+// observation. Coarse (factor-of-two) but allocation-free and exact
+// enough for a run report's p50/p99 columns.
+func (h *Hist) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	want := int64(q * float64(total))
+	if want >= total {
+		want = total - 1
+	}
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen > want {
+			if i == 0 {
+				return 0
+			}
+			return 1 << uint(i) // top edge of [2^(i-1), 2^i)
+		}
+	}
+	return 1 << 62
+}
+
+// TagStat aggregates one message stream: delivery count and bytes, and
+// the receive-wait time histogram. All fields are safe for concurrent
+// update.
+type TagStat struct {
+	Msgs  atomic.Int64
+	Bytes atomic.Int64
+	Wait  Hist // receive-side blocked time, ns
+	Size  Hist // per-message payload bytes
+}
+
+// commMetrics maps message streams to their stats. The map is grown
+// under the write lock on first sight of a (comm,tag); the steady state
+// is an RLock + atomic adds, 0 allocs.
+type commMetrics struct {
+	mu    sync.RWMutex
+	stats map[TagKey]*TagStat
+}
+
+func (c *commMetrics) init() { c.stats = map[TagKey]*TagStat{} }
+
+// get returns the stat for k, creating it on first use.
+func (c *commMetrics) get(k TagKey) *TagStat {
+	c.mu.RLock()
+	s := c.stats[k]
+	c.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s = c.stats[k]; s == nil {
+		s = &TagStat{}
+		c.stats[k] = s
+	}
+	return s
+}
+
+// CommDelivered records one message of the given payload bytes arriving
+// on (comm, tag). Hooked into the runtime's delivery funnel; nil-safe
+// and safe from any goroutine.
+func (r *Recorder) CommDelivered(comm, tag int, bytes int) {
+	if r == nil {
+		return
+	}
+	s := r.comm.get(TagKey{comm, tag})
+	s.Msgs.Add(1)
+	s.Bytes.Add(int64(bytes))
+	s.Size.Observe(int64(bytes))
+}
+
+// CommWaited records ns nanoseconds blocked in a receive on (comm,
+// tag). Hooked into the runtime's Recv/Wait paths; nil-safe and safe
+// from any goroutine.
+func (r *Recorder) CommWaited(comm, tag int, ns int64) {
+	if r == nil {
+		return
+	}
+	r.comm.get(TagKey{comm, tag}).Wait.Observe(ns)
+}
+
+// TagStats returns the recorded message streams keyed by (comm, tag).
+// The *TagStat values are live; read them with their atomic accessors
+// after the run has quiesced.
+func (r *Recorder) TagStats() map[TagKey]*TagStat {
+	if r == nil {
+		return nil
+	}
+	r.comm.mu.RLock()
+	defer r.comm.mu.RUnlock()
+	out := make(map[TagKey]*TagStat, len(r.comm.stats))
+	for k, v := range r.comm.stats {
+		out[k] = v
+	}
+	return out
+}
+
+// PoolGauge accumulates worker-pool utilization: per-lane busy time,
+// the wall time of the parallel regions, and how many regions ran.
+// Utilization = Busy / (Wall * Workers). Updated with atomic adds from
+// the pool's lanes; one gauge is shared by all ranks' pools (they are
+// interchangeable workers of one machine, like the APs of a node).
+type PoolGauge struct {
+	BusyNS  atomic.Int64 // sum of per-lane busy time
+	WallNS  atomic.Int64 // sum of parallel-region wall times
+	Calls   atomic.Int64 // parallel regions executed
+	Workers atomic.Int64 // max pool width seen
+}
+
+// Utilization returns BusyNS / (WallNS * Workers): 1.0 means every lane
+// was busy for the whole of every parallel region.
+func (g *PoolGauge) Utilization() float64 {
+	if g == nil {
+		return 0
+	}
+	w := g.Workers.Load()
+	wall := g.WallNS.Load()
+	if w == 0 || wall == 0 {
+		return 0
+	}
+	return float64(g.BusyNS.Load()) / (float64(wall) * float64(w))
+}
+
+// Pool returns the recorder's shared pool gauge (nil on nil receiver).
+func (r *Recorder) Pool() *PoolGauge {
+	if r == nil {
+		return nil
+	}
+	return &r.pool
+}

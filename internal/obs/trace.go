@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Instant is a point event merged into the exported trace (Perfetto
+// renders them as markers): fault injections, retransmissions,
+// heartbeat state changes, campaign segment boundaries. The runtime's
+// EventLog entries are converted to Instants by the caller (obs cannot
+// import the runtime package), using At offsets measured from the
+// recorder's Epoch.
+type Instant struct {
+	At     time.Duration // offset from the recorder epoch
+	Name   string        // e.g. "fault.drop", "hb.confirm", "note"
+	Detail string        // free-form payload, shown in the args pane
+}
+
+// traceEvent is one Chrome trace_event entry. Only the fields the
+// format needs are present; ts/dur are microseconds.
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the object form of the trace_event format ({"traceEvents":
+// [...]}); Perfetto and chrome://tracing both accept it.
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// tidFor maps a rank to its trace track: the driver pseudo-rank is
+// track 0, rank r is track r+1, so tracks sort driver-first then by
+// rank.
+func tidFor(rank int) int {
+	if rank == DriverRank {
+		return 0
+	}
+	return rank + 1
+}
+
+func trackName(rank int) string {
+	if rank == DriverRank {
+		return "driver"
+	}
+	return fmt.Sprintf("rank %d", rank)
+}
+
+const usPerNS = 1e-3
+
+// TraceEvents flattens the recorder's spans (plus the given instants)
+// into Chrome trace_event entries, sorted by timestamp. Call after the
+// recorded runs have returned.
+func (r *Recorder) TraceEvents(instants []Instant) []traceEvent {
+	if r == nil {
+		return nil
+	}
+	var evs []traceEvent
+	for _, rank := range r.Ranks() {
+		rr := r.ranks[rank]
+		tid := tidFor(rank)
+		evs = append(evs, traceEvent{
+			Name:  "thread_name",
+			Phase: "M",
+			PID:   0,
+			TID:   tid,
+			Args:  map[string]any{"name": trackName(rank)},
+		})
+		for _, s := range rr.spans() {
+			evs = append(evs, traceEvent{
+				Name:  s.kind.String(),
+				Cat:   className(ClassOf(s.kind)),
+				Phase: "X",
+				TS:    float64(s.start) * usPerNS,
+				Dur:   float64(s.dur) * usPerNS,
+				PID:   0,
+				TID:   tid,
+				Args:  map[string]any{"step": int(s.step)},
+			})
+		}
+	}
+	for _, in := range instants {
+		ev := traceEvent{
+			Name:  in.Name,
+			Cat:   "event",
+			Phase: "i",
+			TS:    float64(in.At.Nanoseconds()) * usPerNS,
+			PID:   0,
+			TID:   0,
+			Scope: "g",
+		}
+		if in.Detail != "" {
+			ev.Args = map[string]any{"detail": in.Detail}
+		}
+		evs = append(evs, ev)
+	}
+	sort.SliceStable(evs, func(i, j int) bool {
+		// Metadata first, then by timestamp.
+		if (evs[i].Phase == "M") != (evs[j].Phase == "M") {
+			return evs[i].Phase == "M"
+		}
+		return evs[i].TS < evs[j].TS
+	})
+	return evs
+}
+
+func className(c Class) string {
+	switch c {
+	case ClassComm:
+		return "comm"
+	case ClassWait:
+		return "wait"
+	}
+	return "compute"
+}
+
+// WriteTrace writes the run's timeline as Chrome trace_event JSON
+// (object form), loadable in Perfetto / chrome://tracing: one track per
+// rank plus a driver track, span durations as complete events, and the
+// given instants (fault/heartbeat/segment events) as global markers.
+func (r *Recorder) WriteTrace(w io.Writer, instants []Instant) error {
+	if r == nil {
+		return fmt.Errorf("obs: WriteTrace on nil Recorder")
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(traceFile{
+		TraceEvents:     r.TraceEvents(instants),
+		DisplayTimeUnit: "ms",
+	})
+}

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestWriteTraceShape(t *testing.T) {
+	r := New(Config{})
+	for rank := 0; rank < 2; rank++ {
+		rr := r.RankFor(rank)
+		rr.Open()
+		rr.SetStep(0)
+		sp := rr.Begin(SpanStep)
+		in := rr.Begin(SpanHaloWait)
+		in.End()
+		sp.End()
+		rr.Close()
+	}
+	instants := []Instant{
+		{At: 5 * time.Microsecond, Name: "fault.drop", Detail: "comm=0 src=0 dst=1"},
+		{At: 9 * time.Microsecond, Name: "hb.confirm"},
+	}
+	var buf bytes.Buffer
+	if err := r.WriteTrace(&buf, instants); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	var meta, complete, instant int
+	tracks := map[float64]bool{}
+	for _, ev := range tf.TraceEvents {
+		switch ev["ph"] {
+		case "M":
+			meta++
+		case "X":
+			complete++
+			tracks[ev["tid"].(float64)] = true
+			if _, ok := ev["args"].(map[string]any)["step"]; !ok {
+				t.Fatal("complete event missing step arg")
+			}
+		case "i":
+			instant++
+			if ev["s"] != "g" {
+				t.Fatalf("instant scope = %v, want g", ev["s"])
+			}
+		}
+	}
+	if meta != 2 {
+		t.Fatalf("thread_name metadata events = %d, want 2", meta)
+	}
+	if complete != 4 {
+		t.Fatalf("complete events = %d, want 4", complete)
+	}
+	if instant != 2 {
+		t.Fatalf("instant events = %d, want 2", instant)
+	}
+	// Rank r is track r+1 (the driver reserves track 0).
+	if !tracks[1] || !tracks[2] {
+		t.Fatalf("tracks = %v, want {1,2}", tracks)
+	}
+}
+
+func TestWriteTraceNil(t *testing.T) {
+	var r *Recorder
+	var buf bytes.Buffer
+	if err := r.WriteTrace(&buf, nil); err == nil {
+		t.Fatal("nil recorder must refuse to write a trace")
+	}
+}
+
+func TestDriverTrack(t *testing.T) {
+	r := New(Config{})
+	d := r.Driver()
+	d.Open()
+	sp := d.Begin(SpanCkptWrite)
+	sp.End()
+	d.Close()
+	evs := r.TraceEvents(nil)
+	foundName := false
+	for _, ev := range evs {
+		if ev.Phase == "M" && ev.TID == 0 {
+			if ev.Args["name"] != "driver" {
+				t.Fatalf("driver track name = %v", ev.Args["name"])
+			}
+			foundName = true
+		}
+		if ev.Phase == "X" && ev.TID != 0 {
+			t.Fatalf("driver span on track %d, want 0", ev.TID)
+		}
+	}
+	if !foundName {
+		t.Fatal("no driver thread_name metadata")
+	}
+}

@@ -1,0 +1,56 @@
+package par
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestPoolGauge(t *testing.T) {
+	p := NewPool(4)
+	if p == nil {
+		t.Fatal("want a real pool")
+	}
+	defer p.Close()
+	var g obs.PoolGauge
+	p.SetGauge(&g)
+	sink := make([]float64, 1<<14)
+	for rep := 0; rep < 3; rep++ {
+		p.For(len(sink), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				sink[i] += float64(i)
+			}
+		})
+	}
+	if got := g.Calls.Load(); got != 3 {
+		t.Fatalf("Calls = %d, want 3", got)
+	}
+	if got := g.Workers.Load(); got != 4 {
+		t.Fatalf("Workers = %d, want 4", got)
+	}
+	if g.WallNS.Load() <= 0 || g.BusyNS.Load() <= 0 {
+		t.Fatalf("wall=%d busy=%d, want both > 0", g.WallNS.Load(), g.BusyNS.Load())
+	}
+	if u := g.Utilization(); u <= 0 || u > 1.5 {
+		// Busy can slightly exceed wall*workers on coarse clocks, but an
+		// order-of-magnitude miss means the accounting is wrong.
+		t.Fatalf("Utilization = %g, want in (0, 1.5]", u)
+	}
+	// Detach and check the gauge stops accumulating.
+	p.SetGauge(nil)
+	calls := g.Calls.Load()
+	p.For(len(sink), func(lo, hi int) {})
+	if g.Calls.Load() != calls {
+		t.Fatal("detached gauge still accumulating")
+	}
+}
+
+func TestSetGaugeNilPool(t *testing.T) {
+	var p *Pool
+	var g obs.PoolGauge
+	p.SetGauge(&g) // must not panic
+	p.For(8, func(lo, hi int) {})
+	if g.Calls.Load() != 0 {
+		t.Fatal("serial pool must not touch the gauge")
+	}
+}

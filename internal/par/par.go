@@ -18,6 +18,9 @@ package par
 import (
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Pool is a reusable fixed-size worker pool. A nil *Pool is valid and
@@ -29,6 +32,27 @@ type Pool struct {
 	jobs    chan func()
 	closed  atomic.Bool
 	wg      sync.WaitGroup // tracks worker goroutines for Close
+	gauge   *obs.PoolGauge
+}
+
+// SetGauge attaches a utilization gauge: every subsequent parallel
+// region adds its wall time and per-lane busy time to it. Nil detaches;
+// a nil pool ignores the call (serial loops have no pool utilization to
+// speak of). Call before handing the pool to its rank — the field is
+// read concurrently by For.
+func (p *Pool) SetGauge(g *obs.PoolGauge) {
+	if p == nil {
+		return
+	}
+	p.gauge = g
+	if g != nil {
+		for {
+			cur := g.Workers.Load()
+			if int64(p.workers) <= cur || g.Workers.CompareAndSwap(cur, int64(p.workers)) {
+				break
+			}
+		}
+	}
 }
 
 // NewPool starts a pool with the given number of workers. workers <= 1
@@ -115,16 +139,28 @@ func (p *Pool) For(n int, fn func(lo, hi int)) {
 		fn(0, n)
 		return
 	}
+	g := p.gauge
+	var t0 time.Time
+	if g != nil {
+		t0 = time.Now()
+	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	run := func() {
+		var l0 time.Time
+		if g != nil {
+			l0 = time.Now()
+		}
 		for {
 			t := int(next.Add(1)) - 1
 			if t >= tiles {
-				return
+				break
 			}
 			lo, hi := tileBounds(n, tiles, t)
 			fn(lo, hi)
+		}
+		if g != nil {
+			g.BusyNS.Add(time.Since(l0).Nanoseconds())
 		}
 	}
 	// Enlist up to workers-1 pool workers; the caller is the last lane.
@@ -142,6 +178,10 @@ func (p *Pool) For(n int, fn func(lo, hi int)) {
 	}
 	run()
 	wg.Wait()
+	if g != nil {
+		g.WallNS.Add(time.Since(t0).Nanoseconds())
+		g.Calls.Add(1)
+	}
 }
 
 // ReduceMax returns the maximum over tiles of fn(lo,hi), where fn

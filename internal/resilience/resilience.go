@@ -24,6 +24,7 @@ import (
 	"repro/internal/decomp"
 	"repro/internal/mhd"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 )
 
 // ErrBlowUp tags segment failures caused by the solver itself (as
@@ -81,6 +82,16 @@ type Config struct {
 	// Perturb, when set, mutates the state a segment starts from — a
 	// test hook for injecting mid-campaign blow-ups.
 	Perturb func(seg, attempt int, sv *mhd.Solver)
+	// Obs, when non-nil, records the whole campaign into one shared
+	// observability recorder: every segment's rank spans land on the
+	// same per-rank tracks, checkpoint reads/writes land on the driver
+	// track, and the event log's segment/retry notes become trace
+	// instants.
+	Obs *obs.Recorder
+	// Events optionally supplies a caller-owned event log for the
+	// campaign timeline (so the caller can merge it into a trace
+	// afterwards); nil lets the campaign create its own.
+	Events *mpi.EventLog
 }
 
 func (c Config) withDefaults() Config {
@@ -147,18 +158,29 @@ func RunCampaign(cfg Config) (*Result, error) {
 	// One shared log across every segment and retry: the post-mortem can
 	// then show the whole campaign's fault history, not just the last
 	// attempt's.
-	events := mpi.NewEventLog()
+	events := cfg.Events
+	if events == nil {
+		events = mpi.NewEventLog()
+	}
 	rc := mpi.RunConfig{
 		Deadline:    cfg.Deadline,
 		Faults:      cfg.Faults,
 		Reliability: cfg.Reliability,
 		Heartbeat:   cfg.Heartbeat,
 		Events:      events,
+		Obs:         cfg.Obs,
 	}
+	// The campaign driver records on its own pseudo-rank track:
+	// checkpoint I/O and validation between segments.
+	drv := cfg.Obs.Driver()
+	drv.Open()
+	defer drv.Close()
 
 	res := &Result{}
 	defer func() { res.Events = events.Events() }()
+	cr := drv.Begin(obs.SpanCkptRead)
 	state, _, err := loadNewest(cfg.Dir, spec)
+	cr.End()
 	if err != nil {
 		return nil, err
 	}
@@ -169,7 +191,10 @@ func RunCampaign(cfg Config) (*Result, error) {
 		}
 		// Commit the origin so the very first rollback has a checkpoint
 		// to reload.
-		if _, err := writeCheckpointFile(cfg.Dir, state); err != nil {
+		cw := drv.Begin(obs.SpanCkptWrite)
+		_, err := writeCheckpointFile(cfg.Dir, state)
+		cw.End()
+		if err != nil {
 			return nil, err
 		}
 	} else {
@@ -196,7 +221,9 @@ func RunCampaign(cfg Config) (*Result, error) {
 				// Roll back: the failed attempt may have consumed or
 				// corrupted the in-memory state, so reload the segment's
 				// own checkpoint from disk.
+				rb := drv.Begin(obs.SpanCkptRead)
 				st, _, err := loadNewest(cfg.Dir, spec)
+				rb.End()
 				if err != nil {
 					return res, err
 				}
@@ -229,8 +256,11 @@ func RunCampaign(cfg Config) (*Result, error) {
 				state = next
 				res.Diags = append(res.Diags, diag)
 				res.DTs = append(res.DTs, dt)
-				if _, err := writeCheckpointFile(cfg.Dir, state); err != nil {
-					return res, err
+				cw := drv.Begin(obs.SpanCkptWrite)
+				_, werr := writeCheckpointFile(cfg.Dir, state)
+				cw.End()
+				if werr != nil {
+					return res, werr
 				}
 				if err := prune(cfg.Dir, cfg.Keep); err != nil {
 					return res, err
@@ -265,11 +295,17 @@ func runSegment(ccfg core.Config, layout *decomp.Layout, rc mpi.RunConfig, src *
 		diag mhd.Diagnostics
 	)
 	err := mpi.RunWith(layout.NProcs, rc, func(w *mpi.Comm) {
+		rr := rc.Obs.RankFor(w.Rank())
+		rr.Open()
+		defer rr.Close()
+		sp := rr.Begin(obs.SpanSetup)
 		r, err := decomp.NewRankWorkers(w, layout, *ccfg.Params, *ccfg.IC, ccfg.Workers)
 		if err != nil {
 			w.Abort(err)
 		}
 		defer r.Close()
+		r.SetObs(rr)
+		sp.End()
 		var s0 *mhd.Solver
 		if w.Rank() == 0 {
 			s0 = src

@@ -8,7 +8,7 @@
 #   3. yyvet         — the repo-specific invariant analyzers
 #                      (internal/analyze: irecv-wait, pow2-stride,
 #                      float-eq, cond-wait-loop, abort-on-err,
-#                      runwith-deadline)
+#                      runwith-deadline, span-end)
 #   4. go test       — the full test suite; the explicit -timeout turns
 #                      any residual runtime wedge into a stack-dumped
 #                      failure instead of a hung CI job
@@ -22,6 +22,9 @@
 #                      golden-checkpoint safety, campaign
 #                      recoverability), then the committed regression
 #                      corpus replayed for its recorded verdicts
+#   7. traced smoke  — a 2-rank run with -trace and -runreport on,
+#                      proving the observability path exports a valid
+#                      Perfetto trace and run report end to end
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -38,13 +41,20 @@ go run ./cmd/yyvet ./...
 echo "==> go test -timeout 120s ./..."
 go test -timeout 120s ./...
 
-echo "==> go test -race -timeout 240s ./internal/mpi ./internal/decomp ./internal/overset ./internal/resilience ./internal/par ./internal/chaos"
-go test -race -timeout 240s ./internal/mpi ./internal/decomp ./internal/overset ./internal/resilience ./internal/par ./internal/chaos
+echo "==> go test -race -timeout 240s ./internal/mpi ./internal/decomp ./internal/overset ./internal/resilience ./internal/par ./internal/chaos ./internal/obs"
+go test -race -timeout 240s ./internal/mpi ./internal/decomp ./internal/overset ./internal/resilience ./internal/par ./internal/chaos ./internal/obs
 
 echo "==> chaos smoke: go run ./cmd/yychaos -seeds 25 -steps 5"
 go run ./cmd/yychaos -seeds 25 -steps 5
 
 echo "==> chaos corpus replay: go run ./cmd/yychaos -corpus internal/chaos/testdata/corpus.json"
 go run ./cmd/yychaos -corpus internal/chaos/testdata/corpus.json
+
+obs_out="${OBS_OUT:-$(mktemp -d)}"
+echo "==> traced smoke: go run ./cmd/yycore -nr 9 -nt 13 -steps 4 -every 2 -procs 2 -trace $obs_out/trace.json -runreport $obs_out/report.txt"
+go run ./cmd/yycore -nr 9 -nt 13 -steps 4 -every 2 -procs 2 \
+	-trace "$obs_out/trace.json" -runreport "$obs_out/report.txt"
+go run ./cmd/yytrace -summary "$obs_out/trace.json" > "$obs_out/summary.txt"
+grep -q "Span Coverage" "$obs_out/report.txt"
 
 echo "==> all checks passed"
