@@ -5,19 +5,26 @@
 //
 // Usage:
 //
-//	yyvet [-list] [pattern ...]
+//	yyvet [-list] [-p N] [-json file] [-github] [pattern ...]
 //
 // Patterns are directory-style package selectors relative to the
 // current directory: "./..." (the default) selects the whole module,
-// "./internal/mpi" one package, "./internal/..." a subtree. Findings
-// are suppressed with a justification comment:
+// "./internal/mpi" one package, "./internal/..." a subtree. Analysis is
+// package-parallel; -p caps the workers (default GOMAXPROCS). -json
+// additionally writes the findings as a machine-readable JSON array to
+// the given file ("-" for stdout), and -github emits GitHub Actions
+// workflow annotations alongside the plain lines, so CI surfaces each
+// finding on the offending diff line. Findings are suppressed with a
+// justification comment:
 //
 //	//yyvet:ignore analyzer-name why this is safe
 //
-// on the finding's line or the line directly above it.
+// on the finding's line or the line directly above it. Stale or
+// unjustified directives are themselves findings (ignore-audit).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -32,12 +39,24 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// jsonFinding is the machine-readable finding shape CI consumes.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 // run is the testable driver body; it returns the process exit code:
 // 0 clean, 1 findings, 2 usage or load failure.
 func run(args []string, out, errOut io.Writer) int {
 	fs := flag.NewFlagSet("yyvet", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	list := fs.Bool("list", false, "list the analyzers and exit")
+	workers := fs.Int("p", 0, "package-analysis parallelism (0 = GOMAXPROCS)")
+	jsonOut := fs.String("json", "", "also write findings as JSON to this file (\"-\" for stdout)")
+	github := fs.Bool("github", false, "also emit GitHub Actions ::error annotations")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -73,23 +92,77 @@ func run(args []string, out, errOut io.Writer) int {
 		return 2
 	}
 
-	findings, err := analyze.Run(selected, analyze.All())
+	findings, err := analyze.RunN(selected, analyze.All(), *workers)
 	if err != nil {
 		fmt.Fprintf(errOut, "yyvet: %v\n", err)
 		return 2
 	}
+
+	// With -json - the JSON array is the stdout payload; keep the
+	// human-readable lines off it so the output stays parseable.
+	plain := *jsonOut != "-"
+	jfs := make([]jsonFinding, 0, len(findings))
 	for _, f := range findings {
 		pos := f.Pos
 		if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
 			pos.Filename = rel
 		}
-		fmt.Fprintf(out, "%s:%d:%d: %s: %s\n", pos.Filename, pos.Line, pos.Column, f.Analyzer, f.Message)
+		if plain {
+			fmt.Fprintf(out, "%s:%d:%d: %s: %s\n", pos.Filename, pos.Line, pos.Column, f.Analyzer, f.Message)
+		}
+		if *github {
+			// Workflow-command grammar: property values use URL-style
+			// escapes for , and %, the message escapes newlines too.
+			fmt.Fprintf(out, "::error file=%s,line=%d,col=%d,title=yyvet %s::%s\n",
+				escapeProp(pos.Filename), pos.Line, pos.Column, escapeProp(f.Analyzer), escapeData(f.Message))
+		}
+		jfs = append(jfs, jsonFinding{
+			File: pos.Filename, Line: pos.Line, Col: pos.Column,
+			Analyzer: f.Analyzer, Message: f.Message,
+		})
+	}
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, jfs, out); err != nil {
+			fmt.Fprintf(errOut, "yyvet: %v\n", err)
+			return 2
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(errOut, "yyvet: %d finding(s) in %d package(s)\n", len(findings), len(selected))
 		return 1
 	}
 	return 0
+}
+
+// writeJSON marshals the findings (an empty run is [], never null) to
+// path, or to out for "-".
+func writeJSON(path string, jfs []jsonFinding, out io.Writer) error {
+	data, err := json.MarshalIndent(jfs, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = out.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// escapeProp escapes a workflow-command property value.
+func escapeProp(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, ",", "%2C")
+	s = strings.ReplaceAll(s, ":", "%3A")
+	return s
+}
+
+// escapeData escapes a workflow-command message.
+func escapeData(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
 }
 
 // filterPackages keeps the packages whose directory matches any of the

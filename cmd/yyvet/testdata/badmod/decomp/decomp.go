@@ -1,0 +1,31 @@
+// Package decomp is the known-bad smoke fixture for the tag-space
+// analyzer's ExchangeTags checks: a step-path send outside the
+// allocation, an allocated tag nothing uses, and (with package relay)
+// a cross-subsystem collision on tag 0.
+package decomp
+
+import "badmod/mpi"
+
+const tagBase = 0
+
+// ExchangeTags allocates tags 0, 1 and 9; 9 is never used anywhere.
+func ExchangeTags() []int {
+	tags := make([]int, 0, 3)
+	for d := 0; d < 2; d++ {
+		tags = append(tags, tagBase+d)
+	}
+	return append(tags, 9)
+}
+
+// AdvanceScheme is the step-path root.
+func AdvanceScheme(c *mpi.Comm) {
+	exchange(c, tagBase)
+	c.Send(1, 3, nil) // tag-space: 3 is outside the allocation
+}
+
+// exchange receives its tag base as a parameter; the analyzer resolves
+// the base through the call graph.
+func exchange(c *mpi.Comm, base int) {
+	c.Send(1, base+0, nil)
+	c.Send(1, base+1, nil)
+}

@@ -9,3 +9,8 @@ func pow2Column() []float64 {
 func exactCompare(a, b float64) bool {
 	return a == b // float-eq should fire here
 }
+
+func staleSuppression() []float64 {
+	//yyvet:ignore float-eq nothing on the next line compares floats
+	return make([]float64, 257) // ignore-audit: the directive suppresses nothing
+}

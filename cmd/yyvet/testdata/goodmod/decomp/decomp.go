@@ -1,0 +1,28 @@
+// Package decomp is the known-good smoke fixture for tag-space: every
+// step-path tag is inside the ExchangeTags allocation, every allocated
+// tag is used, and the tag base flows through a helper parameter so the
+// check exercises the interprocedural propagation.
+package decomp
+
+import "goodmod/mpi"
+
+const tagBase = 4
+
+// ExchangeTags allocates exactly the tags the step path uses.
+func ExchangeTags() []int {
+	tags := make([]int, 0, 2)
+	for d := 0; d < 2; d++ {
+		tags = append(tags, tagBase+d)
+	}
+	return tags
+}
+
+// AdvanceScheme is the step-path root.
+func AdvanceScheme(c *mpi.Comm) {
+	exchange(c, tagBase)
+}
+
+func exchange(c *mpi.Comm, base int) {
+	c.Send(1, base+0, nil)
+	c.Send(1, base+1, nil)
+}

@@ -1,0 +1,22 @@
+// Package mhd is the known-good smoke fixture for det-purity: the one
+// map iteration sorts its keys before anything order-dependent happens,
+// and says so in a justified suppression (which the ignore-audit must
+// accept as live, not stale).
+package mhd
+
+import "sort"
+
+// SortedSum folds map values in ascending key order.
+func SortedSum(m map[int]float64) float64 {
+	keys := make([]int, 0, len(m))
+	//yyvet:ignore det-purity keys are sorted below before any order-dependent use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var s float64
+	for _, k := range keys {
+		s += m[k]
+	}
+	return s
+}

@@ -1,0 +1,43 @@
+// Package mpi is the known-good smoke fixture: the free-list handles
+// are released on every path, including through a wrapper whose release
+// the summary pass has to discover.
+package mpi
+
+// Comm mimics the point-to-point surface.
+type Comm struct{}
+
+// Send mimics the tagged send.
+func (c *Comm) Send(dst, tag int, data []float64) {}
+
+// Recv mimics the tagged receive.
+func (c *Comm) Recv(src, tag int, buf []float64) int { return 0 }
+
+type context struct{ pool [][]float64 }
+
+func (ctx *context) getBuf(n int) []float64 { return make([]float64, n) }
+
+func (ctx *context) putBuf(b []float64) { ctx.pool = append(ctx.pool, b) }
+
+// release is a wrapper; callers releasing through it are clean only if
+// the callee-first summary pass sees through the indirection.
+func release(ctx *context, b []float64) {
+	ctx.putBuf(b)
+}
+
+func roundTripDirect(ctx *context) {
+	b := ctx.getBuf(8)
+	b[0] = 1
+	ctx.putBuf(b)
+}
+
+func roundTripViaWrapper(ctx *context) float64 {
+	b := ctx.getBuf(8)
+	v := b[0]
+	release(ctx, b)
+	return v
+}
+
+func handoff(ctx *context, sink chan []float64) {
+	b := ctx.getBuf(8)
+	sink <- b // ownership transferred; not a leak
+}

@@ -1,0 +1,34 @@
+// Package par is the known-good smoke fixture for pool-disjoint: every
+// closure write is indexed by the tile range, including the per-tile
+// partial reduction shape.
+package par
+
+// Pool mimics the worker pool.
+type Pool struct{}
+
+// For mimics the tiled parallel-for.
+func (p *Pool) For(n int, fn func(lo, hi int)) { fn(0, n) }
+
+// Fill writes only tile-owned elements.
+func Fill(p *Pool, out []float64) {
+	p.For(len(out), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = 1
+		}
+	})
+}
+
+// Sum reduces with per-tile partials combined in tile order.
+func Sum(p *Pool, xs []float64) float64 {
+	partials := make([]float64, len(xs))
+	p.For(len(xs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			partials[i] = xs[i] * xs[i]
+		}
+	})
+	var s float64
+	for _, v := range partials {
+		s += v
+	}
+	return s
+}

@@ -1,20 +1,34 @@
-// Package analyze is a small static-analysis framework for this module,
-// built only on the standard library's go/ast, go/parser, go/token and
+// Package analyze is a static-analysis framework for this module, built
+// only on the standard library's go/ast, go/parser, go/token and
 // go/types. It exists because the solver's correctness and Earth
 // Simulator performance rest on invariants the Go compiler cannot check:
 // every posted mpi.Irecv must be completed with Wait before its halo
 // buffer is read, hot-loop array dimensions must avoid the power-of-two
 // strides that trigger memory-bank conflicts (modeled in internal/es),
 // floating-point values must not be compared with == outside designated
-// tolerance helpers, and sync.Cond.Wait must sit in a predicate loop.
+// tolerance helpers, message tags must stay inside their allocated
+// spaces, and recycled payload buffers must never be touched after
+// release.
+//
+// Two analyzer shapes exist. Per-package analyzers (Run) see one
+// type-checked package at a time and walk its ASTs. Interprocedural
+// analyzers (RunModule) see the whole module through a ModulePass and
+// build on the engine in callgraph.go (repo-wide call graph), cfg.go
+// (per-function control-flow graphs), dataflow.go (a forward dataflow
+// solver), and consts.go (interprocedural constant propagation with
+// one-iteration call-site summaries). Engine artifacts are computed at
+// most once per run and shared between analyzers through Module.Fact.
 //
 // Each invariant is an Analyzer; cmd/yyvet loads every package of the
-// module and runs them all. A finding can be suppressed with a directive
-// comment on the same line or the line directly above:
+// module and runs them all, package-parallel. A finding can be
+// suppressed with a directive comment on the same line or the line
+// directly above:
 //
 //	//yyvet:ignore analyzer-name[,analyzer-name...] justification
 //
-// The justification text is free-form but should always be present.
+// The justification text is mandatory: the ignore-audit phase flags
+// directives that omit it, name an unknown analyzer, or suppress
+// nothing.
 package analyze
 
 import (
@@ -22,11 +36,14 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime"
 	"sort"
-	"strings"
+	"sync"
 )
 
-// An Analyzer checks one invariant across a single package.
+// An Analyzer checks one invariant. Exactly one of Run and RunModule is
+// set: Run analyzers see one package per call, RunModule analyzers see
+// the whole module at once (call graph, cross-package summaries).
 type Analyzer struct {
 	// Name identifies the analyzer in findings and ignore directives,
 	// e.g. "irecv-wait".
@@ -37,6 +54,9 @@ type Analyzer struct {
 	// Run inspects the package behind pass and reports findings via
 	// pass.Reportf.
 	Run func(pass *Pass) error
+	// RunModule inspects every selected package at once; use it when
+	// the invariant needs the call graph or cross-package dataflow.
+	RunModule func(mp *ModulePass) error
 }
 
 // A Finding is one rule violation at a source position.
@@ -62,99 +82,180 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
-	ignores  ignoreIndex
-	findings *[]Finding
+	module *Module
 }
 
 // Reportf records a finding at pos unless an ignore directive for this
 // analyzer covers the position.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	position := p.Fset.Position(pos)
-	if p.ignores.covers(position, p.Analyzer.Name) {
+	p.module.report(p.Analyzer.Name, p.Fset.Position(pos), fmt.Sprintf(format, args...))
+}
+
+// A ModulePass carries one interprocedural analyzer's view of the whole
+// selected module.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Module   *Module
+}
+
+// Packages lists the selected packages in import-path order.
+func (mp *ModulePass) Packages() []*Package { return mp.Module.Pkgs }
+
+// Reportf records a finding at pos in pkg unless an ignore directive
+// for this analyzer covers the position.
+func (mp *ModulePass) Reportf(pkg *Package, pos token.Pos, format string, args ...any) {
+	mp.Module.report(mp.Analyzer.Name, pkg.Fset.Position(pos), fmt.Sprintf(format, args...))
+}
+
+// Module is the shared state of one analysis run: the selected
+// packages, the suppression-directive registry, the finding sink, and
+// the memoized engine facts (call graph, constant propagation, ...).
+type Module struct {
+	Pkgs []*Package
+
+	directives *directiveSet
+
+	mu       sync.Mutex
+	findings []Finding
+
+	factMu sync.Mutex
+	facts  map[string]*factEntry
+}
+
+type factEntry struct {
+	once sync.Once
+	val  any
+	err  error
+}
+
+func newModule(pkgs []*Package) *Module {
+	return &Module{
+		Pkgs:       pkgs,
+		directives: buildDirectiveSet(pkgs),
+		facts:      map[string]*factEntry{},
+	}
+}
+
+// Fact memoizes one engine artifact per run so independent analyzers
+// share a single call graph, constant-propagation result, etc. The
+// build function runs at most once per key; concurrent callers block on
+// the first.
+func (m *Module) Fact(key string, build func() (any, error)) (any, error) {
+	m.factMu.Lock()
+	e := m.facts[key]
+	if e == nil {
+		e = &factEntry{}
+		m.facts[key] = e
+	}
+	m.factMu.Unlock()
+	e.once.Do(func() { e.val, e.err = build() })
+	return e.val, e.err
+}
+
+// callGraph returns the module-wide call graph fact.
+func (m *Module) callGraph() (*CallGraph, error) {
+	v, err := m.Fact("callgraph", func() (any, error) {
+		return buildCallGraph(m.Pkgs), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*CallGraph), nil
+}
+
+// constProp returns the interprocedural parameter-constant fact.
+func (m *Module) constProp() (*ConstProp, error) {
+	g, err := m.callGraph()
+	if err != nil {
+		return nil, err
+	}
+	v, err := m.Fact("constprop", func() (any, error) {
+		return buildConstProp(g), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*ConstProp), nil
+}
+
+// report appends one finding unless a directive suppresses it.
+func (m *Module) report(analyzer string, pos token.Position, msg string) {
+	if m.directives.suppress(pos, analyzer) {
 		return
 	}
-	*p.findings = append(*p.findings, Finding{
-		Pos:      position,
-		Analyzer: p.Analyzer.Name,
-		Message:  fmt.Sprintf(format, args...),
-	})
+	m.mu.Lock()
+	m.findings = append(m.findings, Finding{Pos: pos, Analyzer: analyzer, Message: msg})
+	m.mu.Unlock()
 }
 
-// ignoreIndex maps filename -> line -> analyzer names suppressed there.
-type ignoreIndex map[string]map[int][]string
-
-const ignoreDirective = "yyvet:ignore"
-
-// buildIgnoreIndex scans the comments of every file for ignore
-// directives. A directive on line L covers findings on line L (trailing
-// comment) and line L+1 (comment on its own line above the statement).
-func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) ignoreIndex {
-	idx := ignoreIndex{}
-	for _, f := range files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text, ok := strings.CutPrefix(c.Text, "//"+ignoreDirective)
-				if !ok {
-					continue
-				}
-				fields := strings.Fields(text)
-				if len(fields) == 0 {
-					continue
-				}
-				pos := fset.Position(c.Pos())
-				byLine := idx[pos.Filename]
-				if byLine == nil {
-					byLine = map[int][]string{}
-					idx[pos.Filename] = byLine
-				}
-				names := strings.Split(fields[0], ",")
-				byLine[pos.Line] = append(byLine[pos.Line], names...)
-			}
-		}
-	}
-	return idx
-}
-
-func (idx ignoreIndex) covers(pos token.Position, analyzer string) bool {
-	byLine := idx[pos.Filename]
-	if byLine == nil {
-		return false
-	}
-	for _, line := range [2]int{pos.Line, pos.Line - 1} {
-		for _, name := range byLine[line] {
-			if name == analyzer {
-				return true
-			}
-		}
-	}
-	return false
-}
-
-// Run applies every analyzer to every package and returns the combined
-// findings sorted by position then analyzer name.
+// Run applies every analyzer to every package with the default
+// parallelism and returns the combined findings sorted by position then
+// analyzer name.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
-	var findings []Finding
-	for _, pkg := range pkgs {
-		scanned := make([]*ast.File, 0, len(pkg.Files)+len(pkg.TestFiles))
-		scanned = append(scanned, pkg.Files...)
-		scanned = append(scanned, pkg.TestFiles...)
-		idx := buildIgnoreIndex(pkg.Fset, scanned)
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer:  a,
-				Fset:      pkg.Fset,
-				Files:     pkg.Files,
-				TestFiles: pkg.TestFiles,
-				Pkg:       pkg.Types,
-				TypesInfo: pkg.Info,
-				ignores:   idx,
-				findings:  &findings,
-			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("analyze: %s on %s: %w", a.Name, pkg.Path, err)
+	return RunN(pkgs, analyzers, 0)
+}
+
+// RunN is Run with an explicit worker count for the analysis phase
+// (workers <= 0 selects GOMAXPROCS). Per-package analyzers fan out over
+// (analyzer, package) pairs; each module analyzer is one task. Findings
+// are accumulated under a lock and sorted, so the output is
+// deterministic regardless of schedule.
+func RunN(pkgs []*Package, analyzers []*Analyzer, workers int) ([]Finding, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	m := newModule(pkgs)
+
+	audit := false
+	runSet := map[string]bool{}
+	var tasks []func() error
+	for _, a := range analyzers {
+		a := a
+		runSet[a.Name] = true
+		switch {
+		case a == IgnoreAudit:
+			audit = true
+		case a.RunModule != nil:
+			tasks = append(tasks, func() error {
+				mp := &ModulePass{Analyzer: a, Module: m}
+				if err := a.RunModule(mp); err != nil {
+					return fmt.Errorf("analyze: %s: %w", a.Name, err)
+				}
+				return nil
+			})
+		case a.Run != nil:
+			for _, pkg := range pkgs {
+				pkg := pkg
+				tasks = append(tasks, func() error {
+					pass := &Pass{
+						Analyzer:  a,
+						Fset:      pkg.Fset,
+						Files:     pkg.Files,
+						TestFiles: pkg.TestFiles,
+						Pkg:       pkg.Types,
+						TypesInfo: pkg.Info,
+						module:    m,
+					}
+					if err := a.Run(pass); err != nil {
+						return fmt.Errorf("analyze: %s on %s: %w", a.Name, pkg.Path, err)
+					}
+					return nil
+				})
 			}
 		}
 	}
+
+	if err := runTasks(tasks, workers); err != nil {
+		return nil, err
+	}
+
+	// The audit phase runs strictly after every analyzer has finished,
+	// so a directive's used-flag is final when inspected.
+	if audit {
+		m.directives.audit(m, runSet, knownAnalyzerNames())
+	}
+
+	findings := m.findings
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -166,9 +267,64 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return findings, nil
+	// Dataflow analyzers can reach one defect along several paths;
+	// collapse exact duplicates.
+	dedup := findings[:0]
+	for i, f := range findings {
+		if i > 0 && f == findings[i-1] {
+			continue
+		}
+		dedup = append(dedup, f)
+	}
+	return dedup, nil
+}
+
+// runTasks executes the tasks over a bounded worker pool, returning the
+// first error (all workers drain before return).
+func runTasks(tasks []func() error, workers int) error {
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers <= 1 {
+		for _, t := range tasks {
+			if err := t(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	ch := make(chan func() error)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range ch {
+				if err := t(); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for _, t := range tasks {
+		ch <- t
+	}
+	close(ch)
+	wg.Wait()
+	return firstErr
 }
 
 // inspectWithParents walks root in depth-first order calling fn with

@@ -97,11 +97,18 @@ func TestSuppression(t *testing.T) {
 	runFixture(t, "ignore", FloatEq)
 }
 
-// TestIgnoreIndexScope verifies the line arithmetic of the directive
-// index directly.
-func TestIgnoreIndexScope(t *testing.T) {
-	idx := ignoreIndex{
-		"f.go": {10: []string{"float-eq", "pow2-stride"}},
+// TestDirectiveScope verifies the line arithmetic of the directive
+// registry directly: a directive covers its own line and the line
+// below, for exactly the analyzers it names.
+func TestDirectiveScope(t *testing.T) {
+	d := &directive{
+		pos:   token.Position{Filename: "f.go", Line: 10},
+		names: []string{"float-eq", "pow2-stride"},
+		used:  map[string]bool{},
+	}
+	ds := &directiveSet{
+		byFile: map[string]map[int][]*directive{"f.go": {10: {d}}},
+		all:    []*directive{d},
 	}
 	cases := []struct {
 		line     int
@@ -117,9 +124,13 @@ func TestIgnoreIndexScope(t *testing.T) {
 	}
 	for _, c := range cases {
 		pos := token.Position{Filename: "f.go", Line: c.line}
-		if got := idx.covers(pos, c.analyzer); got != c.want {
-			t.Errorf("covers(line %d, %s) = %v, want %v", c.line, c.analyzer, got, c.want)
+		if got := ds.suppress(pos, c.analyzer); got != c.want {
+			t.Errorf("suppress(line %d, %s) = %v, want %v", c.line, c.analyzer, got, c.want)
 		}
+	}
+	// Suppressions were recorded: both names fired above.
+	if !d.used["float-eq"] || !d.used["pow2-stride"] {
+		t.Errorf("used-flags not recorded: %v", d.used)
 	}
 }
 

@@ -4,11 +4,16 @@ package analyze
 func All() []*Analyzer {
 	return []*Analyzer{
 		AbortOnErr,
+		BufLifetime,
 		CondWaitLoop,
+		DetPurity,
 		FloatEq,
+		IgnoreAudit,
 		IrecvWait,
+		PoolDisjoint,
 		Pow2Stride,
 		RunWithDeadline,
 		SpanEnd,
+		TagSpace,
 	}
 }

@@ -1,0 +1,381 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Lifetime bits for a tracked buffer handle.
+const (
+	bufLive uint8 = 1 << iota // acquired on some path, not yet released
+	bufRel                    // released (putBuf) on some path
+	bufEsc                    // escaped: stored, returned, or passed on
+)
+
+// BufLifetime tracks recycled payload buffers through each function:
+// handles acquired from the mpi free list (getBuf) and from the
+// decomp.HaloBufs staging arena (Pack*/Recv*). For free-list handles it
+// runs a forward may-dataflow over the control-flow graph and flags
+// use-after-put, double-put, and acquisitions that leak on some return
+// path; releases through helper calls are resolved with one pass of
+// callee-first summaries, so a wrapper that putBufs its parameter
+// counts as a release at its call sites. Arena handles are checked
+// whole-function: a packed or posted staging buffer that no call ever
+// consumes is dead packing work and almost always a dropped exchange.
+var BufLifetime = &Analyzer{
+	Name: "buf-lifetime",
+	Doc: "free-list buffers (mpi getBuf/putBuf) must not be used after release, released twice, " +
+		"or leaked on a return path; HaloBufs arena handles must be consumed by the exchange that packed them.",
+	RunModule: runBufLifetime,
+}
+
+func runBufLifetime(mp *ModulePass) error {
+	g, err := mp.Module.callGraph()
+	if err != nil {
+		return err
+	}
+	summaries := releaseSummaries(g)
+	for _, n := range g.Nodes() {
+		checkFreelist(mp, g, n, summaries)
+		checkArena(mp, n)
+	}
+	return nil
+}
+
+// releaseSummaries computes, callee-first in one pass, which parameters
+// each function releases back to the free list (directly via putBuf or
+// transitively through a releasing callee).
+func releaseSummaries(g *CallGraph) map[*FuncNode][]bool {
+	sum := map[*FuncNode][]bool{}
+	for _, scc := range g.SCCs() {
+		for _, n := range scc {
+			sig := n.Obj.Type().(*types.Signature)
+			rel := make([]bool, sig.Params().Len())
+			params := map[types.Object]int{}
+			for i := 0; i < sig.Params().Len(); i++ {
+				if obj := paramDefObj(n, i); obj != nil {
+					params[obj] = i
+				}
+			}
+			ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+				call, ok := node.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				for ai, arg := range call.Args {
+					id, ok := ast.Unparen(arg).(*ast.Ident)
+					if !ok {
+						continue
+					}
+					pi, ok := params[n.Pkg.Info.Uses[id]]
+					if !ok {
+						continue
+					}
+					if releasesArg(g, n.Pkg.Info, call, ai, sum) {
+						rel[pi] = true
+					}
+				}
+				return true
+			})
+			sum[n] = rel
+		}
+	}
+	return sum
+}
+
+// releasesArg reports whether passing a handle as the ai-th argument of
+// call releases it: the callee is putBuf itself, or a function whose
+// summary releases that parameter.
+func releasesArg(g *CallGraph, info *types.Info, call *ast.CallExpr, ai int, sum map[*FuncNode][]bool) bool {
+	fn := calleeObj(info, call)
+	if fn == nil {
+		return false
+	}
+	if fn.Name() == "putBuf" {
+		return ai == 0
+	}
+	if node := g.Node(fn); node != nil {
+		if rel := sum[node]; ai < len(rel) {
+			return rel[ai]
+		}
+	}
+	return false
+}
+
+// checkFreelist runs the use-after-put / double-put / leak dataflow for
+// getBuf handles declared in n.
+func checkFreelist(mp *ModulePass, g *CallGraph, n *FuncNode, sum map[*FuncNode][]bool) {
+	info := n.Pkg.Info
+
+	// Tracked objects: locals bound by `x := <...>.getBuf(...)`.
+	tracked := map[types.Object]*ast.Ident{}
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		as, ok := node.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if !isNamedCall(info, as.Rhs[0], "getBuf") {
+			return true
+		}
+		var obj types.Object
+		if def := info.Defs[id]; def != nil {
+			obj = def
+		} else {
+			obj = info.Uses[id]
+		}
+		if obj != nil {
+			tracked[obj] = id
+		}
+		return true
+	})
+	if len(tracked) == 0 {
+		return
+	}
+	cfg := buildCFG(n.Decl.Body)
+	if cfg == nil {
+		return // goto: unmodeled, skip the function
+	}
+
+	// Defers run on every exit path; a deferred putBuf(x) releases x for
+	// the whole function, so fold deferred releases in as an initial REL
+	// exemption for the leak check (but not for use-after-put: the defer
+	// fires last).
+	deferRel := map[types.Object]bool{}
+	for _, d := range cfg.Defers {
+		for ai, arg := range d.Call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+				if obj := info.Uses[id]; obj != nil && tracked[obj] != nil {
+					if releasesArg(g, info, d.Call, ai, sum) {
+						deferRel[obj] = true
+					}
+				}
+			}
+		}
+	}
+
+	transfer := func(report bool) transferFunc {
+		return func(b *Block, i int, state flowState) {
+			stmt := b.Stmts[i]
+			// Acquisition rebinds the handle fresh.
+			if as, ok := stmt.(*ast.AssignStmt); ok && len(as.Lhs) == 1 && len(as.Rhs) == 1 {
+				if id, ok := as.Lhs[0].(*ast.Ident); ok && isNamedCall(info, as.Rhs[0], "getBuf") {
+					obj := info.Defs[id]
+					if obj == nil {
+						obj = info.Uses[id]
+					}
+					if obj != nil && tracked[obj] != nil {
+						state[obj] = bufLive
+						return
+					}
+				}
+			}
+			inspectWithParents(stmt, func(node ast.Node, parents []ast.Node) bool {
+				if _, ok := node.(*ast.DeferStmt); ok {
+					return false // deferred calls run at exit, handled above
+				}
+				id, ok := node.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := info.Uses[id]
+				if obj == nil || tracked[obj] == nil {
+					return true
+				}
+				bits := state[obj]
+				role, relArg := identRole(g, info, id, parents, sum)
+				if bits&bufRel != 0 && report {
+					switch {
+					case relArg:
+						mp.Reportf(n.Pkg, id.Pos(),
+							"%s was already released with putBuf on a path reaching this statement; double release corrupts the free list", id.Name)
+					default:
+						mp.Reportf(n.Pkg, id.Pos(),
+							"%s is used after being released with putBuf on a path reaching this statement", id.Name)
+					}
+				}
+				switch {
+				case relArg:
+					state[obj] = bits | bufRel
+				case role == roleEscape:
+					state[obj] = bits | bufEsc
+				}
+				return true
+			})
+		}
+	}
+
+	entries, _, _ := solveForward(cfg, flowState{}, transfer(false))
+	// Replay with converged entry states to emit use/double-put reports.
+	rep := transfer(true)
+	for _, b := range cfg.Blocks {
+		state := entries[b.Index].clone()
+		for i := range b.Stmts {
+			rep(b, i, state)
+		}
+		// Leak check at every path end: returns and the fall-off exit.
+		atEnd := b.Term != nil
+		if !atEnd {
+			for _, s := range b.Succs {
+				if s == cfg.Exit {
+					atEnd = true
+				}
+			}
+		}
+		if atEnd {
+			for obj, bits := range state {
+				if bits&bufLive != 0 && bits&(bufRel|bufEsc) == 0 && !deferRel[obj] {
+					pos := n.Decl.End()
+					if b.Term != nil {
+						pos = b.Term.Pos()
+					}
+					mp.Reportf(n.Pkg, pos,
+						"%s acquired from getBuf leaks on this return path; release it with putBuf or hand it off", obj.Name())
+				}
+			}
+		}
+	}
+}
+
+type identUseRole int
+
+const (
+	roleRead identUseRole = iota
+	roleEscape
+)
+
+// identRole classifies one appearance of a tracked handle: a releasing
+// call argument, an escaping position (stored, returned, passed on,
+// appended, captured in a composite literal), or a plain read.
+func identRole(g *CallGraph, info *types.Info, id *ast.Ident, parents []ast.Node, sum map[*FuncNode][]bool) (identUseRole, bool) {
+	if len(parents) == 0 {
+		return roleRead, false
+	}
+	p := parents[len(parents)-1]
+	switch p := p.(type) {
+	case *ast.CallExpr:
+		for ai, arg := range p.Args {
+			if ast.Unparen(arg) != ast.Node(id) {
+				continue
+			}
+			if releasesArg(g, info, p, ai, sum) {
+				return roleRead, true
+			}
+			if fn, ok := ast.Unparen(p.Fun).(*ast.Ident); ok {
+				switch fn.Name {
+				case "copy", "len", "cap":
+					return roleRead, false
+				}
+			}
+			return roleEscape, false
+		}
+		return roleRead, false
+	case *ast.CompositeLit, *ast.ReturnStmt, *ast.KeyValueExpr, *ast.SendStmt:
+		return roleEscape, false
+	case *ast.SliceExpr:
+		if p.X == ast.Node(id) {
+			return roleEscape, false // the alias may outlive our tracking
+		}
+		return roleRead, false
+	case *ast.AssignStmt:
+		for _, rhs := range p.Rhs {
+			if ast.Unparen(rhs) == ast.Node(id) {
+				return roleEscape, false // flows into another variable
+			}
+		}
+		return roleRead, false
+	}
+	return roleRead, false
+}
+
+// isNamedCall reports whether e is a direct call of a function or
+// method with the given name.
+func isNamedCall(info *types.Info, e ast.Expr, name string) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeObj(info, call)
+	return fn != nil && fn.Name() == name
+}
+
+// checkArena flags HaloBufs staging handles that no call consumes.
+func checkArena(mp *ModulePass, n *FuncNode) {
+	info := n.Pkg.Info
+	acquired := map[types.Object]*ast.Ident{}
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		as, ok := node.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok || !isArenaCall(info, rhs) {
+				continue
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			if obj != nil {
+				acquired[obj] = id
+			}
+		}
+		return true
+	})
+	if len(acquired) == 0 {
+		return
+	}
+	consumed := map[types.Object]bool{}
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+				if obj := info.Uses[id]; obj != nil {
+					consumed[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	for obj, id := range acquired {
+		if !consumed[obj] {
+			mp.Reportf(n.Pkg, id.Pos(),
+				"HaloBufs handle %s is packed or posted but never consumed by any call; the exchange drops it", id.Name)
+		}
+	}
+}
+
+// isArenaCall recognizes the HaloBufs acquisition methods: Pack* and
+// Recv* on a receiver whose named type is HaloBufs.
+func isArenaCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeObj(info, call)
+	if fn == nil {
+		return false
+	}
+	name := fn.Name()
+	if !strings.HasPrefix(name, "Pack") && !strings.HasPrefix(name, "Recv") {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "HaloBufs"
+}

@@ -1,0 +1,10 @@
+package analyze
+
+import "testing"
+
+// TestBufLifetime: use-after-put, double-put (direct and through a
+// releasing wrapper), and per-return-path leaks are flagged; deferred
+// releases, wrapper releases, and ownership handoffs are not.
+func TestBufLifetime(t *testing.T) {
+	runFixture(t, "buflifetime", BufLifetime)
+}

@@ -1,0 +1,428 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// CFG is an intraprocedural control-flow graph over statements. It is
+// deliberately coarse: a block holds a run of statements ending at a
+// branch point, edges capture may-flow between runs, and expression-
+// level short-circuit control flow is NOT modeled (a statement's
+// side-effects are treated as unordered within the statement). That is
+// enough for the lifetime analyses here, which track identifiers
+// across statements.
+//
+// Conventions:
+//   - Entry is block 0; Exit is the distinguished fall-off block.
+//   - A return statement's block has NO successor: analyzers inspect
+//     Returns directly so per-return-path checks (leaks) fire with the
+//     state that reaches that return, not a join over all of them.
+//   - Exit's predecessors are only the paths that fall off the end of
+//     the function body.
+//   - panic(...) and calls to runtime-terminating helpers end their
+//     block with no successor.
+//   - Defers holds every defer statement of the function regardless of
+//     position, since deferred calls run on every exiting path.
+type CFG struct {
+	Blocks  []*Block
+	Entry   *Block
+	Exit    *Block
+	Returns []*Block // blocks ending in a *ast.ReturnStmt (Term)
+	Defers  []*ast.DeferStmt
+}
+
+// Block is one straight-line run of statements.
+type Block struct {
+	Index int
+	Stmts []ast.Stmt
+	Succs []*Block
+	Preds []*Block
+	// Term is the return statement ending this block, if any.
+	Term *ast.ReturnStmt
+}
+
+type cfgBuilder struct {
+	cfg *CFG
+	// break/continue targets, innermost last. Labeled statements map the
+	// label name to the same targets.
+	breaks    []*Block
+	continues []*Block
+	labelBrk  map[string]*Block
+	labelCont map[string]*Block
+	bailed    bool // goto seen: graph would be wrong, caller gets nil
+}
+
+// buildCFG constructs the CFG of a function body. It returns nil when
+// the body uses goto, which this builder does not model; analyzers
+// must skip such functions (none exist in this module).
+func buildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		cfg:       &CFG{},
+		labelBrk:  map[string]*Block{},
+		labelCont: map[string]*Block{},
+	}
+	entry := b.newBlock()
+	b.cfg.Entry = entry
+	exit := b.newBlock()
+	b.cfg.Exit = exit
+	last := b.stmts(entry, body.List)
+	if b.bailed {
+		return nil
+	}
+	if last != nil {
+		b.edge(last, exit)
+	}
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// stmts appends the statement list to cur, returning the block that
+// control falls out of, or nil when every path diverts (return, panic,
+// break, ...).
+func (b *cfgBuilder) stmts(cur *Block, list []ast.Stmt) *Block {
+	for _, s := range list {
+		if cur == nil {
+			// Unreachable code after a terminator; still collect defers
+			// and nested returns conservatively? No: unreachable is
+			// unreachable, skip.
+			break
+		}
+		cur = b.stmt(cur, s)
+		if b.bailed {
+			return nil
+		}
+	}
+	return cur
+}
+
+func (b *cfgBuilder) stmt(cur *Block, s ast.Stmt) *Block {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		cur.Stmts = append(cur.Stmts, s)
+		cur.Term = s
+		b.cfg.Returns = append(b.cfg.Returns, cur)
+		return nil
+
+	case *ast.DeferStmt:
+		b.cfg.Defers = append(b.cfg.Defers, s)
+		cur.Stmts = append(cur.Stmts, s)
+		return cur
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			var t *Block
+			if s.Label != nil {
+				t = b.labelBrk[s.Label.Name]
+			} else if len(b.breaks) > 0 {
+				t = b.breaks[len(b.breaks)-1]
+			}
+			b.edge(cur, t)
+			return nil
+		case token.CONTINUE:
+			var t *Block
+			if s.Label != nil {
+				t = b.labelCont[s.Label.Name]
+			} else if len(b.continues) > 0 {
+				t = b.continues[len(b.continues)-1]
+			}
+			b.edge(cur, t)
+			return nil
+		case token.GOTO:
+			b.bailed = true
+			return nil
+		case token.FALLTHROUGH:
+			// Handled by the switch builder (clause blocks are chained);
+			// treated as plain fallthrough to the next clause there.
+			return cur
+		}
+		return cur
+
+	case *ast.LabeledStmt:
+		// Pre-register the label's targets lazily inside the loop/switch
+		// builders: for a labeled loop, break/continue to the label mean
+		// the loop's targets. We peek at the labeled statement kind.
+		switch inner := s.Stmt.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			return b.labeled(cur, s.Label.Name, inner)
+		default:
+			return b.stmt(cur, s.Stmt)
+		}
+
+	case *ast.BlockStmt:
+		return b.stmts(cur, s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur = b.stmt(cur, s.Init)
+			if cur == nil {
+				return nil
+			}
+		}
+		cur.Stmts = append(cur.Stmts, &ast.ExprStmt{X: s.Cond})
+		after := b.newBlock()
+		thenB := b.newBlock()
+		b.edge(cur, thenB)
+		if out := b.stmts(thenB, s.Body.List); out != nil {
+			b.edge(out, after)
+		}
+		if s.Else != nil {
+			elseB := b.newBlock()
+			b.edge(cur, elseB)
+			if out := b.stmt(elseB, s.Else); out != nil {
+				b.edge(out, after)
+			}
+		} else {
+			b.edge(cur, after)
+		}
+		if len(after.Preds) == 0 {
+			return nil
+		}
+		return after
+
+	case *ast.ForStmt:
+		return b.forStmt(cur, s, "", "")
+
+	case *ast.RangeStmt:
+		return b.rangeStmt(cur, s, "", "")
+
+	case *ast.SwitchStmt:
+		return b.switchStmt(cur, s.Init, s.Tag, s.Body, "")
+
+	case *ast.TypeSwitchStmt:
+		var tag ast.Expr
+		return b.switchStmt(cur, s.Init, tag, s.Body, "")
+
+	case *ast.SelectStmt:
+		return b.selectStmt(cur, s, "")
+
+	case *ast.ExprStmt:
+		cur.Stmts = append(cur.Stmts, s)
+		if isPanicCall(s.X) {
+			return nil
+		}
+		return cur
+
+	default:
+		cur.Stmts = append(cur.Stmts, s)
+		return cur
+	}
+}
+
+func (b *cfgBuilder) labeled(cur *Block, label string, s ast.Stmt) *Block {
+	switch s := s.(type) {
+	case *ast.ForStmt:
+		return b.forStmt(cur, s, label, label)
+	case *ast.RangeStmt:
+		return b.rangeStmt(cur, s, label, label)
+	case *ast.SwitchStmt:
+		return b.switchStmt(cur, s.Init, s.Tag, s.Body, label)
+	case *ast.TypeSwitchStmt:
+		var tag ast.Expr
+		return b.switchStmt(cur, s.Init, tag, s.Body, label)
+	case *ast.SelectStmt:
+		return b.selectStmt(cur, s, label)
+	}
+	return b.stmt(cur, s)
+}
+
+func (b *cfgBuilder) forStmt(cur *Block, s *ast.ForStmt, brkLabel, contLabel string) *Block {
+	if s.Init != nil {
+		cur = b.stmt(cur, s.Init)
+		if cur == nil {
+			return nil
+		}
+	}
+	head := b.newBlock()
+	after := b.newBlock()
+	post := b.newBlock()
+	b.edge(cur, head)
+	if s.Cond != nil {
+		head.Stmts = append(head.Stmts, &ast.ExprStmt{X: s.Cond})
+		b.edge(head, after)
+	}
+	b.pushLoop(after, post, brkLabel, contLabel)
+	body := b.newBlock()
+	b.edge(head, body)
+	out := b.stmts(body, s.Body.List)
+	b.popLoop(brkLabel, contLabel)
+	if out != nil {
+		b.edge(out, post)
+	}
+	if s.Post != nil {
+		post.Stmts = append(post.Stmts, s.Post)
+	}
+	b.edge(post, head)
+	if len(after.Preds) == 0 {
+		return nil
+	}
+	return after
+}
+
+func (b *cfgBuilder) rangeStmt(cur *Block, s *ast.RangeStmt, brkLabel, contLabel string) *Block {
+	head := b.newBlock()
+	after := b.newBlock()
+	b.edge(cur, head)
+	// The range head both evaluates X and assigns the iteration vars.
+	head.Stmts = append(head.Stmts, &ast.ExprStmt{X: s.X})
+	if s.Key != nil || s.Value != nil {
+		head.Stmts = append(head.Stmts, s) // analyzers see key/value defs here
+	}
+	b.edge(head, after) // zero iterations
+	b.pushLoop(after, head, brkLabel, contLabel)
+	body := b.newBlock()
+	b.edge(head, body)
+	out := b.stmts(body, s.Body.List)
+	b.popLoop(brkLabel, contLabel)
+	if out != nil {
+		b.edge(out, head)
+	}
+	return after
+}
+
+func (b *cfgBuilder) switchStmt(cur *Block, init ast.Stmt, tag ast.Expr, body *ast.BlockStmt, label string) *Block {
+	if init != nil {
+		cur = b.stmt(cur, init)
+		if cur == nil {
+			return nil
+		}
+	}
+	if tag != nil {
+		cur.Stmts = append(cur.Stmts, &ast.ExprStmt{X: tag})
+	}
+	after := b.newBlock()
+	b.pushSwitch(after, label)
+	hasDefault := false
+	// Build clause entry blocks first so fallthrough can chain.
+	var entries []*Block
+	var clauses []*ast.CaseClause
+	for _, cs := range body.List {
+		cc, ok := cs.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		clauses = append(clauses, cc)
+		e := b.newBlock()
+		b.edge(cur, e)
+		entries = append(entries, e)
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	for i, cc := range clauses {
+		out := b.stmts(entries[i], cc.Body)
+		if out == nil {
+			continue
+		}
+		if endsInFallthrough(cc.Body) && i+1 < len(entries) {
+			b.edge(out, entries[i+1])
+		} else {
+			b.edge(out, after)
+		}
+	}
+	b.popSwitch(label)
+	if !hasDefault {
+		b.edge(cur, after)
+	}
+	if len(after.Preds) == 0 {
+		return nil
+	}
+	return after
+}
+
+func (b *cfgBuilder) selectStmt(cur *Block, s *ast.SelectStmt, label string) *Block {
+	after := b.newBlock()
+	b.pushSwitch(after, label)
+	hasDefault := false
+	for _, cs := range s.Body.List {
+		cc, ok := cs.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		e := b.newBlock()
+		b.edge(cur, e)
+		if cc.Comm != nil {
+			e.Stmts = append(e.Stmts, cc.Comm)
+		} else {
+			hasDefault = true
+		}
+		if out := b.stmts(e, cc.Body); out != nil {
+			b.edge(out, after)
+		}
+	}
+	b.popSwitch(label)
+	_ = hasDefault // a select with no default still always takes some clause
+	if len(after.Preds) == 0 {
+		return nil
+	}
+	return after
+}
+
+func (b *cfgBuilder) pushLoop(brk, cont *Block, brkLabel, contLabel string) {
+	b.breaks = append(b.breaks, brk)
+	b.continues = append(b.continues, cont)
+	if brkLabel != "" {
+		b.labelBrk[brkLabel] = brk
+	}
+	if contLabel != "" {
+		b.labelCont[contLabel] = cont
+	}
+}
+
+func (b *cfgBuilder) popLoop(brkLabel, contLabel string) {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+	if brkLabel != "" {
+		delete(b.labelBrk, brkLabel)
+	}
+	if contLabel != "" {
+		delete(b.labelCont, contLabel)
+	}
+}
+
+func (b *cfgBuilder) pushSwitch(brk *Block, label string) {
+	b.breaks = append(b.breaks, brk)
+	if label != "" {
+		b.labelBrk[label] = brk
+	}
+}
+
+func (b *cfgBuilder) popSwitch(label string) {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	if label != "" {
+		delete(b.labelBrk, label)
+	}
+}
+
+func endsInFallthrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}
+
+// isPanicCall reports whether the expression is a direct panic(...)
+// call — its statement terminates the block with no successors.
+func isPanicCall(x ast.Expr) bool {
+	call, ok := ast.Unparen(x).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}

@@ -1,0 +1,179 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// parseBody parses a single function declaration and returns its body.
+func parseBody(t *testing.T, fn string) *ast.BlockStmt {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", "package p\n"+fn, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body
+}
+
+func TestCFGLinear(t *testing.T) {
+	cfg := buildCFG(parseBody(t, "func f() { x := 1; _ = x }"))
+	if cfg == nil {
+		t.Fatal("buildCFG returned nil for a straight-line body")
+	}
+	if len(cfg.Returns) != 0 {
+		t.Errorf("straight-line body has %d return blocks, want 0", len(cfg.Returns))
+	}
+	if len(cfg.Exit.Preds) == 0 {
+		t.Error("fall-off path does not reach Exit")
+	}
+}
+
+func TestCFGReturnsHaveNoSuccessors(t *testing.T) {
+	cfg := buildCFG(parseBody(t, `func f(c bool) int {
+	if c {
+		return 1
+	}
+	return 2
+}`))
+	if cfg == nil {
+		t.Fatal("buildCFG returned nil")
+	}
+	if len(cfg.Returns) != 2 {
+		t.Fatalf("got %d return blocks, want 2", len(cfg.Returns))
+	}
+	for _, b := range cfg.Returns {
+		if b.Term == nil {
+			t.Errorf("return block %d has no Term", b.Index)
+		}
+		if len(b.Succs) != 0 {
+			t.Errorf("return block %d has successors; per-path analyses would leak across returns", b.Index)
+		}
+	}
+	// Every path returns explicitly: nothing falls off into Exit.
+	if len(cfg.Exit.Preds) != 0 {
+		t.Errorf("Exit has %d preds, want 0 (no fall-off path)", len(cfg.Exit.Preds))
+	}
+}
+
+func TestCFGLoopBackEdge(t *testing.T) {
+	cfg := buildCFG(parseBody(t, `func f(n int) {
+	for i := 0; i < n; i++ {
+		println(i)
+	}
+}`))
+	if cfg == nil {
+		t.Fatal("buildCFG returned nil")
+	}
+	back := false
+	for _, b := range cfg.Blocks {
+		for _, s := range b.Succs {
+			if s.Index <= b.Index {
+				back = true
+			}
+		}
+	}
+	if !back {
+		t.Error("for loop produced no back edge")
+	}
+}
+
+func TestCFGGotoBails(t *testing.T) {
+	cfg := buildCFG(parseBody(t, `func f() {
+	goto done
+done:
+	println(1)
+}`))
+	if cfg != nil {
+		t.Error("buildCFG must return nil for goto; the graph would be wrong")
+	}
+}
+
+func TestCFGDefersCollected(t *testing.T) {
+	cfg := buildCFG(parseBody(t, `func f(c bool) {
+	defer println(1)
+	if c {
+		defer println(2)
+	}
+}`))
+	if cfg == nil {
+		t.Fatal("buildCFG returned nil")
+	}
+	if len(cfg.Defers) != 2 {
+		t.Errorf("got %d defers, want 2 (collected function-global)", len(cfg.Defers))
+	}
+}
+
+func TestCFGPanicTerminatesBlock(t *testing.T) {
+	cfg := buildCFG(parseBody(t, `func f(c bool) {
+	if c {
+		panic("x")
+	}
+	println(1)
+}`))
+	if cfg == nil {
+		t.Fatal("buildCFG returned nil")
+	}
+	found := false
+	for _, b := range cfg.Blocks {
+		for _, s := range b.Stmts {
+			es, ok := s.(*ast.ExprStmt)
+			if !ok || !isPanicCall(es.X) {
+				continue
+			}
+			found = true
+			if len(b.Succs) != 0 {
+				t.Errorf("panic block %d has successors; panic never falls through", b.Index)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("panic statement not placed in any block")
+	}
+}
+
+// TestSolveForwardJoins: the worklist solver's join is a may-union —
+// a bit set on one branch survives the merge after the if.
+func TestSolveForwardJoins(t *testing.T) {
+	cfg := buildCFG(parseBody(t, `func f(c bool) {
+	if c {
+		a()
+	}
+	b()
+}`))
+	if cfg == nil {
+		t.Fatal("buildCFG returned nil")
+	}
+	obj := types.NewVar(token.NoPos, nil, "x", types.Typ[types.Int])
+	var atB uint8
+	tf := func(blk *Block, i int, state flowState) {
+		es, ok := blk.Stmts[i].(*ast.ExprStmt)
+		if !ok {
+			return
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok {
+			return
+		}
+		switch id.Name {
+		case "a":
+			state[obj] |= 1
+		case "b":
+			atB = state[obj]
+		}
+	}
+	_, _, exit := solveForward(cfg, flowState{}, tf)
+	if atB != 1 {
+		t.Errorf("state at b() = %d, want 1: the a-branch bit must survive the join", atB)
+	}
+	if exit[obj] != 1 {
+		t.Errorf("exit state = %d, want 1", exit[obj])
+	}
+}

@@ -1,0 +1,671 @@
+package analyze
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// A Value is one concrete integer a ValueSet may hold, together with a
+// human-readable origin ("decomp.tagRimBase+2", "5") used in findings
+// so the reader sees the symbolic derivation, not just the number.
+type Value struct {
+	V      int64
+	Origin string
+}
+
+// valueSetCap bounds a set before it widens to Top. Tag spaces here
+// are tiny (tens of values); anything larger is not a tag expression.
+const valueSetCap = 64
+
+// A ValueSet is the abstract value of an integer expression: either
+// Top (unknown / too many values) or a small set of concrete values.
+// The zero ValueSet is the empty set — "no evidence yet" — which
+// consumers must treat as unknown, not as impossible.
+type ValueSet struct {
+	Top    bool
+	Values []Value
+}
+
+func topValues() ValueSet { return ValueSet{Top: true} }
+
+func singleValue(v int64, origin string) ValueSet {
+	return ValueSet{Values: []Value{{V: v, Origin: origin}}}
+}
+
+// Known reports whether the set carries usable concrete values.
+func (s ValueSet) Known() bool { return !s.Top && len(s.Values) > 0 }
+
+// add merges one value, deduplicating on the integer (first origin
+// wins) and widening to Top past the cap. Returns true on change.
+func (s *ValueSet) add(v Value) bool {
+	if s.Top {
+		return false
+	}
+	for _, have := range s.Values {
+		if have.V == v.V {
+			return false
+		}
+	}
+	if len(s.Values) >= valueSetCap {
+		s.Top = true
+		s.Values = nil
+		return true
+	}
+	s.Values = append(s.Values, v)
+	return true
+}
+
+func (s *ValueSet) merge(other ValueSet) bool {
+	if s.Top {
+		return false
+	}
+	if other.Top {
+		s.Top = true
+		s.Values = nil
+		return true
+	}
+	changed := false
+	for _, v := range other.Values {
+		if s.add(v) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// ConstProp is the interprocedural parameter-constant fact: for every
+// integer parameter of every declared function, the set of values
+// observed flowing in from resolved call sites. Propagation is
+// summary-based and bounded by ONE caller-first pass over the SCC
+// condensation: parameters of recursive components, reassigned or
+// address-taken parameters widen to Top immediately. Unresolved calls
+// (function values, interfaces) simply contribute nothing, so an empty
+// set means "no evidence", never "impossible".
+type ConstProp struct {
+	g          *CallGraph
+	params     map[*FuncNode][]ValueSet
+	paramIndex map[*FuncNode]map[types.Object]int
+}
+
+// Graph returns the call graph the propagation ran over.
+func (cp *ConstProp) Graph() *CallGraph { return cp.g }
+
+func buildConstProp(g *CallGraph) *ConstProp {
+	cp := &ConstProp{
+		g:          g,
+		params:     map[*FuncNode][]ValueSet{},
+		paramIndex: map[*FuncNode]map[types.Object]int{},
+	}
+
+	for _, n := range g.Nodes() {
+		sig := n.Obj.Type().(*types.Signature)
+		sets := make([]ValueSet, sig.Params().Len())
+		idx := map[types.Object]int{}
+		for i := 0; i < sig.Params().Len(); i++ {
+			p := sig.Params().At(i)
+			if !isIntKind(p.Type()) {
+				sets[i] = topValues()
+				continue
+			}
+			// The signature's param objects may predate a phase-2
+			// re-check; index by the declaration's own Defs objects,
+			// which are the ones the body's Uses resolve to.
+			idx[paramDefObj(n, i)] = i
+		}
+		cp.params[n] = sets
+		cp.paramIndex[n] = idx
+		// A parameter the body reassigns or takes the address of no
+		// longer carries its call-site value.
+		for obj, i := range idx {
+			if obj != nil && paramMutated(n, obj) {
+				cp.params[n][i] = topValues()
+			}
+		}
+	}
+
+	sccs := g.SCCs()
+	// Recursion defeats the single propagation pass; widen.
+	for _, scc := range sccs {
+		recursive := len(scc) > 1
+		if !recursive {
+			for _, site := range scc[0].Calls {
+				if site.Callee == scc[0] {
+					recursive = true
+					break
+				}
+			}
+		}
+		if recursive {
+			for _, n := range scc {
+				for i := range cp.params[n] {
+					cp.params[n][i] = topValues()
+				}
+			}
+		}
+	}
+
+	// One caller-first pass: when a node is visited every contribution
+	// into it has been made, so its outgoing argument evaluations are
+	// final.
+	for i := len(sccs) - 1; i >= 0; i-- {
+		for _, caller := range sccs[i] {
+			for _, site := range caller.Calls {
+				callee := site.Callee
+				if callee == nil {
+					continue
+				}
+				sig := callee.Obj.Type().(*types.Signature)
+				np := sig.Params().Len()
+				for ai, arg := range site.Call.Args {
+					pi := ai
+					if sig.Variadic() && pi >= np-1 {
+						break // variadic tail: not an int tag position
+					}
+					if pi >= np {
+						break
+					}
+					if cp.params[callee][pi].Top {
+						continue
+					}
+					cp.params[callee][pi].merge(cp.EvalInt(caller, arg))
+				}
+			}
+		}
+	}
+	return cp
+}
+
+// Param returns the propagated value set of n's i-th parameter.
+func (cp *ConstProp) Param(n *FuncNode, i int) ValueSet {
+	sets := cp.params[n]
+	if i < 0 || i >= len(sets) {
+		return topValues()
+	}
+	return sets[i]
+}
+
+// EvalInt abstractly evaluates an integer expression in the context of
+// function n: untyped/typed constants evaluate exactly (with symbolic
+// origins for named constants), parameter references yield their
+// propagated sets, and +, -, * combine element-wise. Everything else
+// is Top.
+func (cp *ConstProp) EvalInt(n *FuncNode, e ast.Expr) ValueSet {
+	e = ast.Unparen(e)
+	info := n.Pkg.Info
+	if tv, ok := info.Types[e]; ok && tv.Value != nil {
+		iv := constant.ToInt(tv.Value)
+		if v, exact := constant.Int64Val(iv); exact {
+			return singleValue(v, constOrigin(info, e, v))
+		}
+		return topValues()
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := info.Uses[e]; obj != nil {
+			if i, ok := cp.paramIndex[n][obj]; ok {
+				return cp.Param(n, i)
+			}
+		}
+		return topValues()
+	case *ast.BinaryExpr:
+		l := cp.EvalInt(n, e.X)
+		r := cp.EvalInt(n, e.Y)
+		return combineValues(l, r, e.Op)
+	case *ast.UnaryExpr:
+		if e.Op == token.SUB {
+			v := cp.EvalInt(n, e.X)
+			if !v.Known() {
+				return topValues()
+			}
+			var out ValueSet
+			for _, x := range v.Values {
+				out.add(Value{V: -x.V, Origin: "-" + x.Origin})
+			}
+			return out
+		}
+	}
+	return topValues()
+}
+
+func combineValues(l, r ValueSet, op token.Token) ValueSet {
+	if !l.Known() || !r.Known() {
+		return topValues()
+	}
+	var out ValueSet
+	for _, a := range l.Values {
+		for _, b := range r.Values {
+			var v int64
+			switch op {
+			case token.ADD:
+				v = a.V + b.V
+			case token.SUB:
+				v = a.V - b.V
+			case token.MUL:
+				v = a.V * b.V
+			default:
+				return topValues()
+			}
+			out.add(Value{V: v, Origin: a.Origin + op.String() + b.Origin})
+		}
+	}
+	return out
+}
+
+// constOrigin renders a constant expression's origin: named constants
+// keep their package-qualified name, everything else the literal value.
+func constOrigin(info *types.Info, e ast.Expr, v int64) string {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	case *ast.BinaryExpr:
+		l, lok := info.Types[e.X]
+		r, rok := info.Types[e.Y]
+		if lok && rok && l.Value != nil && r.Value != nil {
+			lv, _ := constant.Int64Val(constant.ToInt(l.Value))
+			rv, _ := constant.Int64Val(constant.ToInt(r.Value))
+			return constOrigin(info, e.X, lv) + e.Op.String() + constOrigin(info, e.Y, rv)
+		}
+	}
+	if id != nil {
+		if c, ok := info.Uses[id].(*types.Const); ok {
+			if c.Pkg() != nil {
+				return c.Pkg().Name() + "." + c.Name()
+			}
+			return c.Name()
+		}
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+func isIntKind(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// paramDefObj returns the defining object of n's i-th parameter from
+// the declaration's field list (nil for unnamed parameters).
+func paramDefObj(n *FuncNode, i int) types.Object {
+	if n.Decl.Type.Params == nil {
+		return nil
+	}
+	k := 0
+	for _, f := range n.Decl.Type.Params.List {
+		names := f.Names
+		if len(names) == 0 {
+			if k == i {
+				return nil
+			}
+			k++
+			continue
+		}
+		for _, name := range names {
+			if k == i {
+				return n.Pkg.Info.Defs[name]
+			}
+			k++
+		}
+	}
+	return nil
+}
+
+// paramMutated reports whether the body reassigns obj, increments it,
+// or takes its address.
+func paramMutated(n *FuncNode, obj types.Object) bool {
+	mutated := false
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		if mutated {
+			return false
+		}
+		switch node := node.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range node.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && n.Pkg.Info.Uses[id] == obj {
+					mutated = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := ast.Unparen(node.X).(*ast.Ident); ok && n.Pkg.Info.Uses[id] == obj {
+				mutated = true
+			}
+		case *ast.UnaryExpr:
+			if node.Op == token.AND {
+				if id, ok := ast.Unparen(node.X).(*ast.Ident); ok && n.Pkg.Info.Uses[id] == obj {
+					mutated = true
+				}
+			}
+		}
+		return !mutated
+	})
+	return mutated
+}
+
+// EvalIntList abstractly executes a function that builds and returns a
+// []int of constants — the decomp.ExchangeTags shape: an accumulator
+// slice, ranges over constant composite literals, bounded counting
+// loops, appends of evaluable expressions, and a final return of the
+// accumulator (possibly wrapped in one more append). Returns ok=false
+// when the body steps outside that shape.
+func EvalIntList(n *FuncNode) (vals []Value, ok bool) {
+	le := &listEval{n: n, info: n.Pkg.Info, env: map[types.Object]Value{}, ok: true}
+	le.stmts(n.Decl.Body.List)
+	if !le.ok || !le.returned {
+		return nil, false
+	}
+	return le.result, true
+}
+
+const listEvalMaxIters = 1024
+
+type listEval struct {
+	n    *FuncNode
+	info *types.Info
+	env  map[types.Object]Value // loop variables bound to concrete values
+
+	acc      types.Object // the accumulator slice variable
+	vals     []Value
+	result   []Value
+	returned bool
+	iters    int
+	ok       bool
+}
+
+func (le *listEval) fail() { le.ok = false }
+
+func (le *listEval) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		if !le.ok || le.returned {
+			return
+		}
+		le.stmt(s)
+	}
+}
+
+func (le *listEval) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		le.assign(s)
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			le.fail()
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok || len(vs.Names) != 1 || len(vs.Values) != 0 {
+				le.fail()
+				return
+			}
+			if le.acc != nil {
+				le.fail()
+				return
+			}
+			le.acc = le.info.Defs[vs.Names[0]]
+			le.vals = nil
+		}
+	case *ast.RangeStmt:
+		le.rangeStmt(s)
+	case *ast.ForStmt:
+		le.forStmt(s)
+	case *ast.ReturnStmt:
+		le.returnStmt(s)
+	case *ast.BlockStmt:
+		le.stmts(s.List)
+	default:
+		le.fail()
+	}
+}
+
+func (le *listEval) assign(s *ast.AssignStmt) {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		le.fail()
+		return
+	}
+	id, ok := s.Lhs[0].(*ast.Ident)
+	if !ok {
+		le.fail()
+		return
+	}
+	rhs := ast.Unparen(s.Rhs[0])
+
+	if s.Tok == token.DEFINE {
+		obj := le.info.Defs[id]
+		switch rhs := rhs.(type) {
+		case *ast.CallExpr: // tags := make([]int, 0, k)
+			if fn, ok := rhs.Fun.(*ast.Ident); ok && fn.Name == "make" && le.acc == nil {
+				le.acc, le.vals = obj, nil
+				return
+			}
+		case *ast.CompositeLit: // tags := []int{c1, c2, ...}
+			if le.acc == nil {
+				elems, ok := le.constElems(rhs)
+				if !ok {
+					le.fail()
+					return
+				}
+				le.acc, le.vals = obj, elems
+				return
+			}
+		}
+		le.fail()
+		return
+	}
+
+	// tags = append(tags, e1, e2, ...)
+	if s.Tok != token.ASSIGN || le.acc == nil || le.info.Uses[id] != le.acc {
+		le.fail()
+		return
+	}
+	args, ok := le.appendArgs(rhs)
+	if !ok {
+		le.fail()
+		return
+	}
+	le.vals = append(le.vals, args...)
+}
+
+// appendArgs unpacks append(acc, e...) and evaluates the appended
+// expressions.
+func (le *listEval) appendArgs(e ast.Expr) ([]Value, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || call.Ellipsis != token.NoPos {
+		return nil, false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" || len(call.Args) < 2 {
+		return nil, false
+	}
+	base, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok || le.info.Uses[base] != le.acc {
+		return nil, false
+	}
+	var out []Value
+	for _, arg := range call.Args[1:] {
+		v, ok := le.eval(arg)
+		if !ok {
+			return nil, false
+		}
+		out = append(out, v)
+	}
+	return out, true
+}
+
+func (le *listEval) rangeStmt(s *ast.RangeStmt) {
+	lit, ok := ast.Unparen(s.X).(*ast.CompositeLit)
+	if !ok {
+		le.fail()
+		return
+	}
+	elems, ok := le.constElems(lit)
+	if !ok {
+		le.fail()
+		return
+	}
+	var valObj types.Object
+	if s.Value != nil {
+		if id, ok := s.Value.(*ast.Ident); ok && id.Name != "_" {
+			valObj = le.info.Defs[id]
+		}
+	}
+	if s.Key != nil {
+		if id, ok := s.Key.(*ast.Ident); ok && id.Name != "_" {
+			le.fail() // index binding unsupported; not the shape
+			return
+		}
+	}
+	for _, el := range elems {
+		if le.iters++; le.iters > listEvalMaxIters {
+			le.fail()
+			return
+		}
+		if valObj != nil {
+			le.env[valObj] = el
+		}
+		le.stmts(s.Body.List)
+		if !le.ok || le.returned {
+			return
+		}
+	}
+	if valObj != nil {
+		delete(le.env, valObj)
+	}
+}
+
+// forStmt executes `for i := lo; i < hi; i++` with constant bounds.
+func (le *listEval) forStmt(s *ast.ForStmt) {
+	init, ok := s.Init.(*ast.AssignStmt)
+	if !ok || init.Tok != token.DEFINE || len(init.Lhs) != 1 || len(init.Rhs) != 1 {
+		le.fail()
+		return
+	}
+	id, ok := init.Lhs[0].(*ast.Ident)
+	if !ok {
+		le.fail()
+		return
+	}
+	obj := le.info.Defs[id]
+	lo, ok := le.eval(init.Rhs[0])
+	if !ok {
+		le.fail()
+		return
+	}
+	cond, ok := s.Cond.(*ast.BinaryExpr)
+	if !ok || (cond.Op != token.LSS && cond.Op != token.LEQ) {
+		le.fail()
+		return
+	}
+	condID, ok := ast.Unparen(cond.X).(*ast.Ident)
+	if !ok || le.info.Uses[condID] != obj {
+		le.fail()
+		return
+	}
+	hi, ok := le.eval(cond.Y)
+	if !ok {
+		le.fail()
+		return
+	}
+	inc, ok := s.Post.(*ast.IncDecStmt)
+	if !ok || inc.Tok != token.INC {
+		le.fail()
+		return
+	}
+	limit := hi.V
+	if cond.Op == token.LEQ {
+		limit++
+	}
+	for i := lo.V; i < limit; i++ {
+		if le.iters++; le.iters > listEvalMaxIters {
+			le.fail()
+			return
+		}
+		le.env[obj] = Value{V: i, Origin: fmt.Sprintf("%d", i)}
+		le.stmts(s.Body.List)
+		if !le.ok || le.returned {
+			return
+		}
+	}
+	delete(le.env, obj)
+}
+
+func (le *listEval) returnStmt(s *ast.ReturnStmt) {
+	if len(s.Results) != 1 {
+		le.fail()
+		return
+	}
+	res := ast.Unparen(s.Results[0])
+	if id, ok := res.(*ast.Ident); ok && le.info.Uses[id] == le.acc {
+		le.result = le.vals
+		le.returned = true
+		return
+	}
+	if lit, ok := res.(*ast.CompositeLit); ok && le.acc == nil {
+		elems, ok := le.constElems(lit)
+		if !ok {
+			le.fail()
+			return
+		}
+		le.result = elems
+		le.returned = true
+		return
+	}
+	if args, ok := le.appendArgs(res); ok {
+		le.result = append(le.vals, args...)
+		le.returned = true
+		return
+	}
+	le.fail()
+}
+
+// constElems evaluates every element of a []int composite literal.
+func (le *listEval) constElems(lit *ast.CompositeLit) ([]Value, bool) {
+	var out []Value
+	for _, el := range lit.Elts {
+		v, ok := le.eval(el)
+		if !ok {
+			return nil, false
+		}
+		out = append(out, v)
+	}
+	return out, true
+}
+
+// eval evaluates an expression to one concrete value using the typed
+// constant info plus the loop-variable environment.
+func (le *listEval) eval(e ast.Expr) (Value, bool) {
+	e = ast.Unparen(e)
+	if tv, ok := le.info.Types[e]; ok && tv.Value != nil {
+		if v, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact {
+			return Value{V: v, Origin: constOrigin(le.info, e, v)}, true
+		}
+		return Value{}, false
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := le.info.Uses[e]; obj != nil {
+			if v, ok := le.env[obj]; ok {
+				return v, true
+			}
+		}
+	case *ast.BinaryExpr:
+		l, lok := le.eval(e.X)
+		r, rok := le.eval(e.Y)
+		if !lok || !rok {
+			return Value{}, false
+		}
+		switch e.Op {
+		case token.ADD:
+			return Value{V: l.V + r.V, Origin: l.Origin + "+" + r.Origin}, true
+		case token.SUB:
+			return Value{V: l.V - r.V, Origin: l.Origin + "-" + r.Origin}, true
+		case token.MUL:
+			return Value{V: l.V * r.V, Origin: l.Origin + "*" + r.Origin}, true
+		}
+	}
+	return Value{}, false
+}

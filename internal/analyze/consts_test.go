@@ -1,0 +1,82 @@
+package analyze
+
+import (
+	"sort"
+	"testing"
+)
+
+// paramInts extracts the sorted concrete values of a parameter's set.
+func paramInts(s ValueSet) []int64 {
+	var out []int64
+	for _, v := range s.Values {
+		out = append(out, v.V)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestConstPropThroughParams(t *testing.T) {
+	pkg, g := loadEngineFixture(t)
+	cp := buildConstProp(g)
+	b := fixtureFunc(t, pkg, g, "B")
+	c := fixtureFunc(t, pkg, g, "C")
+
+	// A calls B(1).
+	if got := paramInts(cp.Param(b, 0)); len(got) != 1 || got[0] != 1 {
+		t.Errorf("Param(B, 0) = %v, want [1]", got)
+	}
+	// C receives x+1 from B (x={1} → 2) and the literal 7 from the
+	// closure in Closure.
+	set := cp.Param(c, 0)
+	if set.Top {
+		t.Fatal("Param(C, 0) is Top; summary propagation lost the values")
+	}
+	if got := paramInts(set); len(got) != 2 || got[0] != 2 || got[1] != 7 {
+		t.Errorf("Param(C, 0) = %v, want [2 7]", got)
+	}
+}
+
+func TestConstPropMutatedParamIsTop(t *testing.T) {
+	pkg, g := loadEngineFixture(t)
+	cp := buildConstProp(g)
+	d := fixtureFunc(t, pkg, g, "D")
+	// Mut reassigns its parameter before passing it on; the forwarded
+	// value must widen to Top rather than report the stale caller value.
+	if !cp.Param(d, 0).Top {
+		t.Errorf("Param(D, 0) = %v, want Top (argument flows through a mutated param)", cp.Param(d, 0))
+	}
+}
+
+func TestConstPropRecursionIsTop(t *testing.T) {
+	pkg, g := loadEngineFixture(t)
+	cp := buildConstProp(g)
+	r := fixtureFunc(t, pkg, g, "R")
+	// One summary iteration cannot bound n-1 chains; recursive SCCs
+	// widen to Top by construction.
+	if !cp.Param(r, 0).Top {
+		t.Errorf("Param(R, 0) = %v, want Top (recursive SCC)", cp.Param(r, 0))
+	}
+}
+
+func TestEvalIntList(t *testing.T) {
+	pkg, g := loadEngineFixture(t)
+	ex := fixtureFunc(t, pkg, g, "ExchangeTags")
+	vals, ok := EvalIntList(ex)
+	if !ok {
+		t.Fatal("EvalIntList failed on the ExchangeTags shape")
+	}
+	var got []int64
+	for _, v := range vals {
+		got = append(got, v.V)
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	want := []int64{4, 5, 10, 11, 99}
+	if len(got) != len(want) {
+		t.Fatalf("EvalIntList = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("EvalIntList = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// detPackages names the packages whose results must be bit-identical
+// across runs and rank counts: the numerics (fd, sphops, mhd), the
+// domain decomposition they run under (decomp), the campaign state
+// machine (core), and the checkpoint format (snapshot). The paper's
+// parallel/serial equivalence tests rest on these staying pure.
+var detPackages = map[string]bool{
+	"fd": true, "sphops": true, "mhd": true,
+	"decomp": true, "core": true, "snapshot": true,
+}
+
+// DetPurity flags nondeterminism sources inside the deterministic
+// packages: wall-clock reads (time.Now/Since/Until), math/rand, and
+// range over a map, whose iteration order varies run to run and can
+// leak into numerics, reductions, or checkpoint layout. Legitimate
+// injection points (a map range whose keys are sorted before use) are
+// whitelisted with a justified //yyvet:ignore.
+var DetPurity = &Analyzer{
+	Name: "det-purity",
+	Doc: "the deterministic packages (fd, sphops, mhd, decomp, core, snapshot) must not read the " +
+		"wall clock, use math/rand, or iterate maps where the order can reach numerics or outputs.",
+	Run: runDetPurity,
+}
+
+func runDetPurity(pass *Pass) error {
+	if !detPackages[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if pkg, name := calledPkgFunc(pass.TypesInfo, n); pkg != "" {
+					switch {
+					case pkg == "time" && (name == "Now" || name == "Since" || name == "Until"):
+						pass.Reportf(n.Pos(),
+							"time.%s in deterministic package %s; wall-clock reads break bit-identical reruns — take timings in the driver or obs layer",
+							name, pass.Pkg.Name())
+					case pkg == "math/rand" || pkg == "math/rand/v2":
+						pass.Reportf(n.Pos(),
+							"%s.%s in deterministic package %s; unseeded randomness breaks bit-identical reruns — thread an explicit seeded source through the params",
+							pkg, name, pass.Pkg.Name())
+					}
+				}
+			case *ast.RangeStmt:
+				if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						pass.Reportf(n.Pos(),
+							"range over map in deterministic package %s; iteration order varies run to run — sort the keys first",
+							pass.Pkg.Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// calledPkgFunc resolves a call to a package-level function of an
+// imported package, returning the import path and function name
+// ("", "") otherwise.
+func calledPkgFunc(info *types.Info, call *ast.CallExpr) (pkgPath, name string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", ""
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return "", "" // method, not a package function
+	}
+	return fn.Pkg().Path(), fn.Name()
+}

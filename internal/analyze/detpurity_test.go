@@ -1,0 +1,10 @@
+package analyze
+
+import "testing"
+
+// TestDetPurity: wall-clock reads, math/rand, and map iteration are
+// flagged inside the deterministic packages; a justified suppression
+// silences the sorted-keys idiom.
+func TestDetPurity(t *testing.T) {
+	runFixture(t, "detpurity", DetPurity)
+}

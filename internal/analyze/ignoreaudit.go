@@ -1,0 +1,26 @@
+package analyze
+
+// IgnoreAudit is the stale-suppression sweep: after every other
+// analyzer of the run has finished, it walks the //yyvet:ignore
+// directives of the module and flags the defective ones — a directive
+// naming an analyzer that does not exist, a directive whose named
+// analyzer ran but suppressed nothing on that line (the finding it once
+// silenced is gone; the directive is stale), and a directive with no
+// justification text. It has no Run/RunModule body: the driver runs it
+// as a dedicated audit phase so every directive's used-flag is final
+// when inspected.
+var IgnoreAudit = &Analyzer{
+	Name: "ignore-audit",
+	Doc: "//yyvet:ignore directives must name a real analyzer, still suppress a finding, " +
+		"and carry a justification; stale or bare directives are flagged for deletion.",
+}
+
+// knownAnalyzerNames returns the name set of the full suite, the
+// universe the audit checks directive names against.
+func knownAnalyzerNames() map[string]bool {
+	names := map[string]bool{}
+	for _, a := range All() {
+		names[a.Name] = true
+	}
+	return names
+}

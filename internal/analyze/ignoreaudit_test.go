@@ -1,0 +1,51 @@
+package analyze
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestIgnoreAudit asserts the audit findings explicitly instead of via
+// want comments: a want comment cannot share a line with the directive
+// it describes, because the directive IS the flagged line.
+func TestIgnoreAudit(t *testing.T) {
+	pkg, err := LoadDir(filepath.Join("testdata", "ignoreaudit"), "fixture/ignoreaudit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := Run([]*Package{pkg}, []*Analyzer{FloatEq, IgnoreAudit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := []struct {
+		line     int
+		analyzer string
+		sub      string
+	}{
+		{12, "ignore-audit", "suppresses nothing"},
+		{17, "ignore-audit", "unknown analyzer no-such-analyzer"},
+		{18, "float-eq", "compared with =="}, // the unknown name suppresses nothing
+		{22, "ignore-audit", "lacks a justification"},
+	}
+	if len(findings) != len(wants) {
+		t.Fatalf("got %d findings, want %d:\n%v", len(findings), len(wants), findings)
+	}
+	for _, w := range wants {
+		found := false
+		for _, f := range findings {
+			if f.Pos.Line == w.line && f.Analyzer == w.analyzer && strings.Contains(f.Message, w.sub) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing %s finding at line %d containing %q\ngot: %v", w.analyzer, w.line, w.sub, findings)
+		}
+	}
+	// The live, justified directive on line 7 must produce nothing.
+	for _, f := range findings {
+		if f.Pos.Line == 7 || f.Pos.Line == 8 {
+			t.Errorf("live directive was flagged: %s", f)
+		}
+	}
+}

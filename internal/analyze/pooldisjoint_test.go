@@ -1,0 +1,10 @@
+package analyze
+
+import "testing"
+
+// TestPoolDisjoint: captured-scalar accumulation and writes not indexed
+// by the tile range are flagged inside Pool.For closures; tile-derived
+// index chains and closure-local scalars are not.
+func TestPoolDisjoint(t *testing.T) {
+	runFixture(t, "pooldisjoint", PoolDisjoint)
+}

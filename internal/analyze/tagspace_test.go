@@ -1,0 +1,11 @@
+package analyze
+
+import "testing"
+
+// TestTagSpace: negative tags are flagged both at literal call sites
+// and where a negative value arrives through a parameter summary.
+// Cross-package collision and ExchangeTags coverage need a multi-package
+// module and are exercised by the cmd/yyvet smoke modules.
+func TestTagSpace(t *testing.T) {
+	runFixture(t, "tagspace", TagSpace)
+}

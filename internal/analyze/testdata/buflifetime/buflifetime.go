@@ -1,0 +1,90 @@
+// Package mpi fixture: free-list handle lifetimes — use-after-put,
+// double-put, and per-return-path leaks, plus the clean shapes the
+// analyzer must not flag (wrapper release, deferred release, escape).
+package mpi
+
+type context struct{ pool [][]float64 }
+
+func (ctx *context) getBuf(n int) []float64 { return make([]float64, n) }
+
+func (ctx *context) putBuf(b []float64) { ctx.pool = append(ctx.pool, b) }
+
+func release(ctx *context, b []float64) { ctx.putBuf(b) }
+
+func useAfterPut(ctx *context) float64 {
+	b := ctx.getBuf(4)
+	ctx.putBuf(b)
+	return b[0] // want "used after being released"
+}
+
+func doublePut(ctx *context) {
+	b := ctx.getBuf(4)
+	ctx.putBuf(b)
+	ctx.putBuf(b) // want "already released"
+}
+
+func doublePutViaWrapper(ctx *context) {
+	b := ctx.getBuf(4)
+	release(ctx, b)
+	ctx.putBuf(b) // want "already released"
+}
+
+func leakOnEarlyReturn(ctx *context, short bool) int {
+	b := ctx.getBuf(4)
+	if short {
+		return 0 // want "leaks on this return path"
+	}
+	ctx.putBuf(b)
+	return 1
+}
+
+func leakOnFallOff(ctx *context, n int) {
+	b := ctx.getBuf(n)
+	b[0] = 1
+} // want "leaks on this return path"
+
+func putOnOneBranchOnly(ctx *context, c bool) float64 {
+	b := ctx.getBuf(4)
+	if c {
+		ctx.putBuf(b)
+	}
+	return b[0] // want "used after being released"
+}
+
+func acquireAfterBranch(ctx *context, c bool) int {
+	if c {
+		return 0
+	}
+	b := ctx.getBuf(4)
+	b[0] = 1
+	return 1 // want "leaks on this return path"
+}
+
+func cleanDirect(ctx *context) {
+	b := ctx.getBuf(4)
+	b[0] = 1
+	ctx.putBuf(b)
+}
+
+func cleanWrapper(ctx *context) float64 {
+	b := ctx.getBuf(4)
+	v := b[0]
+	release(ctx, b)
+	return v
+}
+
+func cleanDeferred(ctx *context) float64 {
+	b := ctx.getBuf(4)
+	defer ctx.putBuf(b)
+	return b[0]
+}
+
+func cleanEscapeReturn(ctx *context) []float64 {
+	b := ctx.getBuf(4)
+	return b
+}
+
+func cleanEscapeSend(ctx *context, sink chan []float64) {
+	b := ctx.getBuf(4)
+	sink <- b
+}

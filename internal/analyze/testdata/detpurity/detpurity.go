@@ -1,0 +1,38 @@
+// Package mhd fixture: nondeterminism sources inside a bit-identical
+// package — wall-clock reads, math/rand, and map iteration order — plus
+// a justified suppression the analyzer must honour.
+package mhd
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() time.Time {
+	return time.Now() // want "time.Now in deterministic package"
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since in deterministic package"
+}
+
+func jitter() float64 {
+	return rand.Float64() // want "math/rand.Float64 in deterministic package"
+}
+
+func sum(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m { // want "range over map in deterministic package"
+		s += v
+	}
+	return s
+}
+
+func sortedKeys(m map[int]float64) []int {
+	keys := make([]int, 0, len(m))
+	//yyvet:ignore det-purity keys are sorted by the caller before use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,49 @@
+// Package engine is the unit-test fixture for the interprocedural
+// machinery: call-graph edges, SCC ordering, closure attribution,
+// constant propagation through parameters, and the ExchangeTags
+// list-shape evaluator.
+package engine
+
+const base = 4
+
+func A() { B(1) }
+
+func B(x int) { C(x + 1) }
+
+func C(y int) {}
+
+func Closure() {
+	f := func() { C(7) }
+	f()
+}
+
+func Loop() { Loop2() }
+
+func Loop2() { Loop() }
+
+func R(n int) {
+	if n > 0 {
+		R(n - 1)
+	}
+}
+
+func CallR() { R(3) }
+
+func Mut(m int) {
+	m = 9
+	D(m)
+}
+
+func CallMut() { Mut(1) }
+
+func D(z int) {}
+
+func ExchangeTags() []int {
+	tags := make([]int, 0, 5)
+	for _, b := range []int{base, 10} {
+		for d := 0; d < 2; d++ {
+			tags = append(tags, b+d)
+		}
+	}
+	return append(tags, 99)
+}

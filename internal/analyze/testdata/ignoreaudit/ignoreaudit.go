@@ -1,0 +1,24 @@
+// Package fixture seeds the three defective directive shapes — stale,
+// unknown analyzer, missing justification — next to one live, justified
+// directive that the audit must leave alone.
+package fixture
+
+func live(a, b float64) bool {
+	//yyvet:ignore float-eq the values are exact powers of two by construction
+	return a == b
+}
+
+func stale() int {
+	//yyvet:ignore float-eq nothing below compares floats
+	return 1
+}
+
+func unknown(a, b float64) bool {
+	//yyvet:ignore no-such-analyzer typo in the name
+	return a == b
+}
+
+func unjustified(a, b float64) bool {
+	//yyvet:ignore float-eq
+	return a == b
+}

@@ -1,0 +1,61 @@
+// Package par fixture: tile closures passed to Pool.For must write
+// only through tile-derived indices; captured-scalar accumulation and
+// fixed-index writes race between tiles.
+package par
+
+type Pool struct{}
+
+func (p *Pool) For(n int, fn func(lo, hi int)) { fn(0, n) }
+
+func badAccumulate(p *Pool, xs []float64) float64 {
+	var sum float64
+	p.For(len(xs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sum += xs[i] // want "accumulation into captured sum"
+		}
+	})
+	return sum
+}
+
+func badFixedIndex(p *Pool, out []float64) {
+	p.For(len(out), func(lo, hi int) {
+		out[0] = 1 // want "not indexed by the tile range"
+	})
+}
+
+func badCount(p *Pool, n int) int {
+	var count int
+	p.For(n, func(lo, hi int) {
+		count++ // want "accumulation into captured count"
+	})
+	return count
+}
+
+func goodTileIndexed(p *Pool, out []float64) {
+	p.For(len(out), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = float64(i)
+		}
+	})
+}
+
+func goodDerivedLocal(p *Pool, out []float64) {
+	p.For(len(out), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			j := i + 1
+			if j < len(out) {
+				out[j-1] = 2
+			}
+		}
+	})
+}
+
+func goodLocalScalar(p *Pool, out []float64) {
+	p.For(len(out), func(lo, hi int) {
+		var acc float64
+		for i := lo; i < hi; i++ {
+			acc += 1
+			out[i] = acc
+		}
+	})
+}

@@ -1,0 +1,25 @@
+// Package mpi fixture: negative message tags, both literal at the call
+// site and flowing into a helper through a parameter summary.
+package mpi
+
+type Comm struct{}
+
+func (c *Comm) Send(dst, tag int, data []float64) {}
+
+func (c *Comm) Recv(src, tag int, buf []float64) int { return 0 }
+
+func (c *Comm) Irecv(src, tag int, buf []float64) int { return 0 }
+
+func direct(c *Comm) {
+	c.Send(1, 3, nil)
+	c.Send(1, -3, nil) // want "negative tag -3"
+}
+
+func callers(c *Comm) {
+	forward(c, 5)
+	forward(c, -7)
+}
+
+func forward(c *Comm, tag int) {
+	c.Recv(0, tag, nil) // want "negative tag -7"
+}

@@ -46,7 +46,6 @@ func TestHaloPackRoundTrip(t *testing.T) {
 	mustEqualRow := func(name string, got, want []float64) {
 		t.Helper()
 		for i := range want {
-			//yyvet:ignore float-eq pack/unpack must be the exact identity
 			if got[i] != want[i] {
 				t.Fatalf("%s: row corrupted at %d: got %v want %v", name, i, got[i], want[i])
 			}
@@ -116,7 +115,6 @@ func TestHaloPackZeroAlloc(t *testing.T) {
 		_ = hb.RecvTheta(8, dirSouth)
 		_ = hb.RecvCells(8, 2, dirWest)
 	})
-	//yyvet:ignore float-eq AllocsPerRun returns an exact small integer
 	if allocs != 0 {
 		t.Fatalf("halo pack/unpack allocates %v allocs/op in steady state, want 0", allocs)
 	}
@@ -236,7 +234,6 @@ func TestWorkersMatchSerial(t *testing.T) {
 		for vi, f := range pl.U.Scalars() {
 			g := ps.U.Scalars()[vi]
 			for n := range f.Data {
-				//yyvet:ignore float-eq bit-identity is the property under test
 				if f.Data[n] != g.Data[n] {
 					t.Fatalf("panel %d var %d index %d: serial %x pooled %x",
 						pi, vi, n, f.Data[n], g.Data[n])

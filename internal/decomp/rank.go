@@ -202,6 +202,7 @@ func (r *Rank) buildOversetPlan() error {
 
 func sortedKeys(m map[int][]overset.Target) []int {
 	keys := make([]int, 0, len(m))
+	//yyvet:ignore det-purity the keys are insertion-sorted immediately below, so the collection order never escapes
 	for k := range m {
 		keys = append(keys, k)
 	}

@@ -33,7 +33,6 @@ func TestPooledKernelsBitIdentical(t *testing.T) {
 	}
 	serial := run(1)
 	pooled := run(3)
-	//yyvet:ignore float-eq bit-identity is the property under test
 	if serial.Time != pooled.Time {
 		t.Fatalf("time diverged: serial %x pooled %x", serial.Time, pooled.Time)
 	}
@@ -42,7 +41,6 @@ func TestPooledKernelsBitIdentical(t *testing.T) {
 		for vi, f := range pl.U.Scalars() {
 			g := pp.U.Scalars()[vi]
 			for n := range f.Data {
-				//yyvet:ignore float-eq bit-identity is the property under test
 				if f.Data[n] != g.Data[n] {
 					t.Fatalf("panel %d var %d index %d: serial %x pooled %x",
 						pi, vi, n, f.Data[n], g.Data[n])

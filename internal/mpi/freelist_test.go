@@ -17,7 +17,6 @@ func TestPayloadFreeListZeroAlloc(t *testing.T) {
 		b := ctx.getBuf(4096)
 		ctx.putBuf(b)
 	})
-	//yyvet:ignore float-eq AllocsPerRun returns an exact small integer
 	if allocs != 0 {
 		t.Fatalf("payload free list allocates %v allocs/op in steady state, want 0", allocs)
 	}
@@ -50,7 +49,6 @@ func TestSendRecvRecyclesPayload(t *testing.T) {
 			req := c.Irecv(peer, 3, in)
 			c.Send(peer, 3, out)
 			req.Wait()
-			//yyvet:ignore float-eq small-integer payload survives the copy exactly
 			if in[0] != float64(round) {
 				c.Abort(fmt.Errorf("round %d: got %v", round, in[0]))
 			}

@@ -50,7 +50,7 @@ func TestIrecvPeerValidation(t *testing.T) {
 					var buf [1]float64
 					// Deliberately never Wait: the up-front validation
 					// must fail the rank anyway.
-					c.Irecv(tc.src, 0, buf[:]) //yyvet:ignore irecv-wait
+					c.Irecv(tc.src, 0, buf[:])
 				}
 			})
 			if err == nil || !strings.Contains(err.Error(), tc.want) {

@@ -54,7 +54,6 @@ func TestSampleEntryMatchesInterpAt(t *testing.T) {
 			for _, i := range []int{h, h + p.Nr/2, h + p.Nr - 1} {
 				got := e.Sample(f, h, i)
 				want := InterpAt(p, f, theta, phi, i)
-				//yyvet:ignore float-eq bit-identity of cached vs recomputed weights is the property under test
 				if got != want {
 					t.Fatalf("theta=%v phi=%v i=%d: table %x recomputed %x",
 						theta, phi, i, got, want)
@@ -87,7 +86,6 @@ func TestOverlapTableMatchesRecomputed(t *testing.T) {
 				n, cs.J, cs.K, cs.E.DJ, cs.E.DK, fs.J, fs.K, fs.E.DJ, fs.E.DK)
 		}
 		for w := range cs.E.W {
-			//yyvet:ignore float-eq weight-table equality vs recomputed values is the pinned property
 			if cs.E.W[w] != fs.E.W[w] {
 				t.Fatalf("sample %d weight %d: cached %x recomputed %x",
 					n, w, cs.E.W[w], fs.E.W[w])

@@ -125,7 +125,6 @@ func TestForBitIdentical(t *testing.T) {
 			got := make([]float64, n)
 			kernel(p, got)
 			for i := range got {
-				//yyvet:ignore float-eq bit-identity is the property under test
 				if got[i] != ref[i] {
 					t.Fatalf("workers=%d rep=%d: out[%d] = %x, serial %x", workers, rep, i, got[i], ref[i])
 				}
@@ -164,7 +163,6 @@ func TestReduceMaxMatchesSerial(t *testing.T) {
 		p := NewPool(workers)
 		for rep := 0; rep < 5; rep++ {
 			got := p.ReduceMax(n, tileMax)
-			//yyvet:ignore float-eq bit-identity is the property under test
 			if got != serial {
 				t.Fatalf("workers=%d: ReduceMax = %x, serial %x", workers, got, serial)
 			}
@@ -189,7 +187,6 @@ func TestPoolReuseStress(t *testing.T) {
 		})
 	}
 	for i, v := range data {
-		//yyvet:ignore float-eq small-integer float accumulation is exact
 		if v != 200 {
 			t.Fatalf("data[%d] = %v, want 200", i, v)
 		}
@@ -216,7 +213,6 @@ func TestConcurrentPools(t *testing.T) {
 				})
 			}
 			for i := range out {
-				//yyvet:ignore float-eq exact integer-valued floats
 				if out[i] != float64(rank*49+i) {
 					t.Errorf("rank %d: out[%d] = %v", rank, i, out[i])
 					return

@@ -128,7 +128,6 @@ func TestResumeFromDisk(t *testing.T) {
 	// half bit-for-bit (the trajectory, dts included, is identical).
 	wantDTs := append(append([]float64{}, first.DTs...), resumed.DTs...)
 	for i, dt := range ref.DTs {
-		//yyvet:ignore float-eq bit-identity is the property under test
 		if wantDTs[i] != dt {
 			t.Errorf("segment %d dt: interrupted %v, uninterrupted %v", i, wantDTs[i], dt)
 		}

@@ -6,9 +6,13 @@
 #   1. go build      — everything compiles
 #   2. go vet        — the standard toolchain analyzers
 #   3. yyvet         — the repo-specific invariant analyzers
-#                      (internal/analyze: irecv-wait, pow2-stride,
+#                      (internal/analyze), run package-parallel:
+#                      per-function walks (irecv-wait, pow2-stride,
 #                      float-eq, cond-wait-loop, abort-on-err,
-#                      runwith-deadline, span-end)
+#                      runwith-deadline, span-end, det-purity,
+#                      pool-disjoint) plus the interprocedural passes
+#                      (tag-space, buf-lifetime) and the directive
+#                      audit (ignore-audit)
 #   4. go test       — the full test suite; the explicit -timeout turns
 #                      any residual runtime wedge into a stack-dumped
 #                      failure instead of a hung CI job
@@ -35,8 +39,11 @@ go build ./...
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> go run ./cmd/yyvet ./..."
-go run ./cmd/yyvet ./...
+# -p 0 sizes the analysis pool to GOMAXPROCS; CI can cap it by
+# exporting YYVET_PROCS. -json feeds the CI artifact when YYVET_JSON is
+# set (the plain lines still go to the log either way).
+echo "==> go run ./cmd/yyvet -p \${YYVET_PROCS:-0} ./..."
+go run ./cmd/yyvet -p "${YYVET_PROCS:-0}" ${YYVET_JSON:+-json "$YYVET_JSON"} ${YYVET_GITHUB:+-github} ./...
 
 echo "==> go test -timeout 120s ./..."
 go test -timeout 120s ./...
