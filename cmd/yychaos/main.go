@@ -7,8 +7,14 @@
 //
 // Usage:
 //
-//	yychaos [-seeds 25] [-seed0 0] [-steps 5] [-nprocs 2] [-nr 9] [-nt 13] [-v]
+//	yychaos [-seeds 25] [-seed0 0] [-steps 5] [-nprocs 2] [-nr 9] [-nt 13] [-artifacts dir] [-v]
 //	yychaos -corpus internal/chaos/testdata/corpus.json
+//	yychaos -corpus internal/chaos/testdata/corpus_replace.json
+//
+// The second corpus replays the rank-replacement regression scenarios
+// (kill → heartbeat confirm → surgical respawn). With -artifacts set,
+// any violating campaign leaves its postmortem.txt and event timeline
+// in that directory for CI to upload.
 //
 // A violating seed is minimized to a locally minimal reproducer and
 // printed as a ready-to-commit corpus entry.
@@ -26,18 +32,19 @@ import (
 
 func main() {
 	var (
-		seeds   = flag.Int("seeds", 25, "number of seeded scenarios to run")
-		seed0   = flag.Uint64("seed0", 0, "first seed")
-		steps   = flag.Int("steps", 5, "solver steps per scenario")
-		nprocs  = flag.Int("nprocs", 2, "world size")
-		nr      = flag.Int("nr", 9, "radial grid size")
-		nt      = flag.Int("nt", 13, "latitudinal grid size")
-		corpus  = flag.String("corpus", "", "replay a committed corpus file instead of fuzzing seeds")
-		verbose = flag.Bool("v", false, "print one line per scenario")
+		seeds     = flag.Int("seeds", 25, "number of seeded scenarios to run")
+		seed0     = flag.Uint64("seed0", 0, "first seed")
+		steps     = flag.Int("steps", 5, "solver steps per scenario")
+		nprocs    = flag.Int("nprocs", 2, "world size")
+		nr        = flag.Int("nr", 9, "radial grid size")
+		nt        = flag.Int("nt", 13, "latitudinal grid size")
+		corpus    = flag.String("corpus", "", "replay a committed corpus file instead of fuzzing seeds")
+		artifacts = flag.String("artifacts", "", "directory collecting postmortem + event-timeline artifacts of violating scenarios")
+		verbose   = flag.Bool("v", false, "print one line per scenario")
 	)
 	flag.Parse()
 
-	r := chaos.NewRunner(chaos.Config{NProcs: *nprocs, Steps: *steps, Nr: *nr, Nt: *nt})
+	r := chaos.NewRunner(chaos.Config{NProcs: *nprocs, Steps: *steps, Nr: *nr, Nt: *nt, ArtifactDir: *artifacts})
 	if *corpus != "" {
 		os.Exit(replay(r, *corpus, *verbose))
 	}

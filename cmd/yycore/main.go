@@ -50,6 +50,8 @@ func main() {
 		retries   = flag.Int("retries", 3, "campaign: retry budget per segment")
 		backoff   = flag.Float64("backoff", 0.5, "campaign: dt multiplier per blow-up retry")
 		deadline  = flag.Duration("deadline", 0, "campaign: per-call communication deadline (0 = none)")
+		replace   = flag.Bool("replace", false, "campaign: respawn a confirmed-dead rank from the segment checkpoint instead of rolling the whole segment back")
+		hbEvery   = flag.Duration("hb", 0, "campaign: heartbeat interval for silent-death detection (0 = off)")
 
 		trace     = flag.String("trace", "", "record per-rank phase spans and write a Chrome trace_event JSON here (view in ui.perfetto.dev)")
 		runreport = flag.String("runreport", "", "write a PROGINF-style run report here at the end (\"-\" = stdout)")
@@ -85,7 +87,7 @@ func main() {
 		}
 		fmt.Printf("campaign: %d steps on %d ranks, checkpoint every %d steps in %s\n",
 			*steps, np, *ckptEvery, *campaign)
-		res, err := resilience.RunCampaign(resilience.Config{
+		rcfg := resilience.Config{
 			Core:            cfg,
 			NProcs:          np,
 			Steps:           *steps,
@@ -96,7 +98,14 @@ func main() {
 			Deadline:        *deadline,
 			Obs:             rec,
 			Events:          events,
-		})
+		}
+		if *hbEvery > 0 {
+			rcfg.Heartbeat = &mpi.Heartbeat{Interval: *hbEvery}
+		}
+		if *replace {
+			rcfg.Replace = &mpi.Elastic{}
+		}
+		res, err := resilience.RunCampaign(rcfg)
 		if res != nil {
 			if res.Resumed {
 				fmt.Printf("resumed from checkpoint at step %d\n", res.StartStep)
@@ -106,6 +115,9 @@ func main() {
 			}
 			if res.Retries > 0 {
 				fmt.Printf("recovered from %d failed segment attempt(s)\n", res.Retries)
+			}
+			for _, rd := range res.Recoveries {
+				fmt.Printf("recovery: %s\n", rd)
 			}
 		}
 		if err != nil {

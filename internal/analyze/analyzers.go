@@ -15,5 +15,6 @@ func All() []*Analyzer {
 		RunWithDeadline,
 		SpanEnd,
 		TagSpace,
+		TypedErr,
 	}
 }

@@ -1,0 +1,82 @@
+// Package typederr is a typed-err fixture: rank failures recognized by
+// err.Error() text are flagged; typed errors.As/errors.Is matching,
+// non-fingerprint text checks and plain-string matching are clean.
+package typederr
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// RankFailedError mirrors the runtime's typed rank-failure error.
+type RankFailedError struct {
+	Rank, Step int
+	Silent     bool
+}
+
+func (e *RankFailedError) Error() string {
+	if e.Silent {
+		return fmt.Sprintf("mpi: rank %d failed: heartbeat silent", e.Rank)
+	}
+	return fmt.Sprintf("mpi: fault injection killed rank %d at step %d", e.Rank, e.Step)
+}
+
+func badContains(err error) bool {
+	return strings.Contains(err.Error(), "killed rank 1 at step 3") // want "use errors.As"
+}
+
+func badContainsReversed(err error) bool {
+	// Fingerprint literal as the haystack, err text as the needle —
+	// backwards but still a fingerprint match.
+	return strings.Contains("mpi: fault injection killed rank 1", err.Error()) // want "use errors.As"
+}
+
+func badPrefix(err error) bool {
+	return strings.HasPrefix(err.Error(), "mpi: fault injection killed rank") // want "use errors.As"
+}
+
+func badSuffix(err error) bool {
+	return strings.HasSuffix(err.Error(), "rank 2 failed") // want "use errors.As"
+}
+
+func badHeartbeat(err error) bool {
+	return strings.Contains(err.Error(), "heartbeat silent") // want "use errors.As"
+}
+
+func badEquality(err error) bool {
+	return err.Error() == "mpi: fault injection killed rank 0 at step 2" // want "use errors.As"
+}
+
+func badInequality(err error) bool {
+	return err.Error() != "mpi: rank 1 failed: heartbeat silent" // want "use errors.As"
+}
+
+func badOnConcrete(e *RankFailedError) bool {
+	return strings.Contains(e.Error(), "killed rank") // want "use errors.As"
+}
+
+func typedMatchIsFine(err error) (int, bool) {
+	var rf *RankFailedError
+	if errors.As(err, &rf) {
+		return rf.Rank, true
+	}
+	return 0, false
+}
+
+func nonFingerprintTextIsFine(err error) bool {
+	// Matching other error text is outside this analyzer's contract
+	// (deadline dumps, validation messages, ...).
+	return strings.Contains(err.Error(), "deadline")
+}
+
+func plainStringsAreFine(s string) bool {
+	// Fingerprint text against a plain string — no error involved, e.g.
+	// grepping a log file.
+	return strings.Contains(s, "killed rank")
+}
+
+func suppressedIsFine(err error) bool {
+	//yyvet:ignore typed-err fixture: asserting the rendered message itself
+	return strings.Contains(err.Error(), "killed rank 9")
+}

@@ -1,0 +1,139 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strconv"
+)
+
+// rankFailureText matches the message fragments of the runtime's typed
+// rank-failure errors: the fault-injection kill ("mpi: fault injection
+// killed rank 2 at step 1"), the heartbeat confirmation ("mpi: rank 1
+// failed: heartbeat silent for 40ms") and the generic "rank N failed"
+// spelling. A string literal matching one of these next to err.Error()
+// is a fingerprint check in disguise.
+var rankFailureText = regexp.MustCompile(`killed rank|heartbeat silent|rank \d+ failed`)
+
+// TypedErr reports code that recognizes a rank failure by matching
+// err.Error() text — strings.Contains/HasPrefix/HasSuffix or ==/!=
+// against a literal carrying a rank-failure fingerprint — in both
+// production and test files.
+//
+// Paper provenance: the elastic runtime's recovery policy branches on
+// WHICH rank died (replace it) versus any other failure (roll the
+// campaign back); that decision rides on *mpi.RankFailedError and must
+// be made with errors.As/errors.Is. A string match is invisible to the
+// compiler, silently disarms when the message is reworded, and cannot
+// carry the rank/step/silence fields the replacement fence needs.
+var TypedErr = &Analyzer{
+	Name: "typed-err",
+	Doc: "rank-failure errors recognized by err.Error() text; match the typed " +
+		"*mpi.RankFailedError with errors.As/errors.Is instead",
+	Run: runTypedErr,
+}
+
+func runTypedErr(pass *Pass) error {
+	// Tests are in scope: a regression test pinning failure text is
+	// exactly the check that rots when the message changes.
+	files := make([]*ast.File, 0, len(pass.Files)+len(pass.TestFiles))
+	files = append(files, pass.Files...)
+	files = append(files, pass.TestFiles...)
+	for _, file := range files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				checkTypedErrCall(pass, x)
+			case *ast.BinaryExpr:
+				checkTypedErrCmp(pass, x)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkTypedErrCall flags strings.Contains/HasPrefix/HasSuffix where
+// one argument is err.Error() and the other a rank-failure literal.
+func checkTypedErrCall(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 2 {
+		return
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok || pkg.Name != "strings" {
+		return
+	}
+	switch sel.Sel.Name {
+	case "Contains", "HasPrefix", "HasSuffix":
+	default:
+		return
+	}
+	for i, arg := range call.Args {
+		lit, ok := rankFailureLiteral(arg)
+		if !ok {
+			continue
+		}
+		if isErrorText(pass, call.Args[1-i]) {
+			pass.Reportf(call.Pos(), "rank failure recognized by strings.%s on err.Error() (%q): use errors.As with *mpi.RankFailedError instead",
+				sel.Sel.Name, lit)
+			return
+		}
+	}
+}
+
+// checkTypedErrCmp flags == / != between err.Error() and a
+// rank-failure literal.
+func checkTypedErrCmp(pass *Pass, bin *ast.BinaryExpr) {
+	if bin.Op != token.EQL && bin.Op != token.NEQ {
+		return
+	}
+	for _, pair := range [2][2]ast.Expr{{bin.X, bin.Y}, {bin.Y, bin.X}} {
+		lit, ok := rankFailureLiteral(pair[0])
+		if !ok {
+			continue
+		}
+		if isErrorText(pass, pair[1]) {
+			pass.Reportf(bin.OpPos, "rank failure recognized by comparing err.Error() %s %q: use errors.As with *mpi.RankFailedError instead",
+				bin.Op, lit)
+			return
+		}
+	}
+}
+
+// rankFailureLiteral reports whether e is a string literal carrying a
+// rank-failure fingerprint, returning its value.
+func rankFailureLiteral(e ast.Expr) (string, bool) {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, rankFailureText.MatchString(s)
+}
+
+// isErrorText reports whether e is a no-argument Error() call on an
+// error-typed value.
+func isErrorText(pass *Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	iface, ok := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	return types.Implements(tv.Type, iface)
+}

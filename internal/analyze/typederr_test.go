@@ -1,0 +1,35 @@
+package analyze
+
+import "testing"
+
+// TestTypedErr runs the analyzer over its fixture: rank failures
+// recognized via err.Error() text are true positives; errors.As
+// matching, non-fingerprint text and plain-string matching are clean.
+func TestTypedErr(t *testing.T) {
+	runFixture(t, "typederr", TypedErr)
+}
+
+// TestRankFailureFingerprints pins which literals count as
+// rank-failure text.
+func TestRankFailureFingerprints(t *testing.T) {
+	cases := []struct {
+		lit  string
+		want bool
+	}{
+		{"mpi: fault injection killed rank 1 at step 3", true},
+		{"killed rank", true},
+		{"heartbeat silent for 40ms", true},
+		{"mpi: rank 2 failed: heartbeat silent", true},
+		{"rank 11 failed", true},
+		{"deadline", false},
+		{"rank 1 panicked", false},
+		{"reliable transport gave up", false},
+		{"ranks failed to converge", false},
+		{"", false},
+	}
+	for _, c := range cases {
+		if got := rankFailureText.MatchString(c.lit); got != c.want {
+			t.Errorf("rankFailureText(%q) = %v, want %v", c.lit, got, c.want)
+		}
+	}
+}

@@ -48,6 +48,11 @@ type Config struct {
 	WedgeTimeout time.Duration
 	// MaxFaults bounds the message faults per scenario (default 6).
 	MaxFaults int
+	// ArtifactDir, when set, collects diagnostics for every violating
+	// scenario: the failed campaign's postmortem.txt and the run's event
+	// timeline, named after the scenario — what a CI job uploads when a
+	// chaos stage goes red. Empty disables collection.
+	ArtifactDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -139,6 +144,11 @@ type Scenario struct {
 	Name   string      `json:"name,omitempty"` // corpus entries only
 	Faults []FaultSpec `json:"faults,omitempty"`
 	Kills  []KillSpec  `json:"kills,omitempty"`
+	// Replace runs the kill schedule under elastic rank replacement:
+	// confirmed-dead ranks are respawned from the segment checkpoint
+	// instead of costing a whole-segment rollback. The verdict demands
+	// the same liveness and golden byte-identity either way.
+	Replace bool `json:"replace,omitempty"`
 }
 
 func (sc Scenario) String() string {
@@ -151,6 +161,9 @@ func (sc Scenario) String() string {
 	}
 	for _, k := range sc.Kills {
 		s += "; " + k.String()
+	}
+	if sc.Replace {
+		s += "; replace"
 	}
 	return s
 }
@@ -224,6 +237,10 @@ func GenScenario(seed uint64, cfg Config) Scenario {
 			Step:   1 + g.intn(cfg.Steps),
 			Silent: g.intn(2) == 1,
 		})
+		// Half the kill schedules recover by surgical rank replacement,
+		// the other half by the rollback ladder — both must converge to
+		// the same bytes.
+		sc.Replace = g.intn(2) == 1
 	}
 	return sc
 }

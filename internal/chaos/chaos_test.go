@@ -1,9 +1,14 @@
 package chaos
 
 import (
+	"os"
+	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/mpi"
 )
 
 // TestGenScenarioDeterministic: scenario generation is a pure function
@@ -39,15 +44,20 @@ func TestChaosSmoke(t *testing.T) {
 	}
 }
 
-// TestCorpusReplay replays the committed regression corpus: every entry
-// must reproduce its recorded verdict, deterministically.
+// TestCorpusReplay replays the committed regression corpora — the
+// message-fault/rollback corpus and the rank-replacement corpus: every
+// entry must reproduce its recorded verdict, deterministically.
 func TestCorpusReplay(t *testing.T) {
-	entries, err := LoadCorpus("testdata/corpus.json")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(entries) == 0 {
-		t.Fatal("empty corpus")
+	var entries []CorpusEntry
+	for _, path := range []string{"testdata/corpus.json", "testdata/corpus_replace.json"} {
+		part, err := LoadCorpus(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(part) == 0 {
+			t.Fatalf("empty corpus %s", path)
+		}
+		entries = append(entries, part...)
 	}
 	r := NewRunner(Config{})
 	for _, e := range entries {
@@ -93,6 +103,64 @@ func TestMinimize(t *testing.T) {
 	}
 	if min.Faults[0].Tag != 77 || !min.Kills[0].Silent {
 		t.Fatalf("minimizer kept the wrong schedule: %s", min)
+	}
+}
+
+// TestGenScenarioReplaceArm: the generator exercises both recovery
+// arms — some kill schedules carry Replace, some do not, and Replace
+// never appears without a kill.
+func TestGenScenarioReplaceArm(t *testing.T) {
+	cfg := Config{}
+	var withReplace, withoutReplace int
+	for seed := uint64(0); seed < 200; seed++ {
+		sc := GenScenario(seed, cfg)
+		if sc.Replace && len(sc.Kills) == 0 {
+			t.Fatalf("seed %d: replace set on a kill-free scenario: %s", seed, sc)
+		}
+		if len(sc.Kills) > 0 {
+			if sc.Replace {
+				withReplace++
+			} else {
+				withoutReplace++
+			}
+		}
+	}
+	if withReplace == 0 || withoutReplace == 0 {
+		t.Fatalf("200 seeds split %d replace / %d rollback kill schedules; want both arms covered", withReplace, withoutReplace)
+	}
+}
+
+// TestArtifactCollection: a violating campaign scenario leaves its
+// post-mortem and event timeline under ArtifactDir, named after the
+// scenario, so CI has something to upload when a chaos stage goes red.
+func TestArtifactCollection(t *testing.T) {
+	dir := t.TempDir()
+	campaignDir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(campaignDir, "postmortem.txt"), []byte("campaign post-mortem\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(Config{ArtifactDir: dir})
+	log := mpi.NewEventLog()
+	log.Notef("note", "synthetic timeline entry")
+	r.saveArtifacts(Scenario{Name: "broken-scenario"}, campaignDir, log.Events())
+	pm, err := os.ReadFile(filepath.Join(dir, "broken-scenario-postmortem.txt"))
+	if err != nil {
+		t.Fatalf("post-mortem artifact not written: %v", err)
+	}
+	if !strings.Contains(string(pm), "campaign post-mortem") {
+		t.Errorf("post-mortem artifact holds %q", pm)
+	}
+	tl, err := os.ReadFile(filepath.Join(dir, "broken-scenario-timeline.txt"))
+	if err != nil {
+		t.Fatalf("timeline artifact not written: %v", err)
+	}
+	if !strings.Contains(string(tl), "synthetic timeline entry") {
+		t.Errorf("timeline artifact holds %q", tl)
+	}
+	// Unnamed scenarios fall back to their seed.
+	r.saveArtifacts(Scenario{Seed: 41}, "", nil)
+	if _, err := os.Stat(filepath.Join(dir, "seed-41-timeline.txt")); err != nil {
+		t.Errorf("seed-named timeline artifact not written: %v", err)
 	}
 }
 

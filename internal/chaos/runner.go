@@ -5,12 +5,15 @@ import (
 	"crypto/sha256"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/mpi"
 	"repro/internal/resilience"
+	"repro/internal/snapshot"
 )
 
 // Verdict classifies one scenario execution.
@@ -145,6 +148,7 @@ func (r *Runner) execute(sc Scenario) Outcome {
 		return Outcome{Scenario: sc, Verdict: CleanAbort, Detail: err.Error()}
 	}
 	if got := sha256.Sum256(buf.Bytes()); got != want {
+		r.saveArtifacts(sc, "", events.Events())
 		return Outcome{
 			Scenario: sc,
 			Verdict:  Mismatch,
@@ -155,7 +159,10 @@ func (r *Runner) execute(sc Scenario) Outcome {
 }
 
 // executeCampaign checks recoverability: the killed (and possibly also
-// message-faulted) run must converge through checkpointed rollback.
+// message-faulted) run must converge through the resilience campaign —
+// by checkpointed rollback, or, for Replace scenarios, by surgically
+// respawning the dead rank — and the converged final state must be
+// byte-identical to the fault-free golden run.
 func (r *Runner) executeCampaign(sc Scenario, plan *mpi.FaultPlan) Outcome {
 	dir, err := os.MkdirTemp("", "yychaos-*")
 	if err != nil {
@@ -167,7 +174,7 @@ func (r *Runner) executeCampaign(sc Scenario, plan *mpi.FaultPlan) Outcome {
 	if every < 1 {
 		every = 1
 	}
-	res, err := resilience.RunCampaign(resilience.Config{
+	rcfg := resilience.Config{
 		Core:            r.coreConfig(),
 		NProcs:          r.cfg.NProcs,
 		Steps:           r.cfg.Steps,
@@ -178,18 +185,83 @@ func (r *Runner) executeCampaign(sc Scenario, plan *mpi.FaultPlan) Outcome {
 		Reliability:     &mpi.Reliability{AckTimeout: r.cfg.AckTimeout},
 		Heartbeat:       &mpi.Heartbeat{Interval: campaignHeartbeat},
 		DTSchedule:      dtSchedule(r.cfg),
-	})
+	}
+	if sc.Replace {
+		rcfg.Replace = &mpi.Elastic{}
+	}
+	res, err := resilience.RunCampaign(rcfg)
 	if err != nil {
 		detail := fmt.Sprintf("campaign did not converge: %v", err)
-		if res != nil && len(res.Events) > 0 {
-			detail += "\ntimeline:"
-			for _, e := range res.Events {
-				detail += "\n  " + e.String()
-			}
+		if res != nil {
+			detail += timelineOf(res.Events)
+			r.saveArtifacts(sc, dir, res.Events)
 		}
 		return Outcome{Scenario: sc, Verdict: CampaignFailed, Detail: detail}
 	}
+	// Safety holds for campaigns too: rollback and rank replacement both
+	// must land on the exact bytes of the fault-free run (the dt
+	// schedule pins every segment to the direct run's fixed step).
+	want, err := r.Golden()
+	if err != nil {
+		return Outcome{Scenario: sc, Verdict: CleanAbort, Detail: err.Error()}
+	}
+	var buf bytes.Buffer
+	if err := snapshot.WriteCheckpoint(&buf, res.Final); err != nil {
+		return Outcome{Scenario: sc, Verdict: CleanAbort, Detail: fmt.Sprintf("hashing campaign final state: %v", err)}
+	}
+	if got := sha256.Sum256(buf.Bytes()); got != want {
+		r.saveArtifacts(sc, dir, res.Events)
+		return Outcome{
+			Scenario: sc,
+			Verdict:  Mismatch,
+			Detail:   fmt.Sprintf("campaign final state %x differs from golden %x%s", got, want, timelineOf(res.Events)),
+		}
+	}
 	return Outcome{Scenario: sc, Verdict: OK}
+}
+
+// timelineOf renders a campaign's event timeline for a violation
+// report (empty input renders nothing).
+func timelineOf(events []mpi.Event) string {
+	if len(events) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("\ntimeline:")
+	for _, e := range events {
+		b.WriteString("\n  ")
+		b.WriteString(e.String())
+	}
+	return b.String()
+}
+
+// saveArtifacts collects a violating scenario's diagnostics under
+// cfg.ArtifactDir: the campaign's postmortem.txt (if campaignDir holds
+// one) and the event timeline, both prefixed with the scenario's name
+// (or seed). Best effort — artifact trouble must never mask the
+// verdict.
+func (r *Runner) saveArtifacts(sc Scenario, campaignDir string, events []mpi.Event) {
+	if r.cfg.ArtifactDir == "" {
+		return
+	}
+	if err := os.MkdirAll(r.cfg.ArtifactDir, 0o755); err != nil {
+		return
+	}
+	base := sc.Name
+	if base == "" {
+		base = fmt.Sprintf("seed-%d", sc.Seed)
+	}
+	if campaignDir != "" {
+		if pm, err := os.ReadFile(filepath.Join(campaignDir, "postmortem.txt")); err == nil {
+			_ = os.WriteFile(filepath.Join(r.cfg.ArtifactDir, base+"-postmortem.txt"), pm, 0o644)
+		}
+	}
+	var b strings.Builder
+	for _, e := range events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	_ = os.WriteFile(filepath.Join(r.cfg.ArtifactDir, base+"-timeline.txt"), []byte(b.String()), 0o644)
 }
 
 // dtSchedule fixes every segment's time step to the configured DT so

@@ -14,6 +14,7 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"sync"
@@ -326,9 +327,13 @@ func RunParallelWithCheckpoint(cfg Config, nProcs, steps int, dt float64, w io.W
 
 // RunParallelCheckpointWith is RunParallelWithCheckpoint under an
 // explicit mpi.RunConfig — deadline, fault plan, reliable transport,
-// heartbeat detection — so fault-injection harnesses (resilience
-// campaigns, the chaos fuzzer) can drive a full solver run through the
-// self-healing runtime.
+// heartbeat detection, elastic rank replacement — so fault-injection
+// harnesses (resilience campaigns, the chaos fuzzer) can drive a full
+// solver run through the self-healing runtime. The checkpoint is
+// serialized in memory per epoch and flushed to w only after the world
+// has shut down: under rc.Elastic a rank replacement can fence an
+// epoch that had already gathered, and the re-entered world must not
+// leave a doubled or half-written checkpoint on the writer.
 func RunParallelCheckpointWith(cfg Config, rc mpi.RunConfig, nProcs, steps int, dt float64, w io.Writer) ([]mhd.Diagnostics, error) {
 	cfg = cfg.withDefaults()
 	// One effective recorder: the run config's (a campaign's shared
@@ -343,6 +348,7 @@ func RunParallelCheckpointWith(cfg Config, rc mpi.RunConfig, nProcs, steps int, 
 	}
 	var mu sync.Mutex
 	var out []mhd.Diagnostics
+	var ckpt []byte
 	err = mpi.RunWith(nProcs, rc, func(wc *mpi.Comm) {
 		rr := rec.RankFor(wc.Rank())
 		rr.Open()
@@ -368,19 +374,28 @@ func RunParallelCheckpointWith(cfg Config, rc mpi.RunConfig, nProcs, steps int, 
 			wc.Abort(err)
 		}
 		if wc.Rank() == 0 {
-			mu.Lock()
-			defer mu.Unlock()
-			out = append(out, d)
+			var buf bytes.Buffer
 			cw := rr.Begin(obs.SpanCkptWrite)
-			werr := snapshot.WriteCheckpoint(w, sv)
+			werr := snapshot.WriteCheckpoint(&buf, sv)
 			cw.End()
 			if werr != nil {
 				wc.Abort(werr)
 			}
+			// Overwrite, don't append: a fenced epoch's gather is
+			// superseded by the final epoch's.
+			mu.Lock()
+			defer mu.Unlock()
+			out = []mhd.Diagnostics{d}
+			ckpt = buf.Bytes()
 		}
 	})
 	if err != nil {
 		return nil, err
+	}
+	if w != nil && len(ckpt) > 0 {
+		if _, err := w.Write(ckpt); err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }

@@ -1,6 +1,7 @@
 package decomp
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"sync"
@@ -594,8 +595,9 @@ func TestKilledRankAbortsAdvance(t *testing.T) {
 	}()
 	select {
 	case err := <-done:
-		if err == nil || !strings.Contains(err.Error(), "killed rank 2 at step 1") {
-			t.Errorf("got %v, want the scripted kill", err)
+		var rf *mpi.RankFailedError
+		if !errors.As(err, &rf) || rf.Rank != 2 || rf.Step != 1 {
+			t.Errorf("got %v, want the scripted kill of rank 2 at step 1", err)
 		}
 	case <-time.After(30 * time.Second):
 		t.Fatal("run wedged after the rank kill")

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/mhd"
 	"repro/internal/obs"
+	"repro/internal/snapshot"
 )
 
 const tagGatherBase = 200
@@ -78,24 +79,42 @@ const tagScatterBase = 210
 // global state; other ranks pass nil. Halos, walls and rims are
 // re-established by a constraint application afterwards.
 func (r *Rank) ScatterState(src *mhd.Solver) error {
-	defer r.obs.Begin(obs.SpanScatter).End()
-	me := r.World.Rank()
-	if me == 0 {
+	if r.World.Rank() == 0 {
 		if src == nil {
 			return fmt.Errorf("decomp: rank 0 needs the source state")
 		}
-		if src.Spec != r.Layout.Spec {
-			return fmt.Errorf("decomp: checkpoint grid %+v does not match layout %+v", src.Spec, r.Layout.Spec)
+		return r.ScatterInterior(snapshot.InteriorOf(src))
+	}
+	return r.ScatterInterior(nil)
+}
+
+// ScatterInterior distributes a layout-neutral checkpoint payload
+// (snapshot.ReadInterior) from world rank 0 into every rank's local
+// block. Because the payload carries no decomposition imprint, the
+// writer's world shape is irrelevant: a checkpoint written at any world
+// size resumes under this rank's layout — the reshard-on-read half of
+// elastic campaigns. On rank 0, in must hold the payload and its grid
+// must match the layout exactly (resolution changes are rejected with a
+// clear error); other ranks pass nil. Halos, walls and rims are
+// re-established by a constraint application afterwards.
+func (r *Rank) ScatterInterior(in *snapshot.Interior) error {
+	defer r.obs.Begin(obs.SpanScatter).End()
+	me := r.World.Rank()
+	if me == 0 {
+		if in == nil {
+			return fmt.Errorf("decomp: rank 0 needs the source state")
+		}
+		if in.Spec != r.Layout.Spec {
+			return fmt.Errorf("decomp: checkpoint grid %+v does not match layout %+v", in.Spec, r.Layout.Spec)
 		}
 		for dst := r.World.Size() - 1; dst >= 0; dst-- {
 			patch := r.Layout.SubPatch(dst, 1)
-			panel := r.Layout.PanelOf(dst)
+			panel := int(r.Layout.PanelOf(dst))
 			buf := make([]float64, 0, 8*patch.Nr*patch.Nt*patch.Np)
-			for _, s := range src.Panels[panel].U.Scalars() {
+			for s := 0; s < 8; s++ {
 				for k := 0; k < patch.Np; k++ {
 					for j := 0; j < patch.Nt; j++ {
-						row := s.Row(j+patch.JOff+1, k+patch.KOff+1)
-						buf = append(buf, row[1:1+patch.Nr]...)
+						buf = append(buf, in.Row(panel, s, j+patch.JOff, k+patch.KOff)...)
 					}
 				}
 			}
@@ -105,15 +124,13 @@ func (r *Rank) ScatterState(src *mhd.Solver) error {
 			}
 			r.World.Send(dst, tagScatterBase, buf)
 		}
+		r.Time = in.Time
+		r.StepN = in.Step
 	} else {
 		p := r.PL.Patch
 		buf := make([]float64, 8*p.Nr*p.Nt*p.Np)
 		r.World.Recv(0, tagScatterBase, buf)
 		r.unpackBlock(buf)
-	}
-	if src != nil && me == 0 {
-		r.Time = src.Time
-		r.StepN = src.Step
 	}
 	// Share the clock and re-establish halos/rims/walls.
 	clock := []float64{r.Time, float64(r.StepN)}

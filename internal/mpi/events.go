@@ -18,6 +18,8 @@ import (
 //	    unacked message, or exhausted its retries
 //	hb.suspect / hb.clear / hb.confirm — the heartbeat detector's
 //	    suspect -> confirm escalation (clear: a suspect beat again)
+//	recover.replace — an elastic fence replaced a confirmed-dead rank
+//	    (always after the hb.confirm or fault.kill that triggered it)
 //	note — a caller-supplied annotation (e.g. segment boundaries)
 type Event struct {
 	// At is the event's offset from the log's creation.

@@ -234,8 +234,9 @@ func TestKillRankAtStep(t *testing.T) {
 			c.Recv(peer, step, buf)
 		}
 	})
-	if err == nil || !strings.Contains(err.Error(), "killed rank 1 at step 3") {
-		t.Errorf("got %v, want the scripted kill", err)
+	var rf *RankFailedError
+	if !errors.As(err, &rf) || rf.Rank != 1 || rf.Step != 3 || rf.Silent {
+		t.Errorf("got %v, want the scripted noisy kill of rank 1 at step 3", err)
 	}
 	// The kill is consumed: the same plan runs clean afterwards.
 	if err := RunWith(2, RunConfig{Deadline: 5 * time.Second, Faults: plan}, func(c *Comm) {

@@ -80,7 +80,6 @@ type hbState struct {
 	lastBeat  []atomic.Int64 // UnixNano of the rank's latest beat
 	completed []atomic.Bool  // fn returned normally: silence is not death
 	suspected []atomic.Bool
-	stops     []chan struct{} // closed when the rank goroutine exits
 }
 
 func newHBState(ctx *context, cfg Heartbeat, n int) *hbState {
@@ -90,44 +89,58 @@ func newHBState(ctx *context, cfg Heartbeat, n int) *hbState {
 		lastBeat:  make([]atomic.Int64, n),
 		completed: make([]atomic.Bool, n),
 		suspected: make([]atomic.Bool, n),
-		stops:     make([]chan struct{}, n),
 	}
 	now := time.Now().UnixNano()
 	for r := 0; r < n; r++ {
 		hb.lastBeat[r].Store(now)
-		hb.stops[r] = make(chan struct{})
 	}
 	return hb
 }
 
-// startBeater launches rank's companion beater goroutine.
-func (hb *hbState) startBeater(rank int) {
+// startBeater launches rank's companion beater goroutine and returns
+// its stop channel; the caller closes it when the rank goroutine exits
+// (normal return, panic and silent death alike — a dead rank must fall
+// silent). An elastic replacement rank starts a fresh beater for the
+// same slot, so the stop channel belongs to the goroutine, not the
+// slot.
+func (hb *hbState) startBeater(rank int) chan struct{} {
+	stop := make(chan struct{})
+	hb.lastBeat[rank].Store(time.Now().UnixNano())
 	go func() {
 		ticker := time.NewTicker(hb.cfg.Interval)
 		defer ticker.Stop()
 		for {
 			select {
-			case <-hb.stops[rank]:
+			case <-stop:
 				return
 			case <-ticker.C:
 				hb.lastBeat[rank].Store(time.Now().UnixNano())
 			}
 		}
 	}()
+	return stop
 }
 
 // markCompleted records a normal return of the rank function; the
 // monitor then ignores the rank's silence. It must be called before
-// rankExited stops the beater, so the monitor never observes a
-// stopped-but-uncompleted healthy rank.
+// the rank's beater stop channel is closed, so the monitor never
+// observes a stopped-but-uncompleted healthy rank.
 func (hb *hbState) markCompleted(rank int) {
 	hb.completed[rank].Store(true)
 }
 
-// rankExited stops the rank's beater (normal return, panic and silent
-// death alike — a dead rank must fall silent).
-func (hb *hbState) rankExited(rank int) {
-	close(hb.stops[rank])
+// refresh resets the liveness baseline of every rank: beats read "now",
+// completion and suspicion marks are cleared. An elastic fence calls it
+// so (a) the freshly respawned rank is not instantly re-confirmed from
+// its predecessor's stale beat, and (b) survivors' completion marks —
+// which belong to the fenced-out epoch — do not hide a later death.
+func (hb *hbState) refresh() {
+	now := time.Now().UnixNano()
+	for r := range hb.lastBeat {
+		hb.lastBeat[r].Store(now)
+		hb.completed[r].Store(false)
+		hb.suspected[r].Store(false)
+	}
 }
 
 // monitor scans the beat records and escalates silent ranks; it runs
@@ -150,7 +163,13 @@ func (hb *hbState) monitor(stop <-chan struct{}) {
 				switch {
 				case silence > hb.cfg.ConfirmAfter:
 					hb.ctx.eventf("hb.confirm", "rank=%d silence=%v step=%d", r, silence.Round(time.Millisecond), step)
-					hb.ctx.abort(&RankFailedError{Rank: r, Step: step, Silent: true, Silence: silence})
+					err := &RankFailedError{Rank: r, Step: step, Silent: true, Silence: silence}
+					if hb.ctx.tryFence(r, err, true) {
+						// Replaced surgically: the monitor keeps watching
+						// the new epoch instead of ending the run.
+						continue
+					}
+					hb.ctx.abort(err)
 					return
 				case silence > hb.cfg.SuspectAfter:
 					if hb.suspected[r].CompareAndSwap(false, true) {

@@ -127,6 +127,7 @@ func TestNoisyKillIsTyped(t *testing.T) {
 	if rf.Rank != 1 || rf.Step != 3 || rf.Silent {
 		t.Fatalf("want noisy kill of rank 1 at step 3, got %+v", rf)
 	}
+	//yyvet:ignore typed-err this test pins the rendered message itself, right after the typed assertion above
 	if !strings.Contains(err.Error(), "killed rank 1 at step 3") {
 		t.Fatalf("kill message changed: %v", err)
 	}

@@ -62,9 +62,18 @@ type mailbox struct {
 	cond     *sync.Cond
 	queue    []message
 	abortErr error
+	// fenceSig, when non-nil, marks a mailbox fenced out by a
+	// membership-epoch change (elastic runs): waiters unwind with it,
+	// and late deliveries are discarded without acknowledgment so no
+	// message or ack crosses the epoch boundary.
+	fenceSig *fenceSignal
 
 	ctx         *context
 	comm, owner int
+	// rel is the reliable-transport state this mailbox acknowledges
+	// into — pinned at creation so a fenced mailbox can only ever ack
+	// its own epoch's (already retired) transport.
+	rel *relState
 	// expected maps (src, tag) to the next sequence number take may
 	// release; anything below it is a duplicate. Lazily allocated by the
 	// first reliable insertion.
@@ -72,7 +81,7 @@ type mailbox struct {
 }
 
 func newMailbox(ctx *context, comm, owner int) *mailbox {
-	mb := &mailbox{ctx: ctx, comm: comm, owner: owner}
+	mb := &mailbox{ctx: ctx, comm: comm, owner: owner, rel: ctx.rel}
 	mb.cond = sync.NewCond(&mb.mu)
 	return mb
 }
@@ -83,6 +92,11 @@ func (mb *mailbox) put(m message) {
 		return
 	}
 	mb.mu.Lock()
+	if mb.fenceSig != nil {
+		mb.mu.Unlock()
+		mb.ctx.putBuf(m.data)
+		return
+	}
 	mb.queue = append(mb.queue, m)
 	mb.mu.Unlock()
 	mb.cond.Broadcast()
@@ -95,6 +109,13 @@ func (mb *mailbox) put(m message) {
 func (mb *mailbox) putReliable(m message) {
 	key := [2]int{m.src, m.tag}
 	mb.mu.Lock()
+	if mb.fenceSig != nil {
+		// Fenced out: discard without acknowledging — the sender's
+		// epoch (and its retransmit timers) has been retired wholesale.
+		mb.mu.Unlock()
+		mb.ctx.putBuf(m.data)
+		return
+	}
 	if mb.expected == nil {
 		mb.expected = map[[2]int]int{}
 	}
@@ -116,7 +137,7 @@ func (mb *mailbox) putReliable(m message) {
 	} else {
 		mb.cond.Broadcast()
 	}
-	if rs := mb.ctx.rel; rs != nil {
+	if rs := mb.rel; rs != nil {
 		rs.ack(mb.comm, m.src, mb.owner, m.tag, m.seq)
 	}
 }
@@ -132,6 +153,9 @@ func (mb *mailbox) take(src, tag int) message {
 	for {
 		if mb.abortErr != nil {
 			panic(abortSignal{mb.abortErr})
+		}
+		if mb.fenceSig != nil {
+			panic(*mb.fenceSig)
 		}
 		for i, m := range mb.queue {
 			if m.src != src || m.tag != tag {
@@ -157,6 +181,23 @@ func (mb *mailbox) abort(err error) {
 	mb.mu.Lock()
 	if mb.abortErr == nil {
 		mb.abortErr = err
+	}
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
+// doFence marks the mailbox fenced out of the world membership, wakes
+// its waiters (they unwind with the fence signal and re-enter at the
+// new epoch) and recycles any queued payloads — messages of a retired
+// epoch are undeliverable by definition.
+func (mb *mailbox) doFence(sig fenceSignal) {
+	mb.mu.Lock()
+	if mb.fenceSig == nil {
+		mb.fenceSig = &sig
+		for _, m := range mb.queue {
+			mb.ctx.putBuf(m.data)
+		}
+		mb.queue = nil
 	}
 	mb.mu.Unlock()
 	mb.cond.Broadcast()
@@ -233,11 +274,30 @@ type context struct {
 	abortErr error
 	waiters  map[*waiter]struct{}
 
-	// rel is the reliable-transport state (nil on fail-fast runs).
+	// rel is the reliable-transport state (nil on fail-fast runs); on
+	// elastic runs it is replaced wholesale at every membership fence.
 	rel *relState
 	// lastStep records, per world rank, the last step number the rank
 	// passed to Comm.Tick (-1 before the first), for failure diagnostics.
 	lastStep []atomic.Int64
+
+	// Elastic-run state (nil/zero on ordinary runs). epoch is the world
+	// membership epoch, bumped by every fence; completed/ncomplete track
+	// which ranks finished the current epoch; finished latches once every
+	// rank completed the same epoch; runOver closes the respawn window
+	// after the main goroutine stops waiting. spawn launches a runner
+	// for a rank slot (installed by runElastic); hb backs fence-time
+	// liveness resets.
+	elastic    *Elastic
+	epoch      int
+	replaced   int
+	fenceCause error
+	completed  []bool
+	ncomplete  int
+	finished   bool
+	runOver    bool
+	spawn      func(rank int)
+	hb         *hbState
 }
 
 type barrierState struct {
@@ -436,6 +496,10 @@ type Comm struct {
 	id   int
 	rank int
 	size int
+	// gen is the world-membership epoch the communicator was issued
+	// under (always 0 outside elastic runs); a fence retires every
+	// communicator of older generations.
+	gen int
 	// epoch counters for collective matching (SPMD order).
 	splitEpoch   int
 	barrierEpoch int
@@ -447,6 +511,33 @@ func (c *Comm) Rank() int { return c.rank }
 
 // Size returns the number of ranks in the communicator.
 func (c *Comm) Size() int { return c.size }
+
+// Epoch returns the world-membership epoch the communicator belongs
+// to: 0 for the initial membership, incremented once per rank
+// replacement on an Elastic run. A rank function re-entered after a
+// replacement sees Epoch() > 0 and should restore its state from the
+// last checkpoint rather than trust any pre-fence snapshot.
+func (c *Comm) Epoch() int { return c.gen }
+
+// checkGen panics with the fence signal when the communicator belongs
+// to a retired membership epoch. Caller must hold ctx.mu with its
+// unlock deferred — the panic unwinds through that defer.
+func (c *Comm) checkGen() {
+	if c.ctx.elastic != nil && c.gen != c.ctx.epoch {
+		panic(fenceSignal{epoch: c.ctx.epoch, cause: c.ctx.fenceCause})
+	}
+}
+
+// boxFor resolves the peer's mailbox and the current reliable transport
+// under ctx.mu, fencing retired-epoch communicators first so a stale
+// sender can never look up a mailbox (or a transport) reissued for a
+// newer membership epoch.
+func (c *Comm) boxFor(peer int) (*mailbox, *relState) {
+	c.ctx.mu.Lock()
+	defer c.ctx.mu.Unlock()
+	c.checkGen()
+	return c.ctx.boxes[c.id][peer], c.ctx.rel
+}
 
 // RunConfig tunes the fault-tolerance machinery of one Run.
 type RunConfig struct {
@@ -469,6 +560,12 @@ type RunConfig struct {
 	// aborts with a *RankFailedError, instead of waiting out the full
 	// watchdog Deadline.
 	Heartbeat *Heartbeat
+	// Elastic, when non-nil, turns confirmed rank deaths into surgical
+	// replacements instead of run aborts: the world membership epoch is
+	// fenced, only the dead rank is respawned, and survivors re-enter
+	// the rank function at the new epoch (see Elastic). Ignored on
+	// single-rank runs.
+	Elastic *Elastic
 	// Events, when non-nil, collects the run's fault, transport and
 	// heartbeat timeline. A log may be shared across runs (a campaign's
 	// segments) to accumulate one history.
@@ -494,6 +591,9 @@ func RunWith(n int, cfg RunConfig, fn func(c *Comm)) error {
 	if n <= 0 {
 		return fmt.Errorf("mpi: need a positive rank count, got %d", n)
 	}
+	if cfg.Elastic != nil && n > 1 {
+		return runElastic(n, cfg, fn)
+	}
 	ctx := newContext(cfg)
 	ctx.lastStep = make([]atomic.Int64, n)
 	for i := range ctx.lastStep {
@@ -510,11 +610,13 @@ func RunWith(n int, cfg RunConfig, fn func(c *Comm)) error {
 
 	var hb *hbState
 	var stopHB chan struct{}
+	var hbStops []chan struct{}
 	if cfg.Heartbeat != nil {
 		hb = newHBState(ctx, *cfg.Heartbeat, n)
 		stopHB = make(chan struct{})
+		hbStops = make([]chan struct{}, n)
 		for r := 0; r < n; r++ {
-			hb.startBeater(r)
+			hbStops[r] = hb.startBeater(r)
 		}
 		go hb.monitor(stopHB)
 	}
@@ -529,7 +631,7 @@ func RunWith(n int, cfg RunConfig, fn func(c *Comm)) error {
 				// Runs on every exit — return, panic and runtime.Goexit
 				// (a scripted silent death) alike: a dead rank must fall
 				// silent so the monitor can see it.
-				defer hb.rankExited(rank)
+				defer close(hbStops[rank])
 			}
 			defer func() {
 				rec := recover()
@@ -672,10 +774,8 @@ func (c *Comm) Send(dst, tag int, data []float64) {
 
 func (c *Comm) send(dst, tag int, data []float64) {
 	c.checkPeer("send to", dst)
-	c.ctx.mu.Lock()
-	box := c.ctx.boxes[c.id][dst]
-	c.ctx.mu.Unlock()
-	if rs := c.ctx.rel; rs != nil {
+	box, rs := c.boxFor(dst)
+	if rs != nil {
 		rs.send(c.id, c.rank, dst, tag, data, box)
 		return
 	}
@@ -729,9 +829,7 @@ func (c *Comm) Recv(src, tag int, buf []float64) int {
 
 func (c *Comm) recv(src, tag int, buf []float64, site string) int {
 	c.checkPeer("recv from", src)
-	c.ctx.mu.Lock()
-	box := c.ctx.boxes[c.id][c.rank]
-	c.ctx.mu.Unlock()
+	box, _ := c.boxFor(c.rank)
 	w := c.ctx.register(&waiter{rank: c.rank, comm: c.id, kind: "Recv", src: src, tag: tag, site: site})
 	defer c.ctx.unregister(w)
 	var t0 time.Time
@@ -822,6 +920,7 @@ func (c *Comm) Barrier() {
 	ctx := c.ctx
 	ctx.mu.Lock()
 	defer ctx.mu.Unlock()
+	c.checkGen()
 	st := ctx.barriers[key]
 	if st == nil {
 		st = &barrierState{}
@@ -843,6 +942,9 @@ func (c *Comm) Barrier() {
 		if ctx.abortErr != nil {
 			panic(abortSignal{ctx.abortErr})
 		}
+		// A fence resets the rendezvous state; waiters of the retired
+		// epoch unwind here instead of waiting on an orphaned barrier.
+		c.checkGen()
 		ctx.cond.Wait()
 	}
 }
@@ -972,6 +1074,7 @@ func (c *Comm) Split(color, key int) *Comm {
 	ctx := c.ctx
 	ctx.mu.Lock()
 	defer ctx.mu.Unlock()
+	c.checkGen()
 	st := ctx.splits[skey]
 	if st == nil {
 		st = &splitState{entries: map[int][2]int{}}
@@ -1017,6 +1120,7 @@ func (c *Comm) Split(color, key int) *Comm {
 		if ctx.abortErr != nil {
 			panic(abortSignal{ctx.abortErr})
 		}
+		c.checkGen()
 		ctx.cond.Wait()
 	}
 	// Deterministically derive the new communicator for this rank's color.
@@ -1040,5 +1144,5 @@ func (c *Comm) Split(color, key int) *Comm {
 			newRank = i
 		}
 	}
-	return &Comm{ctx: ctx, id: newID, rank: newRank, size: len(group)}
+	return &Comm{ctx: ctx, id: newID, rank: newRank, size: len(group), gen: c.gen}
 }

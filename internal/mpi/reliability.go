@@ -135,7 +135,7 @@ func (rs *relState) retransmit(mk relMsgKey) {
 			mk.comm, mk.src, mk.dst, mk.tag, mk.seq, rs.cfg.MaxRetries)
 		rs.ctx.eventf("xport.giveup", "comm=%d src=%d dst=%d tag=%d seq=%d attempts=%d",
 			mk.comm, mk.src, mk.dst, mk.tag, mk.seq, rs.cfg.MaxRetries)
-		rs.ctx.abort(err)
+		rs.ctx.abortFromRel(rs, err)
 		return
 	}
 	p.attempts++
@@ -173,6 +173,22 @@ func (rs *relState) ack(comm, src, dst, tag, seq int) {
 	if ok && p.timer != nil {
 		p.timer.Stop()
 	}
+}
+
+// abortFromRel aborts the run on behalf of a reliable-transport
+// instance — unless that instance has been retired by an elastic
+// membership fence, in which case the giveup is about a fenced-out
+// epoch's message and must not kill the new epoch. (The fence stops the
+// old instance's timers, but a giveup already past its stopped check
+// can race the fence; the identity check here closes that window.)
+func (ctx *context) abortFromRel(rs *relState, err error) {
+	ctx.mu.Lock()
+	stale := ctx.rel != rs
+	ctx.mu.Unlock()
+	if stale {
+		return
+	}
+	ctx.abort(err)
 }
 
 // stop cancels every armed retransmit timer; called once the run has

@@ -120,12 +120,15 @@ func syncDir(dir string) error {
 	return nil
 }
 
-// loadNewest restores the newest checkpoint in dir that reads back valid
-// and matches the campaign's grid. Corrupt, truncated or mismatched
-// files are skipped (collected in skipped) and the scan falls back to
-// the next-newest — a half-written or bit-rotted newest checkpoint must
-// not strand a resumable campaign. Returns (nil, skipped, nil) when no
-// valid checkpoint exists.
+// loadNewest restores the newest checkpoint in dir that reads back
+// valid. Corrupt or truncated files are skipped (collected in skipped)
+// and the scan falls back to the next-newest — a half-written or
+// bit-rotted newest checkpoint must not strand a resumable campaign. A
+// checkpoint that reads back fine but holds a different grid resolution
+// is a hard error, not a skip: the campaign was pointed at the wrong
+// directory (or reconfigured), and silently resuming an older
+// same-resolution file would fork the trajectory. Returns
+// (nil, skipped, nil) when no valid checkpoint exists.
 func loadNewest(dir string, spec grid.Spec) (*mhd.Solver, []string, error) {
 	steps, err := listCheckpoints(dir)
 	if err != nil {
@@ -140,8 +143,8 @@ func loadNewest(dir string, spec grid.Spec) (*mhd.Solver, []string, error) {
 			continue
 		}
 		if sv.Spec != spec {
-			skipped = append(skipped, fmt.Sprintf("%s: grid %+v does not match campaign %+v", name, sv.Spec, spec))
-			continue
+			return nil, skipped, fmt.Errorf("resilience: checkpoint %s holds grid %dx%dx%d, campaign wants %dx%dx%d — wrong directory or reconfigured resolution",
+				name, sv.Spec.Nr, sv.Spec.Nt, sv.Spec.Np, spec.Nr, spec.Nt, spec.Np)
 		}
 		return sv, skipped, nil
 	}
@@ -186,6 +189,14 @@ func writePostmortem(dir string, segStart, attempts int, cause error, res *Resul
 	fmt.Fprintf(&b, "last error: %v\n", cause)
 	fmt.Fprintf(&b, "committed segments: %d\n", len(res.Diags))
 	fmt.Fprintf(&b, "committed dts: %v\n", res.DTs)
+	if len(res.Recoveries) > 0 {
+		fmt.Fprintf(&b, "recovery decisions (%d):\n", len(res.Recoveries))
+		for _, d := range res.Recoveries {
+			fmt.Fprintf(&b, "  %s\n", d)
+		}
+	} else {
+		fmt.Fprintf(&b, "recovery decisions: none\n")
+	}
 	if len(res.Diags) > 0 {
 		fmt.Fprintf(&b, "last committed diagnostics: %+v\n", res.Diags[len(res.Diags)-1])
 	}

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -25,6 +26,7 @@ import (
 	"repro/internal/mhd"
 	"repro/internal/mpi"
 	"repro/internal/obs"
+	"repro/internal/snapshot"
 )
 
 // ErrBlowUp tags segment failures caused by the solver itself (as
@@ -38,7 +40,11 @@ var ErrBlowUp = errors.New("solver blow-up")
 type Config struct {
 	// Core selects the grid, physics and initial conditions.
 	Core core.Config
-	// NProcs is the world size of each segment run (default 2).
+	// NProcs is the world size of each segment run (default 2). NProcs 1
+	// runs segments serially with no decomposition at all; because the
+	// checkpoint format is layout-neutral, a campaign may be stopped and
+	// resumed at a different NProcs (including to or from 1) and its
+	// committed trajectory continues bit-identically.
 	NProcs int
 	// Steps is the campaign's total step count.
 	Steps int
@@ -74,13 +80,24 @@ type Config struct {
 	// a dead rank fails the segment as a typed *mpi.RankFailedError
 	// within a few heartbeat intervals, instead of at Deadline expiry.
 	Heartbeat *mpi.Heartbeat
+	// Replace, when non-nil, enables surgical rank replacement inside a
+	// segment: a confirmed-dead rank (scripted kill, or heartbeat-
+	// confirmed silence) is respawned from the segment's own checkpoint
+	// and rejoined at a new world-membership epoch while the survivors
+	// park at a barrier — the segment continues instead of costing a
+	// whole-campaign rollback. The rollback ladder remains the fallback
+	// when replacement is unavailable (budget exhausted, reload failed).
+	// Requires NProcs > 1; silent deaths additionally need Heartbeat.
+	Replace *mpi.Elastic
 	// DTSchedule overrides the per-segment time step (indexed by
 	// segment); segments beyond its length auto-estimate. Replaying a
 	// finished campaign's Result.DTs reproduces its committed
 	// trajectory bit-identically.
 	DTSchedule []float64
 	// Perturb, when set, mutates the state a segment starts from — a
-	// test hook for injecting mid-campaign blow-ups.
+	// test hook for injecting mid-campaign blow-ups. It applies to the
+	// epoch-0 scatter only: a segment re-entered after a rank
+	// replacement restores from its committed checkpoint, unperturbed.
 	Perturb func(seg, attempt int, sv *mhd.Solver)
 	// Obs, when non-nil, records the whole campaign into one shared
 	// observability recorder: every segment's rank spans land on the
@@ -115,6 +132,48 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// RecoveryMode names one of the campaign's recovery paths, most to
+// least surgical.
+type RecoveryMode string
+
+const (
+	// RecoverReplace: only the dead rank was respawned from the
+	// segment's checkpoint; survivors kept their world.
+	RecoverReplace RecoveryMode = "rank-replace"
+	// RecoverRollback: the whole segment was rolled back to its own
+	// checkpoint and retried.
+	RecoverRollback RecoveryMode = "rollback"
+	// RecoverRewind: the segment's own checkpoint was unusable, so the
+	// campaign rewound to an older committed checkpoint and replays
+	// forward from there.
+	RecoverRewind RecoveryMode = "rollback-rewind"
+)
+
+// RecoveryDecision records one recovery the campaign performed: where
+// it happened, which path was chosen, and the error that forced it.
+// The post-mortem renders these as its "recovery decisions" section.
+type RecoveryDecision struct {
+	// Segment is the index of the affected segment; Attempt the attempt
+	// number within it (0 is the first try).
+	Segment int
+	Attempt int
+	Mode    RecoveryMode
+	// Rank is the replaced world rank and Epoch the membership epoch
+	// after the fence (rank-replace only).
+	Rank  int
+	Epoch int
+	// Cause is the triggering error's text.
+	Cause string
+}
+
+func (d RecoveryDecision) String() string {
+	if d.Mode == RecoverReplace {
+		return fmt.Sprintf("segment %d attempt %d: %s rank=%d epoch=%d (%s)",
+			d.Segment, d.Attempt, d.Mode, d.Rank, d.Epoch, d.Cause)
+	}
+	return fmt.Sprintf("segment %d attempt %d: %s (%s)", d.Segment, d.Attempt, d.Mode, d.Cause)
+}
+
 // Result is the campaign's committed history.
 type Result struct {
 	// Diags holds one globally reduced diagnostics record per committed
@@ -136,6 +195,9 @@ type Result struct {
 	// accumulated across every segment and retry (and written to the
 	// post-mortem when the campaign aborts).
 	Events []mpi.Event
+	// Recoveries lists every recovery decision the campaign made — rank
+	// replacements and rollbacks alike — in the order they happened.
+	Recoveries []RecoveryDecision
 }
 
 // RunCampaign executes (or resumes) a checkpointed campaign.
@@ -151,9 +213,15 @@ func RunCampaign(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	spec := cfg.Core.Spec()
-	layout, err := decomp.NewLayout(spec, cfg.NProcs)
-	if err != nil {
-		return nil, err
+	// NProcs 1 is the serial path: no layout, no runtime — segments
+	// advance a clone of the committed state directly.
+	var layout *decomp.Layout
+	if cfg.NProcs != 1 {
+		l, err := decomp.NewLayout(spec, cfg.NProcs)
+		if err != nil {
+			return nil, err
+		}
+		layout = l
 	}
 	// One shared log across every segment and retry: the post-mortem can
 	// then show the whole campaign's fault history, not just the last
@@ -177,6 +245,27 @@ func RunCampaign(cfg Config) (*Result, error) {
 	defer drv.Close()
 
 	res := &Result{}
+	// Recovery decisions are appended from two places: the campaign
+	// goroutine (rollbacks, rewinds) and the runtime's monitor goroutine
+	// (a replacement fence firing mid-segment via OnReplace).
+	var recMu sync.Mutex
+	curSeg, curAttempt := 0, 0
+	if cfg.Replace != nil && cfg.NProcs > 1 {
+		el := *cfg.Replace
+		user := el.OnReplace
+		el.OnReplace = func(rank, epoch int, cause error) {
+			recMu.Lock()
+			res.Recoveries = append(res.Recoveries, RecoveryDecision{
+				Segment: curSeg, Attempt: curAttempt, Mode: RecoverReplace,
+				Rank: rank, Epoch: epoch, Cause: cause.Error(),
+			})
+			recMu.Unlock()
+			if user != nil {
+				user(rank, epoch, cause)
+			}
+		}
+		rc.Elastic = &el
+	}
 	defer func() { res.Events = events.Events() }()
 	cr := drv.Begin(obs.SpanCkptRead)
 	state, _, err := loadNewest(cfg.Dir, spec)
@@ -204,6 +293,11 @@ func RunCampaign(cfg Config) (*Result, error) {
 	res.FinalStep = state.Step
 	res.Final = state
 
+	// commitEnds records the end step of every segment this run
+	// committed (parallel to res.Diags/res.DTs), so a rewind can
+	// truncate the committed history it is about to replay over.
+	var commitEnds []int
+	rewinds := 0
 	for state.Step < cfg.Steps {
 		segStart := state.Step
 		segIdx := segStart / cfg.CheckpointEvery
@@ -211,8 +305,36 @@ func RunCampaign(cfg Config) (*Result, error) {
 		if segStart+n > cfg.Steps {
 			n = cfg.Steps - segStart
 		}
+		// reload is the rank-replacement restore path: a world
+		// re-entering its segment at a fenced epoch restores the
+		// segment's own committed checkpoint from disk, because the
+		// respawned rank never saw the original scatter and the
+		// survivors' in-segment progress was fenced away with the dead
+		// epoch. Any failure here aborts the attempt and falls back to
+		// the rollback ladder.
+		reload := func() (*snapshot.Interior, error) {
+			cr := drv.Begin(obs.SpanCkptRead)
+			defer cr.End()
+			f, err := os.Open(filepath.Join(cfg.Dir, ckptName(segStart)))
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			in, err := snapshot.ReadInterior(f)
+			if err != nil {
+				return nil, err
+			}
+			if in.Spec != spec {
+				return nil, fmt.Errorf("resilience: replacement checkpoint grid %+v does not match campaign %+v", in.Spec, spec)
+			}
+			if in.Step != segStart {
+				return nil, fmt.Errorf("resilience: replacement checkpoint holds step %d, want segment start %d", in.Step, segStart)
+			}
+			return in, nil
+		}
 
 		committed := false
+		rewound := false
 		blowUps := 0
 		var lastErr error
 		for attempt := 0; attempt <= cfg.MaxRetries; attempt++ {
@@ -227,9 +349,39 @@ func RunCampaign(cfg Config) (*Result, error) {
 				if err != nil {
 					return res, err
 				}
-				if st == nil || st.Step != segStart {
+				if st == nil || st.Step > segStart {
 					return res, fmt.Errorf("resilience: rollback found no checkpoint at step %d", segStart)
 				}
+				if st.Step < segStart {
+					// The segment's own checkpoint is gone or corrupt
+					// but an older one survives: rewind the whole
+					// campaign to it and replay forward from there.
+					if rewinds >= cfg.MaxRetries {
+						lastErr = fmt.Errorf("resilience: rewind budget exhausted after %d rewinds: %w", rewinds, lastErr)
+						break
+					}
+					rewinds++
+					recMu.Lock()
+					res.Recoveries = append(res.Recoveries, RecoveryDecision{
+						Segment: segIdx, Attempt: attempt, Mode: RecoverRewind,
+						Cause: fmt.Sprintf("no usable checkpoint at step %d, rewinding to step %d after: %v", segStart, st.Step, lastErr),
+					})
+					recMu.Unlock()
+					events.Notef("note", "rewind from=%d to=%d attempt=%d", segStart, st.Step, attempt)
+					for len(commitEnds) > 0 && commitEnds[len(commitEnds)-1] > st.Step {
+						commitEnds = commitEnds[:len(commitEnds)-1]
+						res.Diags = res.Diags[:len(res.Diags)-1]
+						res.DTs = res.DTs[:len(res.DTs)-1]
+					}
+					state = st
+					rewound = true
+					break
+				}
+				recMu.Lock()
+				res.Recoveries = append(res.Recoveries, RecoveryDecision{
+					Segment: segIdx, Attempt: attempt, Mode: RecoverRollback, Cause: lastErr.Error(),
+				})
+				recMu.Unlock()
 				state = st
 			}
 			var dt float64
@@ -244,8 +396,20 @@ func RunCampaign(cfg Config) (*Result, error) {
 			if cfg.Perturb != nil {
 				cfg.Perturb(segIdx, attempt, state)
 			}
+			recMu.Lock()
+			curSeg, curAttempt = segIdx, attempt
+			recMu.Unlock()
 			events.Notef("note", "segment start=%d steps=%d attempt=%d dt=%.6g", segStart, n, attempt, dt)
-			next, diag, err := runSegment(cfg.Core, layout, rc, state, dt, n)
+			var (
+				next *mhd.Solver
+				diag mhd.Diagnostics
+				err  error
+			)
+			if cfg.NProcs == 1 {
+				next, diag, err = runSerialSegment(state, dt, n)
+			} else {
+				next, diag, err = runSegment(cfg.Core, layout, rc, state, dt, n, reload)
+			}
 			if err == nil {
 				err = validate(next, cfg)
 			}
@@ -256,6 +420,7 @@ func RunCampaign(cfg Config) (*Result, error) {
 				state = next
 				res.Diags = append(res.Diags, diag)
 				res.DTs = append(res.DTs, dt)
+				commitEnds = append(commitEnds, state.Step)
 				cw := drv.Begin(obs.SpanCkptWrite)
 				_, werr := writeCheckpointFile(cfg.Dir, state)
 				cw.End()
@@ -273,6 +438,9 @@ func RunCampaign(cfg Config) (*Result, error) {
 			}
 			lastErr = err
 		}
+		if rewound {
+			continue
+		}
 		if !committed {
 			pm := writePostmortem(cfg.Dir, segStart, cfg.MaxRetries+1, lastErr, res, events)
 			return res, fmt.Errorf("resilience: segment at step %d failed after %d attempts (post-mortem: %s): %w",
@@ -284,11 +452,31 @@ func RunCampaign(cfg Config) (*Result, error) {
 	return res, nil
 }
 
+// runSerialSegment is the NProcs-1 path: no decomposition, no runtime —
+// the segment advances a clone of the committed state directly. The
+// clone goes through the layout-neutral interior form, the same restore
+// a decomposed world performs, so serial segments commit byte-identical
+// checkpoints to any world size (the 1↔N halves of the reshard gates).
+func runSerialSegment(src *mhd.Solver, dt float64, steps int) (*mhd.Solver, mhd.Diagnostics, error) {
+	sv, err := snapshot.InteriorOf(src).Solver()
+	if err != nil {
+		return nil, mhd.Diagnostics{}, err
+	}
+	for i := 0; i < steps; i++ {
+		sv.Advance(dt)
+	}
+	return sv, sv.Diagnose(), nil
+}
+
 // runSegment executes one checkpoint interval on the decomposed
 // runtime: scatter the committed state, advance steps at dt, gather and
 // diagnose on rank 0. Rank-side errors abort the world so no peer is
-// left blocked.
-func runSegment(ccfg core.Config, layout *decomp.Layout, rc mpi.RunConfig, src *mhd.Solver, dt float64, steps int) (*mhd.Solver, mhd.Diagnostics, error) {
+// left blocked. Under rc.Elastic the rank function may re-enter at a
+// later membership epoch after a replacement fence; re-entries restore
+// from the segment's checkpoint via reload instead of the in-memory
+// src, and rank 0's gathered result is overwritten so the final epoch
+// wins.
+func runSegment(ccfg core.Config, layout *decomp.Layout, rc mpi.RunConfig, src *mhd.Solver, dt float64, steps int, reload func() (*snapshot.Interior, error)) (*mhd.Solver, mhd.Diagnostics, error) {
 	var (
 		mu   sync.Mutex
 		next *mhd.Solver
@@ -306,11 +494,19 @@ func runSegment(ccfg core.Config, layout *decomp.Layout, rc mpi.RunConfig, src *
 		defer r.Close()
 		r.SetObs(rr)
 		sp.End()
-		var s0 *mhd.Solver
+		var in *snapshot.Interior
 		if w.Rank() == 0 {
-			s0 = src
+			if w.Epoch() > 0 {
+				ld, err := reload()
+				if err != nil {
+					w.Abort(fmt.Errorf("resilience: restoring checkpoint after rank replacement: %w", err))
+				}
+				in = ld
+			} else {
+				in = snapshot.InteriorOf(src)
+			}
 		}
-		if err := r.ScatterState(s0); err != nil {
+		if err := r.ScatterInterior(in); err != nil {
 			w.Abort(err)
 		}
 		for i := 0; i < steps; i++ {

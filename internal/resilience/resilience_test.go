@@ -244,7 +244,8 @@ func TestPostmortemOnExhaustedRetries(t *testing.T) {
 	if rerr != nil {
 		t.Fatalf("post-mortem not written: %v", rerr)
 	}
-	for _, want := range []string{"failed segment start step: 2", "attempts: 3", "blow-up", "committed segments: 1"} {
+	for _, want := range []string{"failed segment start step: 2", "attempts: 3", "blow-up", "committed segments: 1",
+		"recovery decisions (2):", "segment 1 attempt 1: rollback", "segment 1 attempt 2: rollback"} {
 		if !strings.Contains(string(pm), want) {
 			t.Errorf("post-mortem missing %q:\n%s", want, pm)
 		}

@@ -1,0 +1,110 @@
+package snapshot
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"testing"
+)
+
+// ckptSHA is the byte-identity gate the elastic-restart tests pin: two
+// solvers are the same state iff their checkpoints hash the same.
+func ckptSHA(t *testing.T, write func(*bytes.Buffer) error) [32]byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return sha256.Sum256(buf.Bytes())
+}
+
+// TestInteriorRoundTrip: checkpoint -> ReadInterior -> Solver ->
+// checkpoint is byte-identical, so the layout-neutral form loses
+// nothing relative to the direct ReadCheckpoint path.
+func TestInteriorRoundTrip(t *testing.T) {
+	sv := makeSolver(t, 3)
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, sv); err != nil {
+		t.Fatal(err)
+	}
+	raw := append([]byte(nil), buf.Bytes()...)
+	in, err := ReadInterior(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Spec != sv.Spec || in.Prm != sv.Prm || in.Time != sv.Time || in.Step != sv.Step {
+		t.Fatalf("interior metadata %+v t=%v step=%d does not match solver", in.Spec, in.Time, in.Step)
+	}
+	got, err := in.Solver()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := ckptSHA(t, func(b *bytes.Buffer) error { return WriteCheckpoint(b, got) })
+	if sum != sha256.Sum256(raw) {
+		t.Fatal("checkpoint of the rebuilt solver differs from the original")
+	}
+}
+
+// TestInteriorOfMatchesDisk: the in-memory InteriorOf and the on-disk
+// ReadInterior produce identical slabs — the scatter path may take
+// either without changing a bit.
+func TestInteriorOfMatchesDisk(t *testing.T) {
+	sv := makeSolver(t, 2)
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, sv); err != nil {
+		t.Fatal(err)
+	}
+	fromDisk, err := ReadInterior(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromMem := InteriorOf(sv)
+	for pi := range fromMem.Fields {
+		for si := range fromMem.Fields[pi] {
+			a, b := fromMem.Fields[pi][si], fromDisk.Fields[pi][si]
+			if len(a) != len(b) {
+				t.Fatalf("panel %d scalar %d: slab lengths %d vs %d", pi, si, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("panel %d scalar %d differs at %d", pi, si, i)
+				}
+			}
+		}
+	}
+}
+
+// TestInteriorRowIndexing: Row addresses the same values the solver
+// holds at the corresponding interior node.
+func TestInteriorRowIndexing(t *testing.T) {
+	sv := makeSolver(t, 1)
+	in := InteriorOf(sv)
+	h := sv.Panels[0].Patch.H
+	for pi, pl := range sv.Panels {
+		for si, s := range pl.U.Scalars() {
+			for _, jk := range [][2]int{{0, 0}, {1, 2}, {sv.Spec.Nt - 1, sv.Spec.Np - 1}} {
+				row := in.Row(pi, si, jk[0], jk[1])
+				want := s.Row(jk[0]+h, jk[1]+h)
+				for i := 0; i < sv.Spec.Nr; i++ {
+					if row[i] != want[i+h] {
+						t.Fatalf("panel %d scalar %d row (%d,%d) differs at %d", pi, si, jk[0], jk[1], i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestInteriorCorruptionDetected: ReadInterior enforces the same
+// trailing checksum as ReadCheckpoint.
+func TestInteriorCorruptionDetected(t *testing.T) {
+	sv := makeSolver(t, 1)
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, sv); err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), buf.Bytes()...)
+	bad[len(bad)/2] ^= 0x40
+	if _, err := ReadInterior(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bit flip in payload went undetected")
+	}
+}

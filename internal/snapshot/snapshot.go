@@ -14,6 +14,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash"
 	"hash/crc32"
 	"io"
 	"math"
@@ -86,30 +87,26 @@ func WriteCheckpoint(w io.Writer, sv *mhd.Solver) error {
 	return binary.Write(w, binary.LittleEndian, crc.Sum32())
 }
 
-// ReadCheckpoint reconstructs a solver from a checkpoint. The restored
-// solver carries the stored parameters and the interior state; the
-// constraint application (walls + overset exchange) is re-run to
-// rebuild the padded halo values the payload does not carry.
-func ReadCheckpoint(r io.Reader) (*mhd.Solver, error) {
-	// No read-ahead buffering here: every read below requests exact byte
-	// counts, so the hashed prefix ends exactly where the trailing
-	// checksum begins.
+// readHeader consumes and validates a checkpoint's magic and header
+// through a CRC tee; the returned hash and tee reader continue the
+// checksummed payload read.
+func readHeader(r io.Reader) (hash.Hash32, io.Reader, header, error) {
 	crc := crc32.NewIEEE()
 	br := io.TeeReader(r, crc)
+	var h header
 
 	magic := make([]byte, len(Magic))
 	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("snapshot: reading magic: %w", err)
+		return nil, nil, h, fmt.Errorf("snapshot: reading magic: %w", err)
 	}
 	if string(magic) != Magic {
-		return nil, fmt.Errorf("snapshot: bad magic %q", magic)
+		return nil, nil, h, fmt.Errorf("snapshot: bad magic %q", magic)
 	}
-	var h header
 	if err := binary.Read(br, binary.LittleEndian, &h); err != nil {
-		return nil, fmt.Errorf("snapshot: reading header: %w", err)
+		return nil, nil, h, fmt.Errorf("snapshot: reading header: %w", err)
 	}
 	if h.Version != Version {
-		return nil, fmt.Errorf("snapshot: unsupported version %d", h.Version)
+		return nil, nil, h, fmt.Errorf("snapshot: unsupported version %d", h.Version)
 	}
 	// Sanity-bound the header before allocating anything from it: a
 	// corrupt (truncated, bit-flipped) file would otherwise request
@@ -117,51 +114,42 @@ func ReadCheckpoint(r io.Reader) (*mhd.Solver, error) {
 	// trailing checksum could reject it.
 	const maxNodes = 1 << 14
 	if h.Nr < 3 || h.Nt < 3 || h.Np < 3 || h.Nr > maxNodes || h.Nt > maxNodes || h.Np > 3*maxNodes {
-		return nil, fmt.Errorf("snapshot: implausible grid %dx%dx%d in header", h.Nr, h.Nt, h.Np)
+		return nil, nil, h, fmt.Errorf("snapshot: implausible grid %dx%dx%d in header", h.Nr, h.Nt, h.Np)
 	}
 	if !(h.RI > 0 && h.RO > h.RI) || math.IsNaN(h.RI) || math.IsNaN(h.RO) || math.IsInf(h.RO, 0) {
-		return nil, fmt.Errorf("snapshot: implausible shell radii [%g, %g] in header", h.RI, h.RO)
+		return nil, nil, h, fmt.Errorf("snapshot: implausible shell radii [%g, %g] in header", h.RI, h.RO)
 	}
 	if h.Step < 0 || h.Step > 1<<40 || math.IsNaN(h.Time) || math.IsInf(h.Time, 0) {
-		return nil, fmt.Errorf("snapshot: implausible clock t=%g step=%d in header", h.Time, h.Step)
+		return nil, nil, h, fmt.Errorf("snapshot: implausible clock t=%g step=%d in header", h.Time, h.Step)
 	}
-	spec := grid.Spec{Nr: int(h.Nr), Nt: int(h.Nt), Np: int(h.Np), RI: h.RI, RO: h.RO}
-	prm := mhd.Params{Gamma: h.Gamma, Mu: h.Mu, Kappa: h.Kappa, Eta: h.Eta,
-		G0: h.G0, Omega: h.Omega, TIn: h.Ti, MagBC: mhd.MagneticBC(h.MagBC)}
-	sv, err := mhd.NewSolver(spec, prm, mhd.InitialConditions{})
-	if err != nil {
-		return nil, fmt.Errorf("snapshot: rebuilding solver: %w", err)
-	}
-	for _, pl := range sv.Panels {
-		for _, s := range pl.U.Scalars() {
-			var rerr error
-			s.EachInteriorRow(func(i0 int, row []float64) {
-				if rerr == nil {
-					rerr = readFloats(br, row)
-				}
-			})
-			if rerr != nil {
-				return nil, fmt.Errorf("snapshot: reading field: %w", rerr)
-			}
-		}
-	}
-	// Everything consumed through the tee has been hashed; the stored
-	// checksum itself arrives from the raw reader.
+	return crc, br, h, nil
+}
+
+// verifyChecksum reads the stored trailing CRC-32 from the raw
+// (un-teed) reader and compares it against the hash of everything
+// consumed so far.
+func verifyChecksum(r io.Reader, crc hash.Hash32) error {
 	sum := crc.Sum32()
 	var stored uint32
 	if err := binary.Read(r, binary.LittleEndian, &stored); err != nil {
-		return nil, fmt.Errorf("snapshot: reading checksum: %w", err)
+		return fmt.Errorf("snapshot: reading checksum: %w", err)
 	}
 	if stored != sum {
-		return nil, fmt.Errorf("snapshot: checksum mismatch: stored %08x, computed %08x", stored, sum)
+		return fmt.Errorf("snapshot: checksum mismatch: stored %08x, computed %08x", stored, sum)
 	}
-	sv.Time = h.Time
-	sv.Step = int(h.Step)
-	// The payload is interior-only: rebuild the halo and rim values,
-	// which are a pure function of the interior and the boundary
-	// conditions.
-	sv.ApplyConstraints()
-	return sv, nil
+	return nil
+}
+
+// ReadCheckpoint reconstructs a solver from a checkpoint. The restored
+// solver carries the stored parameters and the interior state; the
+// constraint application (walls + overset exchange) is re-run to
+// rebuild the padded halo values the payload does not carry.
+func ReadCheckpoint(r io.Reader) (*mhd.Solver, error) {
+	in, err := ReadInterior(r)
+	if err != nil {
+		return nil, err
+	}
+	return in.Solver()
 }
 
 func writeFloats(w io.Writer, data []float64) error {

@@ -10,9 +10,10 @@
 #                      per-function walks (irecv-wait, pow2-stride,
 #                      float-eq, cond-wait-loop, abort-on-err,
 #                      runwith-deadline, span-end, det-purity,
-#                      pool-disjoint) plus the interprocedural passes
-#                      (tag-space, buf-lifetime) and the directive
-#                      audit (ignore-audit)
+#                      pool-disjoint, typed-err) plus the
+#                      interprocedural passes (tag-space,
+#                      buf-lifetime) and the directive audit
+#                      (ignore-audit)
 #   4. go test       — the full test suite; the explicit -timeout turns
 #                      any residual runtime wedge into a stack-dumped
 #                      failure instead of a hung CI job
@@ -25,7 +26,13 @@
 #                      schedules over full solver runs (liveness,
 #                      golden-checkpoint safety, campaign
 #                      recoverability), then the committed regression
-#                      corpus replayed for its recorded verdicts
+#                      corpora replayed for their recorded verdicts —
+#                      the base corpus plus the rank-replacement
+#                      corpus (kill -> heartbeat confirm -> surgical
+#                      respawn, final state byte-equal to golden).
+#                      Violating scenarios drop postmortem + event
+#                      timeline artifacts into CHAOS_ART for CI to
+#                      upload
 #   7. traced smoke  — a 2-rank run with -trace and -runreport on,
 #                      proving the observability path exports a valid
 #                      Perfetto trace and run report end to end
@@ -51,11 +58,18 @@ go test -timeout 120s ./...
 echo "==> go test -race -timeout 240s ./internal/mpi ./internal/decomp ./internal/overset ./internal/resilience ./internal/par ./internal/chaos ./internal/obs"
 go test -race -timeout 240s ./internal/mpi ./internal/decomp ./internal/overset ./internal/resilience ./internal/par ./internal/chaos ./internal/obs
 
-echo "==> chaos smoke: go run ./cmd/yychaos -seeds 25 -steps 5"
-go run ./cmd/yychaos -seeds 25 -steps 5
+# Violating chaos scenarios leave their postmortem.txt and event
+# timeline under $chaos_art; CI exports CHAOS_ART and uploads the
+# directory as an artifact when the gate fails.
+chaos_art="${CHAOS_ART:-$(mktemp -d)}"
+echo "==> chaos smoke: go run ./cmd/yychaos -seeds 25 -steps 5 -artifacts $chaos_art"
+go run ./cmd/yychaos -seeds 25 -steps 5 -artifacts "$chaos_art"
 
 echo "==> chaos corpus replay: go run ./cmd/yychaos -corpus internal/chaos/testdata/corpus.json"
-go run ./cmd/yychaos -corpus internal/chaos/testdata/corpus.json
+go run ./cmd/yychaos -corpus internal/chaos/testdata/corpus.json -artifacts "$chaos_art"
+
+echo "==> chaos replacement corpus: go run ./cmd/yychaos -corpus internal/chaos/testdata/corpus_replace.json"
+go run ./cmd/yychaos -corpus internal/chaos/testdata/corpus_replace.json -artifacts "$chaos_art"
 
 obs_out="${OBS_OUT:-$(mktemp -d)}"
 echo "==> traced smoke: go run ./cmd/yycore -nr 9 -nt 13 -steps 4 -every 2 -procs 2 -trace $obs_out/trace.json -runreport $obs_out/report.txt"
