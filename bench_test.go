@@ -308,6 +308,44 @@ func BenchmarkParallelStep(b *testing.B) {
 	}
 }
 
+// BenchmarkStepOverlap: one RK4 step on 4 goroutine ranks with the
+// interior/rim overlapped halo schedule on and off. On a 1-CPU host the
+// goroutine transport completes instantly, so the pair mostly bounds the
+// scheduling overhead of the split; the latency-hiding win needs real
+// wire time (see DESIGN.md).
+func BenchmarkStepOverlap(b *testing.B) {
+	spec := grid.NewSpec(17, 17)
+	layout, err := decomp.NewLayout(spec, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, cse := range []struct {
+		name    string
+		overlap bool
+	}{
+		{"overlap", true},
+		{"sequential", false},
+	} {
+		cse := cse
+		b.Run(cse.name, func(b *testing.B) {
+			err := mpi.Run(4, func(w *mpi.Comm) {
+				r, err := decomp.NewRank(w, layout, mhd.Default(), mhd.DefaultIC())
+				if err != nil {
+					b.Fatal(err)
+				}
+				r.SetOverlap(cse.overlap)
+				dt := r.EstimateDT(0.3)
+				for i := 0; i < b.N; i++ {
+					r.Advance(dt)
+				}
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
 // BenchmarkRHS: one full right-hand-side evaluation (the solver's hot
 // loop) on a single panel.
 func BenchmarkRHS(b *testing.B) {

@@ -32,6 +32,7 @@ func main() {
 		jsonDir   = flag.String("json", "", "run the kernel, halo and observability benchmarks and write BENCH_kernels.json/BENCH_halo.json/BENCH_obs.json into this directory")
 		gate      = flag.String("gate", "", "re-run the halo benchmarks and fail if allocs/op regresses above this baseline BENCH_halo.json")
 		gateObs   = flag.String("gate-obs", "", "re-run the observability benchmarks and fail if allocs/op (strict) or ns/op (10x slack) regresses above this baseline BENCH_obs.json")
+		gateStep  = flag.String("gate-step", "", "check the committed fused-RHS speedup in this baseline BENCH_kernels.json and re-measure fused vs reference as a live tripwire")
 	)
 	flag.Parse()
 
@@ -58,6 +59,11 @@ func main() {
 	if *gateObs != "" {
 		check(bench.GateObsOverhead(*gateObs))
 		fmt.Fprintf(w, "observability overhead gate passed against %s\n", *gateObs)
+		ran = true
+	}
+	if *gateStep != "" {
+		check(bench.GateStep(*gateStep, grid.NewSpec(17, 17)))
+		fmt.Fprintf(w, "fused-RHS step gate passed against %s\n", *gateStep)
 		ran = true
 	}
 	if *all || *table == 1 {

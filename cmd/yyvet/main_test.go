@@ -24,6 +24,9 @@ var badModuleWants = []string{
 	"decomp/decomp.go:12:1: tag-space: ExchangeTags() allocates tag 9",
 	"decomp/decomp.go:23:12: tag-space: Send on the step path uses tag 3",
 	"decomp/decomp.go:29:12: tag-space: tag 0 (from decomp.tagBase+0) collides across subsystems",
+	// Overlap-order: a read of the in-flight halo array inside the
+	// haloStart..haloFinish window.
+	"decomp/decomp.go:55:7: overlap-order: r.b is read between haloStart and haloFinish",
 	"relay/relay.go:17:12: tag-space: tag 0 (from 0) collides across subsystems",
 	"relay/relay.go:17:12: tag-space: Send uses negative tag -2",
 	// Buffer lifetime: the three diagnosable misuses.
@@ -201,6 +204,7 @@ func TestListFlag(t *testing.T) {
 	for _, name := range []string{
 		"irecv-wait", "pow2-stride", "float-eq", "cond-wait-loop",
 		"tag-space", "buf-lifetime", "det-purity", "pool-disjoint", "ignore-audit",
+		"overlap-order",
 	} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %s:\n%s", name, out.String())

@@ -29,3 +29,30 @@ func exchange(c *mpi.Comm, base int) {
 	c.Send(1, base+0, nil)
 	c.Send(1, base+1, nil)
 }
+
+// The overlap-order seed: a miniature of the overlapped halo schedule
+// that reads the in-flight array before the finish.
+
+type scalar struct{ data []float64 }
+
+type region struct{ j0, j1 int }
+
+type halo struct{ fields []*scalar }
+
+type rank struct {
+	interior region
+	b        *scalar
+}
+
+func (r *rank) haloStart(fields []*scalar, tag int) halo { return halo{fields: fields} }
+
+func (r *rank) haloFinish(ov *halo) {}
+
+// overlapStep reads the exchanged array inside the overlap window
+// instead of routing it through an interior-region kernel.
+func (r *rank) overlapStep() float64 {
+	ov := r.haloStart([]*scalar{r.b}, tagBase)
+	x := r.b.data[0] // overlap-order: read between the post and the wait
+	r.haloFinish(&ov)
+	return x
+}

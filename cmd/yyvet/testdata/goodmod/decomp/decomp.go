@@ -26,3 +26,32 @@ func exchange(c *mpi.Comm, base int) {
 	c.Send(1, base+0, nil)
 	c.Send(1, base+1, nil)
 }
+
+// The overlap-order happy path: inside the window the exchanged array
+// only feeds a kernel on the declared interior region; the rim kernel
+// runs after the finish.
+
+type scalar struct{ data []float64 }
+
+type region struct{ j0, j1 int }
+
+type halo struct{ fields []*scalar }
+
+type rank struct {
+	interior region
+	rim      region
+	b        *scalar
+}
+
+func (r *rank) haloStart(fields []*scalar, tag int) halo { return halo{fields: fields} }
+
+func (r *rank) haloFinish(ov *halo) {}
+
+func kernel(f *scalar, reg region) {}
+
+func (r *rank) overlapStep() {
+	ov := r.haloStart([]*scalar{r.b}, tagBase)
+	kernel(r.b, r.interior)
+	r.haloFinish(&ov)
+	kernel(r.b, r.rim)
+}

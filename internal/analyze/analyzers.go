@@ -10,6 +10,7 @@ func All() []*Analyzer {
 		FloatEq,
 		IgnoreAudit,
 		IrecvWait,
+		OverlapOrder,
 		PoolDisjoint,
 		Pow2Stride,
 		RunWithDeadline,

@@ -1,0 +1,218 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// OverlapOrder reports reads of halo-exchanged arrays inside an overlap
+// window — between a haloStart call that posts the receives and the
+// haloFinish that completes them — unless the read is routed through a
+// declared interior region.
+//
+// Paper provenance: the overlapped schedule hides halo latency by
+// computing while messages fly (PAPER.md §3's posted MPI_IRECV
+// exchanges). That is only sound for compute that provably needs no
+// halo bytes — kernels restricted to the interior region, whose columns
+// sit at least a stencil radius from every seam. A full-region kernel
+// or a direct array read inside the window consumes half-exchanged
+// halos: a data race in schedule form, bit-visible only on unlucky
+// timing. The analyzer flags any use of a haloStart-tracked array
+// between the post and the wait whose enclosing call does not also
+// receive an interior region argument.
+var OverlapOrder = &Analyzer{
+	Name: "overlap-order",
+	Doc: "a halo-exchanged array read between haloStart and haloFinish can see " +
+		"half-exchanged halo bytes; restrict the window to kernels on the " +
+		"declared interior region or move the read after the wait",
+	Run: runOverlapOrder,
+}
+
+func runOverlapOrder(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if block, ok := n.(*ast.BlockStmt); ok {
+					checkOverlapBlock(pass, block)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// overlapWindow is one open haloStart..haloFinish region: the variable
+// the overlap handle was assigned to (empty when discarded) and the
+// printed forms of the tracked array expressions.
+type overlapWindow struct {
+	varName string
+	roots   map[string]bool
+}
+
+// checkOverlapBlock scans one statement list in order, opening a window
+// at each haloStart, closing it at the haloFinish naming its handle,
+// and flagging tracked reads in between. Nested blocks are scanned by
+// their own invocation; reads inside them still count against windows
+// of this level because each statement is inspected in full.
+func checkOverlapBlock(pass *Pass, block *ast.BlockStmt) {
+	var windows []overlapWindow
+	for _, stmt := range block.List {
+		// Closes first: a finish and a read in one statement is the
+		// post-wait shape, not an overlap read.
+		if names, found := overlapFinishNames(stmt); found {
+			windows = closeOverlapWindows(windows, names)
+		}
+		if len(windows) > 0 {
+			flagOverlapReads(pass, stmt, windows)
+		}
+		if w, ok := overlapStartWindow(pass, stmt); ok {
+			windows = append(windows, w)
+		}
+	}
+}
+
+// overlapStartWindow extracts the window a statement opens via a
+// haloStart call: the tracked roots are the printed forms of the fields
+// argument (each element of a composite literal, or the expression
+// itself).
+func overlapStartWindow(pass *Pass, stmt ast.Stmt) (overlapWindow, bool) {
+	w := overlapWindow{roots: map[string]bool{}}
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isMethodCall(call, "haloStart") || len(call.Args) == 0 {
+			return true
+		}
+		found = true
+		switch arg := call.Args[0].(type) {
+		case *ast.CompositeLit:
+			for _, el := range arg.Elts {
+				w.roots[types.ExprString(el)] = true
+			}
+		default:
+			w.roots[types.ExprString(arg)] = true
+		}
+		return true
+	})
+	if !found {
+		return w, false
+	}
+	if assign, ok := stmt.(*ast.AssignStmt); ok && len(assign.Lhs) == 1 {
+		if id, ok := assign.Lhs[0].(*ast.Ident); ok {
+			w.varName = id.Name
+		}
+	}
+	return w, true
+}
+
+// overlapFinishNames collects the handle identifiers a statement's
+// haloFinish calls mention. found reports whether any haloFinish call
+// is present (a finish with no identifiable handle closes every
+// window, conservatively).
+func overlapFinishNames(stmt ast.Stmt) (map[string]bool, bool) {
+	names := map[string]bool{}
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isMethodCall(call, "haloFinish") {
+			return true
+		}
+		found = true
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok {
+					names[id.Name] = true
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return names, found
+}
+
+func closeOverlapWindows(windows []overlapWindow, names map[string]bool) []overlapWindow {
+	if len(names) == 0 {
+		return nil // unidentifiable handle: assume everything completed
+	}
+	kept := windows[:0]
+	for _, w := range windows {
+		if w.varName == "" || !names[w.varName] {
+			kept = append(kept, w)
+		}
+	}
+	return kept
+}
+
+// flagOverlapReads reports every use of a tracked root inside stmt that
+// is not under a haloStart/haloFinish call (the exchange machinery
+// itself) and not under a call that also receives an interior region
+// argument.
+func flagOverlapReads(pass *Pass, stmt ast.Stmt, windows []overlapWindow) {
+	inspectWithParents(stmt, func(n ast.Node, parents []ast.Node) bool {
+		expr, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		switch expr.(type) {
+		case *ast.Ident, *ast.SelectorExpr:
+		default:
+			return true
+		}
+		printed := types.ExprString(expr)
+		tracked := false
+		for _, w := range windows {
+			if w.roots[printed] {
+				tracked = true
+				break
+			}
+		}
+		if !tracked {
+			return true
+		}
+		for _, p := range parents {
+			call, ok := p.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if isMethodCall(call, "haloStart") || isMethodCall(call, "haloFinish") {
+				return true // the exchange machinery handles its own fields
+			}
+			if callHasInteriorArg(call) {
+				return true // declared interior-region kernel: no halo reads
+			}
+		}
+		pass.Reportf(expr.Pos(), "%s is read between haloStart and haloFinish and may see half-exchanged halos; route it through a kernel on the interior region or move the read after haloFinish", printed)
+		return false // don't re-flag the sub-expressions
+	})
+}
+
+// isMethodCall recognizes a method call with the given selector name.
+func isMethodCall(call *ast.CallExpr, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == name
+}
+
+// callHasInteriorArg reports whether any argument of the call is the
+// declared interior region: an identifier or field selector named
+// "interior".
+func callHasInteriorArg(call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		switch a := arg.(type) {
+		case *ast.Ident:
+			if a.Name == "interior" {
+				return true
+			}
+		case *ast.SelectorExpr:
+			if a.Sel.Name == "interior" {
+				return true
+			}
+		}
+	}
+	return false
+}

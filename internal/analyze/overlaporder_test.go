@@ -1,0 +1,17 @@
+package analyze
+
+import "testing"
+
+// TestOverlapOrder runs the analyzer over its fixture: direct reads,
+// indexed reads, full-region kernels and nested-block reads inside an
+// open window are true positives; interior-region kernels, untracked
+// arrays, closed windows and post-finish reads are clean.
+func TestOverlapOrder(t *testing.T) {
+	for _, tc := range []struct{ name, dir string }{
+		{"fixture", "overlaporder"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			runFixture(t, tc.dir, OverlapOrder)
+		})
+	}
+}

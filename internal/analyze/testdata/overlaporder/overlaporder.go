@@ -1,0 +1,104 @@
+// Package overlaporder is the overlap-order fixture: a self-contained
+// miniature of the decomp overlap scheduler (haloStart posting receives
+// and returning a handle, haloFinish completing it) plus good and bad
+// reads of the exchanged arrays inside the window.
+package overlaporder
+
+// Scalar mimics field.Scalar.
+type Scalar struct{ data []float64 }
+
+// Region mimics grid.Region.
+type Region struct{ J0, J1 int }
+
+type overlap struct{ fields []*Scalar }
+
+// Rank mimics decomp.Rank: the exchanged arrays and the declared
+// interior region.
+type Rank struct {
+	interior Region
+	rim      Region
+	b        *Scalar
+	divv     *Scalar
+}
+
+func (r *Rank) haloStart(fields []*Scalar, tag int) overlap { return overlap{fields: fields} }
+
+func (r *Rank) haloFinish(ov *overlap) {}
+
+func kernel(f *Scalar, reg Region) {}
+
+func read(f *Scalar) float64 { return f.data[0] }
+
+func badDirectRead(r *Rank) float64 {
+	ov := r.haloStart([]*Scalar{r.b}, 8)
+	x := read(r.b) // want "r.b is read between haloStart and haloFinish"
+	r.haloFinish(&ov)
+	return x
+}
+
+func badIndexRead(r *Rank) float64 {
+	ov := r.haloStart([]*Scalar{r.divv}, 16)
+	v := r.divv.data[3] // want "r.divv is read between haloStart and haloFinish"
+	r.haloFinish(&ov)
+	return v
+}
+
+func badFullRegionKernel(r *Rank) {
+	ov := r.haloStart([]*Scalar{r.b}, 8)
+	kernel(r.b, r.rim) // want "r.b is read between haloStart and haloFinish"
+	r.haloFinish(&ov)
+}
+
+func badReadInNestedBlock(r *Rank, cond bool) {
+	ov := r.haloStart([]*Scalar{r.b}, 8)
+	if cond {
+		read(r.b) // want "r.b is read between haloStart and haloFinish"
+	}
+	r.haloFinish(&ov)
+}
+
+func goodInteriorKernel(r *Rank) {
+	ov := r.haloStart([]*Scalar{r.b}, 8)
+	kernel(r.b, r.interior)
+	r.haloFinish(&ov)
+	kernel(r.b, r.rim) // after the wait: rim may read the halos
+}
+
+func goodUntrackedRead(r *Rank) float64 {
+	ov := r.haloStart([]*Scalar{r.b}, 8)
+	x := read(r.divv) // divv is not in flight
+	r.haloFinish(&ov)
+	return x
+}
+
+func goodSequentialWindows(r *Rank) {
+	ovB := r.haloStart([]*Scalar{r.b}, 8)
+	kernel(r.b, r.interior)
+	r.haloFinish(&ovB)
+	ovA := r.haloStart([]*Scalar{r.divv}, 16)
+	kernel(r.b, r.rim) // b's window is closed; only divv is in flight
+	kernel(r.divv, r.interior)
+	r.haloFinish(&ovA)
+	kernel(r.divv, r.rim)
+}
+
+func badSecondWindow(r *Rank) float64 {
+	ovB := r.haloStart([]*Scalar{r.b}, 8)
+	r.haloFinish(&ovB)
+	ovA := r.haloStart([]*Scalar{r.divv}, 16)
+	v := read(r.divv) // want "r.divv is read between haloStart and haloFinish"
+	r.haloFinish(&ovA)
+	return v
+}
+
+func goodNoWindow(r *Rank) float64 {
+	return read(r.b)
+}
+
+func suppressed(r *Rank) float64 {
+	ov := r.haloStart([]*Scalar{r.b}, 8)
+	//yyvet:ignore overlap-order fixture: the read is justified here
+	x := read(r.b)
+	r.haloFinish(&ov)
+	return x
+}

@@ -11,12 +11,16 @@ import (
 	"repro/internal/mpi"
 )
 
-// faultEveryExchange scripts a drop of the first and a duplicate of the
-// second occurrence of every exchange envelope the 4-rank decomposition
-// can produce: halo and rim refreshes on both panel communicators
-// (split comm ids 1 and 2) and the overset exchange on the world.
-// Entries that match no real traffic are inert, so the plan covers the
-// whole tag space without knowing the layout's neighbour graph.
+// faultEveryExchange scripts a drop of the first, a duplicate of the
+// second and a delay of the third occurrence of every exchange envelope
+// the 4-rank decomposition can produce: halo and rim refreshes on both
+// panel communicators (split comm ids 1 and 2) and the overset exchange
+// on the world. Entries that match no real traffic are inert, so the
+// plan covers the whole tag space without knowing the layout's
+// neighbour graph. The delays also stretch the overlapped RHS schedule
+// to its maximal interior/rim skew: the interior compute finishes long
+// before the delayed halos land, so the golden comparison pins that the
+// rim never reads pre-exchange bytes.
 func faultEveryExchange() *mpi.FaultPlan {
 	p := mpi.NewFaultPlan()
 	pairs := [][2]int{{0, 1}, {1, 0}, {0, 2}, {2, 0}, {1, 3}, {3, 1}, {0, 3}, {3, 0}, {1, 2}, {2, 1}}
@@ -25,6 +29,7 @@ func faultEveryExchange() *mpi.FaultPlan {
 			for _, pr := range pairs {
 				p.Add(mpi.Fault{Comm: comm, Src: pr[0], Dst: pr[1], Tag: tag, Epoch: 0, Action: mpi.Drop})
 				p.Add(mpi.Fault{Comm: comm, Src: pr[0], Dst: pr[1], Tag: tag, Epoch: 1, Action: mpi.Duplicate})
+				p.Add(mpi.Fault{Comm: comm, Src: pr[0], Dst: pr[1], Tag: tag, Epoch: 2, Action: mpi.Delay, Delay: 2 * time.Millisecond})
 			}
 		}
 	}

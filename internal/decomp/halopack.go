@@ -148,6 +148,64 @@ func (hb *HaloBufs) UnpackColCells(fields []*field.Scalar, k int, rows []int, bu
 	}
 }
 
+// PackPhiRange packs padded-phi column k of every field over theta rows
+// j in [j0, j1) only — the corner-free message of the overlapped
+// exchange, which restricts both directions to the owned ranges so no
+// halo-of-halo values ever travel.
+func (hb *HaloBufs) PackPhiRange(fields []*field.Scalar, k, j0, j1, dir int) []float64 {
+	buf := hb.send[dir][:len(fields)*(j1-j0)*hb.nrP]
+	pos := 0
+	for _, f := range fields {
+		for j := j0; j < j1; j++ {
+			pos += copy(buf[pos:], f.Row(j, k))
+		}
+	}
+	return buf
+}
+
+// UnpackPhiRange scatters a PackPhiRange-layout buffer into padded-phi
+// column k, theta rows [j0, j1).
+func (hb *HaloBufs) UnpackPhiRange(fields []*field.Scalar, k, j0, j1 int, buf []float64) {
+	pos := 0
+	for _, f := range fields {
+		for j := j0; j < j1; j++ {
+			copy(f.Row(j, k), buf[pos:pos+hb.nrP])
+			pos += hb.nrP
+		}
+	}
+}
+
+// PackThetaRange packs padded-theta row j of every field over phi
+// columns k in [k0, k1) only.
+func (hb *HaloBufs) PackThetaRange(fields []*field.Scalar, j, k0, k1, dir int) []float64 {
+	buf := hb.send[dir][:len(fields)*(k1-k0)*hb.nrP]
+	pos := 0
+	for _, f := range fields {
+		for k := k0; k < k1; k++ {
+			pos += copy(buf[pos:], f.Row(j, k))
+		}
+	}
+	return buf
+}
+
+// UnpackThetaRange scatters a PackThetaRange-layout buffer into
+// padded-theta row j, phi columns [k0, k1).
+func (hb *HaloBufs) UnpackThetaRange(fields []*field.Scalar, j, k0, k1 int, buf []float64) {
+	pos := 0
+	for _, f := range fields {
+		for k := k0; k < k1; k++ {
+			copy(f.Row(j, k), buf[pos:pos+hb.nrP])
+			pos += hb.nrP
+		}
+	}
+}
+
+// RecvRange returns the dir-th receive buffer sized for a corner-free
+// message of nFields fields over nRows rows or columns.
+func (hb *HaloBufs) RecvRange(nFields, nRows, dir int) []float64 {
+	return hb.recv[dir][:nFields*nRows*hb.nrP]
+}
+
 // RecvTheta returns the dir-th receive buffer sized for a theta-phase
 // message of nFields fields.
 func (hb *HaloBufs) RecvTheta(nFields, dir int) []float64 {

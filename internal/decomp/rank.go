@@ -79,6 +79,17 @@ type Rank struct {
 	obs    *obs.RankRec
 	lastDT float64
 
+	// Overlapped-RHS schedule state: the owned columns split once into
+	// the seam-independent interior and the width-1 rim (the stencil
+	// radius), plus the toggle that falls back to the fully sequential
+	// exchange-then-compute schedule. Both schedules are bit-identical;
+	// the toggle exists so correctness suites can pin that and so a
+	// regression can be bisected at runtime.
+	overlap  bool
+	interior grid.Region
+	rim      grid.Region
+	fullReg  grid.Region
+
 	nrP int // padded radial extent (column length)
 }
 
@@ -133,15 +144,20 @@ func NewRankWorkers(world *mpi.Comm, l *Layout, prm mhd.Params, ic mhd.InitialCo
 	mhd.InitPanel(pl, prm, ic)
 
 	r := &Rank{
-		World:  world,
-		Cart:   cart,
-		Layout: l,
-		Panel:  panel,
-		PL:     pl,
-		Prm:    prm,
-		pool:   patch.Par,
-		nrP:    l.Spec.Nr + 2*patch.H,
+		World:   world,
+		Cart:    cart,
+		Layout:  l,
+		Panel:   panel,
+		PL:      pl,
+		Prm:     prm,
+		pool:    patch.Par,
+		overlap: true,
+		nrP:     l.Spec.Nr + 2*patch.H,
 	}
+	in, rim := patch.SplitInteriorRim(1)
+	r.interior = grid.Region{in}
+	r.rim = rim
+	r.fullReg = patch.OwnedRegion()
 	// The rank's largest halo exchange moves the 8 state scalars.
 	r.halo = NewHaloBufs(patch, len(r.stateFields()))
 	if err := r.buildOversetPlan(); err != nil {
@@ -315,6 +331,99 @@ func (r *Rank) exchangeHalos(fields []*field.Scalar, tagBase int) {
 	}
 }
 
+// SetOverlap selects between the overlapped RHS schedule (halo receives
+// posted, interior computed while messages fly, rim finished after the
+// waits) and the sequential exchange-then-compute fallback. Both produce
+// bitwise-identical states; the default is overlapped.
+func (r *Rank) SetOverlap(on bool) { r.overlap = on }
+
+// haloOverlap is one in-flight corner-free halo exchange: the four
+// posted receives and their buffers, between haloStart and haloFinish.
+type haloOverlap struct {
+	fields             []*field.Scalar
+	reqEast, reqWest   *mpi.Request
+	reqSouth, reqNorth *mpi.Request
+	bufEast, bufWest   []float64
+	bufSouth, bufNorth []float64
+}
+
+// haloStart begins the corner-free halo exchange of the overlapped
+// schedule: it posts all four receives, then sends all four messages,
+// and returns with the exchange in flight so the caller can compute
+// under it. Unlike exchangeHalos, both directions move concurrently and
+// each message carries only the owned range of its layer (theta
+// messages span owned phi and vice versa), so no corner halo cells are
+// written — which is exactly why the two directions need no ordering.
+// Only exchanges whose consumers are axis-aligned stencils (the B and
+// div-v refreshes) may use it; the state exchange keeps the sequential
+// corner-carrying phases for the overset donors. Tags follow the
+// exchangeHalos convention (theta +0/+1, phi +2/+3), so fault plans
+// target both schedules identically.
+func (r *Rank) haloStart(fields []*field.Scalar, tagBase int) haloOverlap {
+	north, south, west, east := r.Cart.Neighbours()
+	p := r.PL.Patch
+	h := p.H
+	hb := r.halo
+	nf := len(fields)
+	ov := haloOverlap{fields: fields}
+
+	sp := r.obs.Begin(obs.SpanHaloPack)
+	if east >= 0 {
+		ov.bufEast = hb.RecvRange(nf, p.Nt, dirEast)
+		ov.reqEast = r.Cart.Irecv(east, tagBase+2, ov.bufEast)
+	}
+	if west >= 0 {
+		ov.bufWest = hb.RecvRange(nf, p.Nt, dirWest)
+		ov.reqWest = r.Cart.Irecv(west, tagBase+3, ov.bufWest)
+	}
+	if south >= 0 {
+		ov.bufSouth = hb.RecvRange(nf, p.Np, dirSouth)
+		ov.reqSouth = r.Cart.Irecv(south, tagBase+0, ov.bufSouth)
+	}
+	if north >= 0 {
+		ov.bufNorth = hb.RecvRange(nf, p.Np, dirNorth)
+		ov.reqNorth = r.Cart.Irecv(north, tagBase+1, ov.bufNorth)
+	}
+	if west >= 0 {
+		r.Cart.Send(west, tagBase+2, hb.PackPhiRange(fields, h, h, h+p.Nt, dirWest))
+	}
+	if east >= 0 {
+		r.Cart.Send(east, tagBase+3, hb.PackPhiRange(fields, h+p.Np-1, h, h+p.Nt, dirEast))
+	}
+	if north >= 0 {
+		r.Cart.Send(north, tagBase+0, hb.PackThetaRange(fields, h, h, h+p.Np, dirNorth))
+	}
+	if south >= 0 {
+		r.Cart.Send(south, tagBase+1, hb.PackThetaRange(fields, h+p.Nt-1, h, h+p.Np, dirSouth))
+	}
+	sp.End()
+	return ov
+}
+
+// haloFinish completes a haloStart exchange: waits on each posted
+// receive and unpacks it into the matching halo layer. After it returns
+// the rim stencils may read the exchanged halos.
+func (r *Rank) haloFinish(ov *haloOverlap) {
+	p := r.PL.Patch
+	h := p.H
+	hb := r.halo
+	done := func(req *mpi.Request, unpack func()) {
+		if req == nil {
+			return
+		}
+		w := r.obs.Begin(obs.SpanHaloWait)
+		req.Wait()
+		w.End()
+		u := r.obs.Begin(obs.SpanHaloUnpack)
+		unpack()
+		u.End()
+	}
+	done(ov.reqEast, func() { hb.UnpackPhiRange(ov.fields, h+p.Np, h, h+p.Nt, ov.bufEast) })
+	done(ov.reqWest, func() { hb.UnpackPhiRange(ov.fields, h-1, h, h+p.Nt, ov.bufWest) })
+	done(ov.reqSouth, func() { hb.UnpackThetaRange(ov.fields, h+p.Nt, h, h+p.Np, ov.bufSouth) })
+	done(ov.reqNorth, func() { hb.UnpackThetaRange(ov.fields, h-1, h, h+p.Np, ov.bufNorth) })
+}
+
 // oversetExchange performs the distributed Yin<->Yang rim interpolation
 // for the whole state (rho, p, F, A). Donors interpolate columns from
 // their interior-plus-halo data and send one message per receiving peer
@@ -339,10 +448,14 @@ func (r *Rank) oversetExchange() {
 	// Donate: each target interpolates its 8 columns (2 scalars + 2
 	// rotated vectors) directly into its own disjoint segment of the
 	// peer's send buffer, range-split over the rank's worker pool —
-	// bit-identical to a serial target loop.
+	// bit-identical to a serial target loop. The interpolation runs
+	// with every rim receive already posted, so it counts as overlap:
+	// wait time the posted receives would otherwise accumulate is spent
+	// computing instead.
 	for _, peer := range r.peersSend {
 		targets := r.oversetSend[peer]
 		buf := r.ovSendBuf[peer]
+		ho := r.obs.Begin(obs.SpanHaloOverlap)
 		p.Par.For(len(targets), func(lo, hi int) {
 			for ti := lo; ti < hi; ti++ {
 				t := targets[ti]
@@ -375,6 +488,7 @@ func (r *Rank) oversetExchange() {
 				rotate(seg[6*nrP:7*nrP], seg[7*nrP:8*nrP])
 			}
 		})
+		ho.End()
 		r.World.Send(peer, tagOversetBase, buf)
 	}
 	sp.End()
@@ -545,13 +659,46 @@ func (r *Rank) rimRefresh() {
 // rhs evaluates the right-hand side into the panel's k state: compute
 // the subsidiary fields, refresh the magnetic-field halos (its curl is
 // differentiated), then finish.
+//
+// With overlap enabled the two halo refreshes hide under compute. Both
+// exchanged families (B, div v) are consumed only by axis-aligned
+// stencils, so the corner-free haloStart exchange suffices, and the
+// interior — every owned point at least the stencil radius from a
+// neighbour boundary — depends on no incoming halo at all. The schedule
+// therefore posts the B exchange, evaluates div v everywhere plus the
+// current-density curl on the interior while B flies, waits, finishes
+// the curl on the rim, then repeats the trick for the div-v exchange
+// under the interior update. Every point is still computed exactly once
+// by the same arithmetic, so the result is bitwise identical to the
+// sequential fallback below.
 func (r *Rank) rhs(u, out *mhd.State) {
 	defer r.obs.Begin(obs.SpanRHS).End()
 	mhd.ComputeVTB(r.PL, u)
-	r.exchangeHalos([]*field.Scalar{r.PL.B.R, r.PL.B.T, r.PL.B.P}, tagHaloBBase)
-	mhd.FinishRHS(r.PL, r.Prm, u, out, func(fs ...*field.Scalar) {
-		r.exchangeHalos(fs, tagHaloAuxBase)
-	})
+	if !r.overlap {
+		r.exchangeHalos([]*field.Scalar{r.PL.B.R, r.PL.B.T, r.PL.B.P}, tagHaloBBase)
+		mhd.FinishRHS(r.PL, r.Prm, u, out, func(fs ...*field.Scalar) {
+			r.exchangeHalos(fs, tagHaloAuxBase)
+		})
+		return
+	}
+	pl := r.PL
+	ovB := r.haloStart([]*field.Scalar{pl.B.R, pl.B.T, pl.B.P}, tagHaloBBase)
+	o := r.obs.Begin(obs.SpanHaloOverlap)
+	mhd.RHSDivV(pl, r.fullReg)
+	mhd.RHSCurlJ(pl, r.interior)
+	o.End()
+	r.haloFinish(&ovB)
+	mhd.RHSCurlJ(pl, r.rim)
+	ovA := r.haloStart([]*field.Scalar{pl.DivV}, tagHaloAuxBase)
+	o = r.obs.Begin(obs.SpanHaloOverlap)
+	in := r.obs.Begin(obs.SpanRHSInterior)
+	mhd.RHSUpdate(pl, r.Prm, u, out, r.interior)
+	in.End()
+	o.End()
+	r.haloFinish(&ovA)
+	rim := r.obs.Begin(obs.SpanRHSRim)
+	mhd.RHSUpdate(pl, r.Prm, u, out, r.rim)
+	rim.End()
 }
 
 // Advance performs one RK4 step identical in arithmetic to the serial

@@ -1,0 +1,299 @@
+package fd
+
+import (
+	"repro/internal/field"
+	"repro/internal/grid"
+)
+
+// Per-row derivative kernels: each evaluates one derivative for the
+// single (j, k) column of f, writing the padded-interior radial range
+// [H, H+Nr) of dst — a full padded row slice (length NrP). They compute
+// the statement-for-statement bodies of the full-field sweeps in fd.go,
+// so a fused kernel assembling its column from these rows produces
+// bitwise the values the separate full-field sweeps would have stored.
+// The central loops run over length-tied sub-slices ([x:][:n]) so the
+// compiler drops the per-element bounds checks; the arithmetic is
+// unchanged.
+//
+// Row kernels do NOT report to perfcount: a fused caller touches each
+// node once per pass and charges the per-operator aggregate itself
+// (see mhd), where the full-field sweep would have charged count().
+
+// Deriv1RRow writes the first radial derivative of column (j, k).
+func Deriv1RRow(p *grid.Patch, f *field.Scalar, j, k int, dst []float64) {
+	h, n := p.H, p.Nr
+	c := 1 / (2 * p.Dr)
+	fr := f.Row(j, k)
+	fp := fr[h+1:][:n]
+	fm := fr[h-1:][:n]
+	o := dst[h:][:n]
+	for i := 0; i < n; i++ {
+		o[i] = c * (fp[i] - fm[i])
+	}
+	if p.GlobalEdge(0) {
+		i := h
+		dst[i] = c * (-3*fr[i] + 4*fr[i+1] - fr[i+2])
+	}
+	if p.GlobalEdge(1) {
+		i := h + n - 1
+		dst[i] = c * (3*fr[i] - 4*fr[i-1] + fr[i-2])
+	}
+}
+
+// Deriv2RRow writes the second radial derivative of column (j, k).
+func Deriv2RRow(p *grid.Patch, f *field.Scalar, j, k int, dst []float64) {
+	h, n := p.H, p.Nr
+	c := 1 / (p.Dr * p.Dr)
+	fr := f.Row(j, k)
+	fp := fr[h+1:][:n]
+	fm := fr[h-1:][:n]
+	fc := fr[h:][:n]
+	o := dst[h:][:n]
+	for i := 0; i < n; i++ {
+		o[i] = c * (fp[i] - 2*fc[i] + fm[i])
+	}
+	if p.GlobalEdge(0) {
+		i := h
+		dst[i] = c * (fr[i] - 2*fr[i+1] + fr[i+2])
+	}
+	if p.GlobalEdge(1) {
+		i := h + n - 1
+		dst[i] = c * (fr[i] - 2*fr[i-1] + fr[i-2])
+	}
+}
+
+// Deriv12RRow writes both radial derivatives of column (j, k) in one
+// pass over the shared input row.
+func Deriv12RRow(p *grid.Patch, f *field.Scalar, j, k int, d1, d2 []float64) {
+	h, n := p.H, p.Nr
+	c1 := 1 / (2 * p.Dr)
+	c2 := 1 / (p.Dr * p.Dr)
+	fr := f.Row(j, k)
+	fp := fr[h+1:][:n]
+	fm := fr[h-1:][:n]
+	fc := fr[h:][:n]
+	o1 := d1[h:][:n]
+	o2 := d2[h:][:n]
+	for i := 0; i < n; i++ {
+		a, b, c0 := fp[i], fm[i], fc[i]
+		o1[i] = c1 * (a - b)
+		o2[i] = c2 * (a - 2*c0 + b)
+	}
+	if p.GlobalEdge(0) {
+		i := h
+		d1[i] = c1 * (-3*fr[i] + 4*fr[i+1] - fr[i+2])
+		d2[i] = c2 * (fr[i] - 2*fr[i+1] + fr[i+2])
+	}
+	if p.GlobalEdge(1) {
+		i := h + n - 1
+		d1[i] = c1 * (3*fr[i] - 4*fr[i-1] + fr[i-2])
+		d2[i] = c2 * (fr[i] - 2*fr[i-1] + fr[i-2])
+	}
+}
+
+// Deriv1TRow writes the first colatitudinal derivative of column (j, k).
+func Deriv1TRow(p *grid.Patch, f *field.Scalar, j, k int, dst []float64) {
+	h, n := p.H, p.Nr
+	c := 1 / (2 * p.Dt)
+	lo, hi := p.GlobalEdge(2), p.GlobalEdge(3)
+	o := dst[h:][:n]
+	switch {
+	case lo && j == h:
+		f0 := f.Row(j, k)[h:][:n]
+		f1 := f.Row(j+1, k)[h:][:n]
+		f2 := f.Row(j+2, k)[h:][:n]
+		for i := 0; i < n; i++ {
+			o[i] = c * (-3*f0[i] + 4*f1[i] - f2[i])
+		}
+	case hi && j == h+p.Nt-1:
+		f0 := f.Row(j, k)[h:][:n]
+		f1 := f.Row(j-1, k)[h:][:n]
+		f2 := f.Row(j-2, k)[h:][:n]
+		for i := 0; i < n; i++ {
+			o[i] = c * (3*f0[i] - 4*f1[i] + f2[i])
+		}
+	default:
+		fp := f.Row(j+1, k)[h:][:n]
+		fm := f.Row(j-1, k)[h:][:n]
+		for i := 0; i < n; i++ {
+			o[i] = c * (fp[i] - fm[i])
+		}
+	}
+}
+
+// Deriv2TRow writes the second colatitudinal derivative of column (j, k).
+func Deriv2TRow(p *grid.Patch, f *field.Scalar, j, k int, dst []float64) {
+	h, n := p.H, p.Nr
+	c := 1 / (p.Dt * p.Dt)
+	lo, hi := p.GlobalEdge(2), p.GlobalEdge(3)
+	o := dst[h:][:n]
+	fc := f.Row(j, k)[h:][:n]
+	switch {
+	case lo && j == h:
+		f1 := f.Row(j+1, k)[h:][:n]
+		f2 := f.Row(j+2, k)[h:][:n]
+		for i := 0; i < n; i++ {
+			o[i] = c * (fc[i] - 2*f1[i] + f2[i])
+		}
+	case hi && j == h+p.Nt-1:
+		f1 := f.Row(j-1, k)[h:][:n]
+		f2 := f.Row(j-2, k)[h:][:n]
+		for i := 0; i < n; i++ {
+			o[i] = c * (fc[i] - 2*f1[i] + f2[i])
+		}
+	default:
+		fp := f.Row(j+1, k)[h:][:n]
+		fm := f.Row(j-1, k)[h:][:n]
+		for i := 0; i < n; i++ {
+			o[i] = c * (fp[i] - 2*fc[i] + fm[i])
+		}
+	}
+}
+
+// Deriv12TRow writes both colatitudinal derivatives of column (j, k) in
+// one pass over the shared input rows.
+func Deriv12TRow(p *grid.Patch, f *field.Scalar, j, k int, d1, d2 []float64) {
+	h, n := p.H, p.Nr
+	c1 := 1 / (2 * p.Dt)
+	c2 := 1 / (p.Dt * p.Dt)
+	lo, hi := p.GlobalEdge(2), p.GlobalEdge(3)
+	o1 := d1[h:][:n]
+	o2 := d2[h:][:n]
+	switch {
+	case lo && j == h:
+		f0 := f.Row(j, k)[h:][:n]
+		f1 := f.Row(j+1, k)[h:][:n]
+		f2 := f.Row(j+2, k)[h:][:n]
+		for i := 0; i < n; i++ {
+			a, b, c0 := f0[i], f1[i], f2[i]
+			o1[i] = c1 * (-3*a + 4*b - c0)
+			o2[i] = c2 * (a - 2*b + c0)
+		}
+	case hi && j == h+p.Nt-1:
+		f0 := f.Row(j, k)[h:][:n]
+		f1 := f.Row(j-1, k)[h:][:n]
+		f2 := f.Row(j-2, k)[h:][:n]
+		for i := 0; i < n; i++ {
+			a, b, c0 := f0[i], f1[i], f2[i]
+			o1[i] = c1 * (3*a - 4*b + c0)
+			o2[i] = c2 * (a - 2*b + c0)
+		}
+	default:
+		fc := f.Row(j, k)[h:][:n]
+		fp := f.Row(j+1, k)[h:][:n]
+		fm := f.Row(j-1, k)[h:][:n]
+		for i := 0; i < n; i++ {
+			a, b, c0 := fp[i], fm[i], fc[i]
+			o1[i] = c1 * (a - b)
+			o2[i] = c2 * (a - 2*c0 + b)
+		}
+	}
+}
+
+// phiOneSided classifies column k against the global phi boundaries:
+// +1 low-edge one-sided, -1 high-edge one-sided, 0 central.
+func phiOneSided(p *grid.Patch, k int) int {
+	switch {
+	case p.GlobalEdge(4) && k == p.H:
+		return 1
+	case p.GlobalEdge(5) && k == p.H+p.Np-1:
+		return -1
+	}
+	return 0
+}
+
+// Deriv1PRow writes the first azimuthal derivative of column (j, k).
+func Deriv1PRow(p *grid.Patch, f *field.Scalar, j, k int, dst []float64) {
+	h, n := p.H, p.Nr
+	c := 1 / (2 * p.Dp)
+	o := dst[h:][:n]
+	switch phiOneSided(p, k) {
+	case 1:
+		f0 := f.Row(j, k)[h:][:n]
+		f1 := f.Row(j, k+1)[h:][:n]
+		f2 := f.Row(j, k+2)[h:][:n]
+		for i := 0; i < n; i++ {
+			o[i] = c * (-3*f0[i] + 4*f1[i] - f2[i])
+		}
+	case -1:
+		f0 := f.Row(j, k)[h:][:n]
+		f1 := f.Row(j, k-1)[h:][:n]
+		f2 := f.Row(j, k-2)[h:][:n]
+		for i := 0; i < n; i++ {
+			o[i] = c * (3*f0[i] - 4*f1[i] + f2[i])
+		}
+	default:
+		fp := f.Row(j, k+1)[h:][:n]
+		fm := f.Row(j, k-1)[h:][:n]
+		for i := 0; i < n; i++ {
+			o[i] = c * (fp[i] - fm[i])
+		}
+	}
+}
+
+// Deriv2PRow writes the second azimuthal derivative of column (j, k).
+func Deriv2PRow(p *grid.Patch, f *field.Scalar, j, k int, dst []float64) {
+	h, n := p.H, p.Nr
+	c := 1 / (p.Dp * p.Dp)
+	o := dst[h:][:n]
+	fc := f.Row(j, k)[h:][:n]
+	switch phiOneSided(p, k) {
+	case 1:
+		f1 := f.Row(j, k+1)[h:][:n]
+		f2 := f.Row(j, k+2)[h:][:n]
+		for i := 0; i < n; i++ {
+			o[i] = c * (fc[i] - 2*f1[i] + f2[i])
+		}
+	case -1:
+		f1 := f.Row(j, k-1)[h:][:n]
+		f2 := f.Row(j, k-2)[h:][:n]
+		for i := 0; i < n; i++ {
+			o[i] = c * (fc[i] - 2*f1[i] + f2[i])
+		}
+	default:
+		fp := f.Row(j, k+1)[h:][:n]
+		fm := f.Row(j, k-1)[h:][:n]
+		for i := 0; i < n; i++ {
+			o[i] = c * (fp[i] - 2*fc[i] + fm[i])
+		}
+	}
+}
+
+// Deriv12PRow writes both azimuthal derivatives of column (j, k) in one
+// pass over the shared input rows.
+func Deriv12PRow(p *grid.Patch, f *field.Scalar, j, k int, d1, d2 []float64) {
+	h, n := p.H, p.Nr
+	c1 := 1 / (2 * p.Dp)
+	c2 := 1 / (p.Dp * p.Dp)
+	o1 := d1[h:][:n]
+	o2 := d2[h:][:n]
+	switch phiOneSided(p, k) {
+	case 1:
+		f0 := f.Row(j, k)[h:][:n]
+		f1 := f.Row(j, k+1)[h:][:n]
+		f2 := f.Row(j, k+2)[h:][:n]
+		for i := 0; i < n; i++ {
+			a, b, c0 := f0[i], f1[i], f2[i]
+			o1[i] = c1 * (-3*a + 4*b - c0)
+			o2[i] = c2 * (a - 2*b + c0)
+		}
+	case -1:
+		f0 := f.Row(j, k)[h:][:n]
+		f1 := f.Row(j, k-1)[h:][:n]
+		f2 := f.Row(j, k-2)[h:][:n]
+		for i := 0; i < n; i++ {
+			a, b, c0 := f0[i], f1[i], f2[i]
+			o1[i] = c1 * (3*a - 4*b + c0)
+			o2[i] = c2 * (a - 2*b + c0)
+		}
+	default:
+		fc := f.Row(j, k)[h:][:n]
+		fp := f.Row(j, k+1)[h:][:n]
+		fm := f.Row(j, k-1)[h:][:n]
+		for i := 0; i < n; i++ {
+			a, b, c0 := fp[i], fm[i], fc[i]
+			o1[i] = c1 * (a - b)
+			o2[i] = c2 * (a - 2*c0 + b)
+		}
+	}
+}

@@ -1,0 +1,650 @@
+package mhd
+
+import (
+	"repro/internal/field"
+	"repro/internal/grid"
+	"repro/internal/perfcount"
+	"repro/internal/sphops"
+)
+
+// The fused right-hand side. FinishRHSReference (rhs_reference.go) makes
+// roughly seventy separate full-field sweeps per evaluation: every
+// derivative of every operator streams the whole patch through cache
+// once, and every operator round-trips its combined result through a
+// scratch field. The fused form instead visits each (j, k) column
+// exactly once per phase. One pass per direction builds every
+// derivative the column needs over shared input rows and accumulates
+// each operator's directional metric terms in place (radial part, then
+// += theta part, then += phi part — the exact association order of the
+// reference combines), and a final loop forms the eight outputs with
+// all remaining intermediates in registers. The arithmetic is the
+// reference's statement for statement — same stencil expressions, same
+// combine expressions, same rounding order — so the results are bitwise
+// identical; the equivalence suite in rhs_reference_test.go pins that.
+//
+// The evaluation is split into three region-capable phases so a
+// decomposed rank can overlap halo traffic with compute:
+//
+//	RHSCurlJ   j = curl B        — needs B halos at its rim columns
+//	RHSDivV    div v -> pl.DivV  — no halo dependency (V is pointwise-
+//	                               derived over the full padded arrays)
+//	RHSUpdate  everything else   — needs DivV halos at its rim columns
+//
+// Each phase accepts a grid.Region; any disjoint cover of the owned
+// columns (all at once, or interior then rim) produces identical bits.
+
+// RHSCurlJ fills the current density j = curl B on the columns of reg.
+// ComputeVTB must have run; at decomposition seams the rim columns read
+// B halos, so they may only be evaluated after the B halo exchange.
+func RHSCurlJ(pl *Panel, reg grid.Region) {
+	sphops.CurlOn(pl.Patch, reg, pl.B, pl.J, pl.W)
+}
+
+// RHSDivV fills pl.DivV = div v on the columns of reg. V halo values are
+// pointwise-derived from exchanged state halos, so this phase has no
+// halo-exchange dependency of its own; seam halos of pl.DivV itself are
+// filled by the aux exchange (or the sync callback) before RHSUpdate
+// differentiates them.
+func RHSDivV(pl *Panel, reg grid.Region) {
+	sphops.DivOn(pl.Patch, reg, pl.V, pl.DivV, pl.W)
+}
+
+// rhsRows is the per-worker scratch of the fused update kernel: one
+// padded radial row per derivative or per-operator directional
+// accumulator of one (j, k) column. Fully combined quantities have no
+// rows — they live in registers of the final loop.
+type rhsRows struct {
+	// First derivatives of p, feeding both v.grad p and grad p.
+	dPr, dPt, dPp []float64
+	// div F and lap T, accumulated radial -> theta -> phi.
+	dF, lT []float64
+	// First velocity derivatives, [component] per direction: shared by
+	// the strain tensor and the vector-Laplacian coupling (the
+	// reference computes them twice; the values are identical, so
+	// sharing preserves the bits).
+	vD1r, vD1t, vD1p [3][]float64
+	// Scalar-Laplacian part of lap v and the tensor divergence
+	// div(v f), [component], accumulated radial -> theta -> phi
+	// (curvature/Christoffel corrections are applied in the final
+	// loop, exactly where the reference applies them).
+	lap, adv [3][]float64
+	// Derivatives of div v for its gradient.
+	gDr, gDt, gDp []float64
+}
+
+// The momentum-flux products v_a f_b have no rows at all: every stencil
+// and metric term forms its products in place, each rounding exactly
+// once — bit-identical to the reference's materialized product arrays,
+// which also round each product exactly once before differencing.
+
+const rhsRowCount = 23
+
+func newRHSRows(nrP int) *rhsRows {
+	backing := make([]float64, rhsRowCount*nrP)
+	next := func() []float64 {
+		r := backing[:nrP:nrP]
+		backing = backing[nrP:]
+		return r
+	}
+	s := &rhsRows{}
+	ptrs := []*[]float64{
+		&s.dPr, &s.dPt, &s.dPp,
+		&s.dF, &s.lT,
+		&s.gDr, &s.gDt, &s.gDp,
+	}
+	for c := 0; c < 3; c++ {
+		ptrs = append(ptrs,
+			&s.vD1r[c], &s.vD1t[c], &s.vD1p[c],
+			&s.lap[c], &s.adv[c],
+		)
+	}
+	for _, dst := range ptrs {
+		*dst = next()
+	}
+	return s
+}
+
+// RHSUpdate evaluates everything of the right-hand side except j and
+// div v — both must be current on (at least) the columns of reg, and at
+// decomposition seams the rim columns differentiate pl.DivV halos, so
+// the rim may only run after the aux halo exchange. Writes out on the
+// columns of reg only.
+func RHSUpdate(pl *Panel, prm Params, u, out *State, reg grid.Region) {
+	p := pl.Patch
+	for _, rc := range reg {
+		if rc.Empty() {
+			continue
+		}
+		rc := rc
+		p.Par.For(rc.K1-rc.K0, func(klo, khi int) {
+			s := pl.getRows()
+			for k := rc.K0 + klo; k < rc.K0+khi; k++ {
+				for j := rc.J0; j < rc.J1; j++ {
+					fusedRHSColumn(pl, prm, u, out, s, j, k)
+				}
+			}
+			pl.putRows(s)
+		})
+	}
+	chargeRHSUpdate(p, reg)
+}
+
+// chargeRHSUpdate reports the aggregate work of the fused update on a
+// region: the per-node flop and per-column loop totals of the unfused
+// sweeps it replaces (divF 18/4, v.grad p 17/4, lap T 28/6, strain 67/10,
+// tensor divergence 72/15, grad p 12/4, lap v 123/24, grad div v 12/4,
+// final update 70/1). The only deviation from the reference is that the
+// flux products are charged on region nodes rather than padded nodes —
+// sub-percent of the step total, within the profile gate's tolerance.
+func chargeRHSUpdate(p *grid.Patch, reg grid.Region) {
+	cols := int64(reg.Columns())
+	n := cols * int64(p.Nr)
+	perfcount.AddFlops(n * 419)
+	perfcount.AddVectorLoops(cols*72, n*72)
+}
+
+// derivColumnR runs the radial pass of column (j, k): every radial
+// derivative over the shared input rows, seeding the operator
+// accumulators with their radial metric terms, with the one-sided
+// closures at the global radial boundaries re-deriving the two boundary
+// entries. Each value matches the reference expression for the radial
+// part of its operator; the radial flux-product stencils form their
+// products v_r f_b in place.
+func derivColumnR(pl *Panel, u *State, s *rhsRows, j, k int) {
+	p := pl.Patch
+	h, n := p.H, p.Nr
+	c1 := 1 / (2 * p.Dr)
+	c2 := 1 / (p.Dr * p.Dr)
+
+	ppR := u.P.Row(j, k)
+	frR := u.F.R.Row(j, k)
+	ftR := u.F.T.Row(j, k)
+	fpR := u.F.P.Row(j, k)
+	gR := pl.DivV.Row(j, k)
+	tR := pl.T.Row(j, k)
+	vrR := pl.V.R.Row(j, k)
+	vtR := pl.V.T.Row(j, k)
+	vpR := pl.V.P.Row(j, k)
+
+	dP := s.dPr[h:][:n]
+	dF := s.dF[h:][:n]
+	gD := s.gDr[h:][:n]
+	lT := s.lT[h:][:n]
+	v1r, v1t, v1p := s.vD1r[0][h:][:n], s.vD1r[1][h:][:n], s.vD1r[2][h:][:n]
+	l0, l1, l2 := s.lap[0][h:][:n], s.lap[1][h:][:n], s.lap[2][h:][:n]
+	a0, a1, a2 := s.adv[0][h:][:n], s.adv[1][h:][:n], s.adv[2][h:][:n]
+	invr := p.InvR[h:][:n]
+
+	pp, pm := ppR[h+1:][:n], ppR[h-1:][:n]
+	fpw, fm, fc := frR[h+1:][:n], frR[h-1:][:n], frR[h:][:n]
+	gp, gm := gR[h+1:][:n], gR[h-1:][:n]
+	tp, tm, tc := tR[h+1:][:n], tR[h-1:][:n], tR[h:][:n]
+	vrp, vrm, vrc := vrR[h+1:][:n], vrR[h-1:][:n], vrR[h:][:n]
+	vtp, vtm, vtc := vtR[h+1:][:n], vtR[h-1:][:n], vtR[h:][:n]
+	vpp, vpm, vpc := vpR[h+1:][:n], vpR[h-1:][:n], vpR[h:][:n]
+	tfp, tfm, tfc := ftR[h+1:][:n], ftR[h-1:][:n], ftR[h:][:n]
+	pfp, pfm, pfc := fpR[h+1:][:n], fpR[h-1:][:n], fpR[h:][:n]
+	for i := 0; i < n; i++ {
+		ir := invr[i]
+		dP[i] = c1 * (pp[i] - pm[i])
+		dF[i] = c1*(fpw[i]-fm[i]) + 2*fc[i]*ir
+		gD[i] = c1 * (gp[i] - gm[i])
+		ta, tb, t0 := tp[i], tm[i], tc[i]
+		lT[i] = c2*(ta-2*t0+tb) + 2*ir*(c1*(ta-tb))
+		va, vb, v0 := vrp[i], vrm[i], vrc[i]
+		d1 := c1 * (va - vb)
+		v1r[i] = d1
+		l0[i] = c2*(va-2*v0+vb) + 2*ir*d1
+		va, vb, v0 = vtp[i], vtm[i], vtc[i]
+		d1 = c1 * (va - vb)
+		v1t[i] = d1
+		l1[i] = c2*(va-2*v0+vb) + 2*ir*d1
+		va, vb, v0 = vpp[i], vpm[i], vpc[i]
+		d1 = c1 * (va - vb)
+		v1p[i] = d1
+		l2[i] = c2*(va-2*v0+vb) + 2*ir*d1
+		a0[i] = c1*((vrp[i]*fpw[i])-(vrm[i]*fm[i])) + 2*(vrc[i]*fc[i])*ir
+		a1[i] = c1*((vrp[i]*tfp[i])-(vrm[i]*tfm[i])) + 2*(vrc[i]*tfc[i])*ir
+		a2[i] = c1*((vrp[i]*pfp[i])-(vrm[i]*pfm[i])) + 2*(vrc[i]*pfc[i])*ir
+	}
+
+	if p.GlobalEdge(0) {
+		i := h
+		ir := p.InvR[i]
+		s.dPr[i] = c1 * (-3*ppR[i] + 4*ppR[i+1] - ppR[i+2])
+		s.dF[i] = c1*(-3*frR[i]+4*frR[i+1]-frR[i+2]) + 2*frR[i]*ir
+		s.gDr[i] = c1 * (-3*gR[i] + 4*gR[i+1] - gR[i+2])
+		s.lT[i] = c2*(tR[i]-2*tR[i+1]+tR[i+2]) +
+			2*ir*(c1*(-3*tR[i]+4*tR[i+1]-tR[i+2]))
+		vin := [3][]float64{vrR, vtR, vpR}
+		for c, vv := range vin {
+			d1 := c1 * (-3*vv[i] + 4*vv[i+1] - vv[i+2])
+			s.vD1r[c][i] = d1
+			s.lap[c][i] = c2*(vv[i]-2*vv[i+1]+vv[i+2]) + 2*ir*d1
+		}
+		fin := [3][]float64{frR, ftR, fpR}
+		for c, ff := range fin {
+			s.adv[c][i] = c1*(-3*(vrR[i]*ff[i])+4*(vrR[i+1]*ff[i+1])-(vrR[i+2]*ff[i+2])) +
+				2*(vrR[i]*ff[i])*ir
+		}
+	}
+	if p.GlobalEdge(1) {
+		i := h + n - 1
+		ir := p.InvR[i]
+		s.dPr[i] = c1 * (3*ppR[i] - 4*ppR[i-1] + ppR[i-2])
+		s.dF[i] = c1*(3*frR[i]-4*frR[i-1]+frR[i-2]) + 2*frR[i]*ir
+		s.gDr[i] = c1 * (3*gR[i] - 4*gR[i-1] + gR[i-2])
+		s.lT[i] = c2*(tR[i]-2*tR[i-1]+tR[i-2]) +
+			2*ir*(c1*(3*tR[i]-4*tR[i-1]+tR[i-2]))
+		vin := [3][]float64{vrR, vtR, vpR}
+		for c, vv := range vin {
+			d1 := c1 * (3*vv[i] - 4*vv[i-1] + vv[i-2])
+			s.vD1r[c][i] = d1
+			s.lap[c][i] = c2*(vv[i]-2*vv[i-1]+vv[i-2]) + 2*ir*d1
+		}
+		fin := [3][]float64{frR, ftR, fpR}
+		for c, ff := range fin {
+			s.adv[c][i] = c1*(3*(vrR[i]*ff[i])-4*(vrR[i-1]*ff[i-1])+(vrR[i-2]*ff[i-2])) +
+				2*(vrR[i]*ff[i])*ir
+		}
+	}
+}
+
+// derivColumnT runs the colatitudinal pass of column (j, k): every
+// theta derivative — the flux-product stencils form their neighbor
+// products in place, each rounding exactly once as the reference's
+// materialized product rows did — adding each operator's theta metric
+// term to its accumulator. One boundary classification covers all
+// fields.
+func derivColumnT(pl *Panel, u *State, s *rhsRows, j, k int) {
+	p := pl.Patch
+	h, n := p.H, p.Nr
+	c1 := 1 / (2 * p.Dt)
+	c2 := 1 / (p.Dt * p.Dt)
+	lo, hi := p.GlobalEdge(2), p.GlobalEdge(3)
+	cot := p.CotT[j]
+
+	dP := s.dPt[h:][:n]
+	dF := s.dF[h:][:n]
+	gD := s.gDt[h:][:n]
+	lT := s.lT[h:][:n]
+	v1r, v1t, v1p := s.vD1t[0][h:][:n], s.vD1t[1][h:][:n], s.vD1t[2][h:][:n]
+	l0, l1, l2 := s.lap[0][h:][:n], s.lap[1][h:][:n], s.lap[2][h:][:n]
+	a0, a1, a2 := s.adv[0][h:][:n], s.adv[1][h:][:n], s.adv[2][h:][:n]
+	invr := p.InvR[h:][:n]
+	invr2 := p.InvR2[h:][:n]
+
+	w := func(sc *field.Scalar, jj int) []float64 { return sc.Row(jj, k)[h:][:n] }
+	switch {
+	case lo && j == h:
+		p0, p1, p2 := w(u.P, j), w(u.P, j+1), w(u.P, j+2)
+		f0, f1, f2 := w(u.F.T, j), w(u.F.T, j+1), w(u.F.T, j+2)
+		g0, g1, g2 := w(pl.DivV, j), w(pl.DivV, j+1), w(pl.DivV, j+2)
+		t0, ta, tb := w(pl.T, j), w(pl.T, j+1), w(pl.T, j+2)
+		vr0, vr1, vr2 := w(pl.V.R, j), w(pl.V.R, j+1), w(pl.V.R, j+2)
+		vt0, vt1, vt2 := w(pl.V.T, j), w(pl.V.T, j+1), w(pl.V.T, j+2)
+		vp0, vp1, vp2 := w(pl.V.P, j), w(pl.V.P, j+1), w(pl.V.P, j+2)
+		fr0, fr1, fr2 := w(u.F.R, j), w(u.F.R, j+1), w(u.F.R, j+2)
+		fp0, fp1, fp2 := w(u.F.P, j), w(u.F.P, j+1), w(u.F.P, j+2)
+		for i := 0; i < n; i++ {
+			ir := invr[i]
+			ir2 := invr2[i]
+			dP[i] = c1 * (-3*p0[i] + 4*p1[i] - p2[i])
+			dF[i] += ir * ((c1 * (-3*f0[i] + 4*f1[i] - f2[i])) + cot*f0[i])
+			gD[i] = c1 * (-3*g0[i] + 4*g1[i] - g2[i])
+			lT[i] += ir2 * ((c2 * (t0[i] - 2*ta[i] + tb[i])) +
+				cot*(c1*(-3*t0[i]+4*ta[i]-tb[i])))
+			d1 := c1 * (-3*vr0[i] + 4*vr1[i] - vr2[i])
+			v1r[i] = d1
+			l0[i] += ir2 * ((c2 * (vr0[i] - 2*vr1[i] + vr2[i])) + cot*d1)
+			d1 = c1 * (-3*vt0[i] + 4*vt1[i] - vt2[i])
+			v1t[i] = d1
+			l1[i] += ir2 * ((c2 * (vt0[i] - 2*vt1[i] + vt2[i])) + cot*d1)
+			d1 = c1 * (-3*vp0[i] + 4*vp1[i] - vp2[i])
+			v1p[i] = d1
+			l2[i] += ir2 * ((c2 * (vp0[i] - 2*vp1[i] + vp2[i])) + cot*d1)
+			a0[i] += ir * ((c1 * (-3*(vt0[i]*fr0[i]) + 4*(vt1[i]*fr1[i]) - (vt2[i] * fr2[i]))) + cot*(vt0[i]*fr0[i]))
+			a1[i] += ir * ((c1 * (-3*(vt0[i]*f0[i]) + 4*(vt1[i]*f1[i]) - (vt2[i] * f2[i]))) + cot*(vt0[i]*f0[i]))
+			a2[i] += ir * ((c1 * (-3*(vt0[i]*fp0[i]) + 4*(vt1[i]*fp1[i]) - (vt2[i] * fp2[i]))) + cot*(vt0[i]*fp0[i]))
+		}
+	case hi && j == h+p.Nt-1:
+		p0, p1, p2 := w(u.P, j), w(u.P, j-1), w(u.P, j-2)
+		f0, f1, f2 := w(u.F.T, j), w(u.F.T, j-1), w(u.F.T, j-2)
+		g0, g1, g2 := w(pl.DivV, j), w(pl.DivV, j-1), w(pl.DivV, j-2)
+		t0, ta, tb := w(pl.T, j), w(pl.T, j-1), w(pl.T, j-2)
+		vr0, vr1, vr2 := w(pl.V.R, j), w(pl.V.R, j-1), w(pl.V.R, j-2)
+		vt0, vt1, vt2 := w(pl.V.T, j), w(pl.V.T, j-1), w(pl.V.T, j-2)
+		vp0, vp1, vp2 := w(pl.V.P, j), w(pl.V.P, j-1), w(pl.V.P, j-2)
+		fr0, fr1, fr2 := w(u.F.R, j), w(u.F.R, j-1), w(u.F.R, j-2)
+		fp0, fp1, fp2 := w(u.F.P, j), w(u.F.P, j-1), w(u.F.P, j-2)
+		for i := 0; i < n; i++ {
+			ir := invr[i]
+			ir2 := invr2[i]
+			dP[i] = c1 * (3*p0[i] - 4*p1[i] + p2[i])
+			dF[i] += ir * ((c1 * (3*f0[i] - 4*f1[i] + f2[i])) + cot*f0[i])
+			gD[i] = c1 * (3*g0[i] - 4*g1[i] + g2[i])
+			lT[i] += ir2 * ((c2 * (t0[i] - 2*ta[i] + tb[i])) +
+				cot*(c1*(3*t0[i]-4*ta[i]+tb[i])))
+			d1 := c1 * (3*vr0[i] - 4*vr1[i] + vr2[i])
+			v1r[i] = d1
+			l0[i] += ir2 * ((c2 * (vr0[i] - 2*vr1[i] + vr2[i])) + cot*d1)
+			d1 = c1 * (3*vt0[i] - 4*vt1[i] + vt2[i])
+			v1t[i] = d1
+			l1[i] += ir2 * ((c2 * (vt0[i] - 2*vt1[i] + vt2[i])) + cot*d1)
+			d1 = c1 * (3*vp0[i] - 4*vp1[i] + vp2[i])
+			v1p[i] = d1
+			l2[i] += ir2 * ((c2 * (vp0[i] - 2*vp1[i] + vp2[i])) + cot*d1)
+			a0[i] += ir * ((c1 * (3*(vt0[i]*fr0[i]) - 4*(vt1[i]*fr1[i]) + (vt2[i] * fr2[i]))) + cot*(vt0[i]*fr0[i]))
+			a1[i] += ir * ((c1 * (3*(vt0[i]*f0[i]) - 4*(vt1[i]*f1[i]) + (vt2[i] * f2[i]))) + cot*(vt0[i]*f0[i]))
+			a2[i] += ir * ((c1 * (3*(vt0[i]*fp0[i]) - 4*(vt1[i]*fp1[i]) + (vt2[i] * fp2[i]))) + cot*(vt0[i]*fp0[i]))
+		}
+	default:
+		pp, pm := w(u.P, j+1), w(u.P, j-1)
+		fpw, fm, fc := w(u.F.T, j+1), w(u.F.T, j-1), w(u.F.T, j)
+		gp, gm := w(pl.DivV, j+1), w(pl.DivV, j-1)
+		tp, tm, tc := w(pl.T, j+1), w(pl.T, j-1), w(pl.T, j)
+		vrp, vrm, vrc := w(pl.V.R, j+1), w(pl.V.R, j-1), w(pl.V.R, j)
+		vtp, vtm, vtc := w(pl.V.T, j+1), w(pl.V.T, j-1), w(pl.V.T, j)
+		vpp, vpm, vpc := w(pl.V.P, j+1), w(pl.V.P, j-1), w(pl.V.P, j)
+		frp, frm, frc := w(u.F.R, j+1), w(u.F.R, j-1), w(u.F.R, j)
+		fpp, fpm, fpc := w(u.F.P, j+1), w(u.F.P, j-1), w(u.F.P, j)
+		for i := 0; i < n; i++ {
+			ir := invr[i]
+			ir2 := invr2[i]
+			dP[i] = c1 * (pp[i] - pm[i])
+			dF[i] += ir * ((c1 * (fpw[i] - fm[i])) + cot*fc[i])
+			gD[i] = c1 * (gp[i] - gm[i])
+			ta, tb, t0 := tp[i], tm[i], tc[i]
+			lT[i] += ir2 * ((c2 * (ta - 2*t0 + tb)) + cot*(c1*(ta-tb)))
+			va, vb, v0 := vrp[i], vrm[i], vrc[i]
+			d1 := c1 * (va - vb)
+			v1r[i] = d1
+			l0[i] += ir2 * ((c2 * (va - 2*v0 + vb)) + cot*d1)
+			va, vb, v0 = vtp[i], vtm[i], vtc[i]
+			d1 = c1 * (va - vb)
+			v1t[i] = d1
+			l1[i] += ir2 * ((c2 * (va - 2*v0 + vb)) + cot*d1)
+			va, vb, v0 = vpp[i], vpm[i], vpc[i]
+			d1 = c1 * (va - vb)
+			v1p[i] = d1
+			l2[i] += ir2 * ((c2 * (va - 2*v0 + vb)) + cot*d1)
+			a0[i] += ir * ((c1 * ((vtp[i] * frp[i]) - (vtm[i] * frm[i]))) + cot*(vtc[i]*frc[i]))
+			a1[i] += ir * ((c1 * ((vtp[i] * fpw[i]) - (vtm[i] * fm[i]))) + cot*(vtc[i]*fc[i]))
+			a2[i] += ir * ((c1 * ((vtp[i] * fpp[i]) - (vtm[i] * fpm[i]))) + cot*(vtc[i]*fpc[i]))
+		}
+	}
+}
+
+// derivColumnP runs the azimuthal pass of column (j, k), same structure
+// as derivColumnT with the roles of j and k swapped, no first
+// temperature derivative (lap T needs only the second), and the phi
+// metric factors ir*ist / ir2*ist*ist.
+func derivColumnP(pl *Panel, u *State, s *rhsRows, j, k int) {
+	p := pl.Patch
+	h, n := p.H, p.Nr
+	c1 := 1 / (2 * p.Dp)
+	c2 := 1 / (p.Dp * p.Dp)
+	lo, hi := p.GlobalEdge(4), p.GlobalEdge(5)
+	ist := p.InvSinT[j]
+
+	dP := s.dPp[h:][:n]
+	dF := s.dF[h:][:n]
+	gD := s.gDp[h:][:n]
+	lT := s.lT[h:][:n]
+	v1r, v1t, v1p := s.vD1p[0][h:][:n], s.vD1p[1][h:][:n], s.vD1p[2][h:][:n]
+	l0, l1, l2 := s.lap[0][h:][:n], s.lap[1][h:][:n], s.lap[2][h:][:n]
+	a0, a1, a2 := s.adv[0][h:][:n], s.adv[1][h:][:n], s.adv[2][h:][:n]
+	invr := p.InvR[h:][:n]
+	invr2 := p.InvR2[h:][:n]
+
+	w := func(sc *field.Scalar, kk int) []float64 { return sc.Row(j, kk)[h:][:n] }
+	switch {
+	case lo && k == h:
+		p0, p1, p2 := w(u.P, k), w(u.P, k+1), w(u.P, k+2)
+		f0, f1, f2 := w(u.F.P, k), w(u.F.P, k+1), w(u.F.P, k+2)
+		g0, g1, g2 := w(pl.DivV, k), w(pl.DivV, k+1), w(pl.DivV, k+2)
+		t0, ta, tb := w(pl.T, k), w(pl.T, k+1), w(pl.T, k+2)
+		vr0, vr1, vr2 := w(pl.V.R, k), w(pl.V.R, k+1), w(pl.V.R, k+2)
+		vt0, vt1, vt2 := w(pl.V.T, k), w(pl.V.T, k+1), w(pl.V.T, k+2)
+		vp0, vp1, vp2 := w(pl.V.P, k), w(pl.V.P, k+1), w(pl.V.P, k+2)
+		fr0, fr1, fr2 := w(u.F.R, k), w(u.F.R, k+1), w(u.F.R, k+2)
+		ft0, ft1, ft2 := w(u.F.T, k), w(u.F.T, k+1), w(u.F.T, k+2)
+		for i := 0; i < n; i++ {
+			ir := invr[i]
+			ir2 := invr2[i]
+			dP[i] = c1 * (-3*p0[i] + 4*p1[i] - p2[i])
+			dF[i] += ir * ist * (c1 * (-3*f0[i] + 4*f1[i] - f2[i]))
+			gD[i] = c1 * (-3*g0[i] + 4*g1[i] - g2[i])
+			lT[i] += ir2 * ist * ist * (c2 * (t0[i] - 2*ta[i] + tb[i]))
+			d1 := c1 * (-3*vr0[i] + 4*vr1[i] - vr2[i])
+			v1r[i] = d1
+			l0[i] += ir2 * ist * ist * (c2 * (vr0[i] - 2*vr1[i] + vr2[i]))
+			d1 = c1 * (-3*vt0[i] + 4*vt1[i] - vt2[i])
+			v1t[i] = d1
+			l1[i] += ir2 * ist * ist * (c2 * (vt0[i] - 2*vt1[i] + vt2[i]))
+			d1 = c1 * (-3*vp0[i] + 4*vp1[i] - vp2[i])
+			v1p[i] = d1
+			l2[i] += ir2 * ist * ist * (c2 * (vp0[i] - 2*vp1[i] + vp2[i]))
+			a0[i] += ir * ist * (c1 * (-3*(vp0[i]*fr0[i]) + 4*(vp1[i]*fr1[i]) - (vp2[i] * fr2[i])))
+			a1[i] += ir * ist * (c1 * (-3*(vp0[i]*ft0[i]) + 4*(vp1[i]*ft1[i]) - (vp2[i] * ft2[i])))
+			a2[i] += ir * ist * (c1 * (-3*(vp0[i]*f0[i]) + 4*(vp1[i]*f1[i]) - (vp2[i] * f2[i])))
+		}
+	case hi && k == h+p.Np-1:
+		p0, p1, p2 := w(u.P, k), w(u.P, k-1), w(u.P, k-2)
+		f0, f1, f2 := w(u.F.P, k), w(u.F.P, k-1), w(u.F.P, k-2)
+		g0, g1, g2 := w(pl.DivV, k), w(pl.DivV, k-1), w(pl.DivV, k-2)
+		t0, ta, tb := w(pl.T, k), w(pl.T, k-1), w(pl.T, k-2)
+		vr0, vr1, vr2 := w(pl.V.R, k), w(pl.V.R, k-1), w(pl.V.R, k-2)
+		vt0, vt1, vt2 := w(pl.V.T, k), w(pl.V.T, k-1), w(pl.V.T, k-2)
+		vp0, vp1, vp2 := w(pl.V.P, k), w(pl.V.P, k-1), w(pl.V.P, k-2)
+		fr0, fr1, fr2 := w(u.F.R, k), w(u.F.R, k-1), w(u.F.R, k-2)
+		ft0, ft1, ft2 := w(u.F.T, k), w(u.F.T, k-1), w(u.F.T, k-2)
+		for i := 0; i < n; i++ {
+			ir := invr[i]
+			ir2 := invr2[i]
+			dP[i] = c1 * (3*p0[i] - 4*p1[i] + p2[i])
+			dF[i] += ir * ist * (c1 * (3*f0[i] - 4*f1[i] + f2[i]))
+			gD[i] = c1 * (3*g0[i] - 4*g1[i] + g2[i])
+			lT[i] += ir2 * ist * ist * (c2 * (t0[i] - 2*ta[i] + tb[i]))
+			d1 := c1 * (3*vr0[i] - 4*vr1[i] + vr2[i])
+			v1r[i] = d1
+			l0[i] += ir2 * ist * ist * (c2 * (vr0[i] - 2*vr1[i] + vr2[i]))
+			d1 = c1 * (3*vt0[i] - 4*vt1[i] + vt2[i])
+			v1t[i] = d1
+			l1[i] += ir2 * ist * ist * (c2 * (vt0[i] - 2*vt1[i] + vt2[i]))
+			d1 = c1 * (3*vp0[i] - 4*vp1[i] + vp2[i])
+			v1p[i] = d1
+			l2[i] += ir2 * ist * ist * (c2 * (vp0[i] - 2*vp1[i] + vp2[i]))
+			a0[i] += ir * ist * (c1 * (3*(vp0[i]*fr0[i]) - 4*(vp1[i]*fr1[i]) + (vp2[i] * fr2[i])))
+			a1[i] += ir * ist * (c1 * (3*(vp0[i]*ft0[i]) - 4*(vp1[i]*ft1[i]) + (vp2[i] * ft2[i])))
+			a2[i] += ir * ist * (c1 * (3*(vp0[i]*f0[i]) - 4*(vp1[i]*f1[i]) + (vp2[i] * f2[i])))
+		}
+	default:
+		pp, pm := w(u.P, k+1), w(u.P, k-1)
+		fpw, fm := w(u.F.P, k+1), w(u.F.P, k-1)
+		gp, gm := w(pl.DivV, k+1), w(pl.DivV, k-1)
+		tp, tm, tc := w(pl.T, k+1), w(pl.T, k-1), w(pl.T, k)
+		vrp, vrm, vrc := w(pl.V.R, k+1), w(pl.V.R, k-1), w(pl.V.R, k)
+		vtp, vtm, vtc := w(pl.V.T, k+1), w(pl.V.T, k-1), w(pl.V.T, k)
+		vpp, vpm, vpc := w(pl.V.P, k+1), w(pl.V.P, k-1), w(pl.V.P, k)
+		frp, frm := w(u.F.R, k+1), w(u.F.R, k-1)
+		ftp, ftm := w(u.F.T, k+1), w(u.F.T, k-1)
+		for i := 0; i < n; i++ {
+			ir := invr[i]
+			ir2 := invr2[i]
+			dP[i] = c1 * (pp[i] - pm[i])
+			dF[i] += ir * ist * (c1 * (fpw[i] - fm[i]))
+			gD[i] = c1 * (gp[i] - gm[i])
+			ta, tb, t0 := tp[i], tm[i], tc[i]
+			lT[i] += ir2 * ist * ist * (c2 * (ta - 2*t0 + tb))
+			va, vb, v0 := vrp[i], vrm[i], vrc[i]
+			d1 := c1 * (va - vb)
+			v1r[i] = d1
+			l0[i] += ir2 * ist * ist * (c2 * (va - 2*v0 + vb))
+			va, vb, v0 = vtp[i], vtm[i], vtc[i]
+			d1 = c1 * (va - vb)
+			v1t[i] = d1
+			l1[i] += ir2 * ist * ist * (c2 * (va - 2*v0 + vb))
+			va, vb, v0 = vpp[i], vpm[i], vpc[i]
+			d1 = c1 * (va - vb)
+			v1p[i] = d1
+			l2[i] += ir2 * ist * ist * (c2 * (va - 2*v0 + vb))
+			a0[i] += ir * ist * (c1 * ((vpp[i] * frp[i]) - (vpm[i] * frm[i])))
+			a1[i] += ir * ist * (c1 * ((vpp[i] * ftp[i]) - (vpm[i] * ftm[i])))
+			a2[i] += ir * ist * (c1 * ((vpp[i] * fpw[i]) - (vpm[i] * fm[i])))
+		}
+	}
+}
+
+// fusedRHSColumn evaluates the full fused update for one (j, k) column:
+// the flux-product rows, three direction passes building every
+// derivative row and directional operator accumulation over shared
+// inputs, then one loop producing all eight outputs with every
+// remaining intermediate in registers. Every arithmetic statement
+// mirrors its full-field counterpart in ops.go / advect.go /
+// rhs_reference.go, preserving rounding order; register-held float64s
+// round identically to stored ones on every supported target.
+func fusedRHSColumn(pl *Panel, prm Params, u, out *State, s *rhsRows, j, k int) {
+	p := pl.Patch
+	h := p.H
+	nr := p.Nr
+	cot := p.CotT[j]
+	ist := p.InvSinT[j]
+	m := p.InvSinT[j]
+
+	vr := pl.V.R.Row(j, k)
+	vt := pl.V.T.Row(j, k)
+	vp := pl.V.P.Row(j, k)
+	fr := u.F.R.Row(j, k)
+	ft := u.F.T.Row(j, k)
+	fp := u.F.P.Row(j, k)
+
+	// All derivative rows and directional accumulations, one pass per
+	// direction (the += order is radial, theta, phi — the reference's
+	// term order). The momentum-flux stencils form their products
+	// v_a f_b in place, each rounding exactly once — bit-identical to
+	// differencing the reference's materialized product arrays.
+	derivColumnR(pl, u, s, j, k)
+	derivColumnT(pl, u, s, j, k)
+	derivColumnP(pl, u, s, j, k)
+
+	// The final loop: strain, curvature/Christoffel corrections, and
+	// the update equations. All rows are re-sliced to length-tied
+	// windows at the padded offset so the compiler drops bounds checks;
+	// window index i is padded index h+i everywhere.
+	w := func(r []float64) []float64 { return r[h:][:nr] }
+	invr := w(p.InvR)
+	invr2 := w(p.InvR2)
+	vrw, vtw, vpw := w(vr), w(vt), w(vp)
+	frw, ftw, fpw := w(fr), w(ft), w(fp)
+
+	dPrw, dPtw, dPpw := w(s.dPr), w(s.dPt), w(s.dPp)
+	dFw, lTw := w(s.dF), w(s.lT)
+	drvr, dtvr, dpvr := w(s.vD1r[0]), w(s.vD1t[0]), w(s.vD1p[0])
+	drvt, dtvt, dpvt := w(s.vD1r[1]), w(s.vD1t[1]), w(s.vD1p[1])
+	drvp, dtvp, dpvp := w(s.vD1r[2]), w(s.vD1t[2]), w(s.vD1p[2])
+	lap0, lap1, lap2 := w(s.lap[0]), w(s.lap[1]), w(s.lap[2])
+	adv0, adv1, adv2 := w(s.adv[0]), w(s.adv[1]), w(s.adv[2])
+	gDrw, gDtw, gDpw := w(s.gDr), w(s.gDt), w(s.gDp)
+
+	gamma, mu, kappa, eta, g0 := prm.Gamma, prm.Mu, prm.Kappa, prm.Eta, prm.G0
+	_, ntP, _ := p.Padded()
+	idx := k*ntP + j
+	omR, omT, omP := pl.OmR[idx], pl.OmT[idx], pl.OmP[idx]
+	cost := p.CosT[j]
+	ist2 := ist * ist
+
+	rho := w(u.Rho.Row(j, k))
+	pp := w(u.P.Row(j, k))
+	br := w(pl.B.R.Row(j, k))
+	bt := w(pl.B.T.Row(j, k))
+	bp := w(pl.B.P.Row(j, k))
+	jr := w(pl.J.R.Row(j, k))
+	jt := w(pl.J.T.Row(j, k))
+	jp := w(pl.J.P.Row(j, k))
+	dV := w(pl.DivV.Row(j, k))
+
+	oRho := w(out.Rho.Row(j, k))
+	oP := w(out.P.Row(j, k))
+	oFr := w(out.F.R.Row(j, k))
+	oFt := w(out.F.T.Row(j, k))
+	oFp := w(out.F.P.Row(j, k))
+	oAr := w(out.A.R.Row(j, k))
+	oAt := w(out.A.T.Row(j, k))
+	oAp := w(out.A.P.Row(j, k))
+
+	for i := 0; i < nr; i++ {
+		ir := invr[i]
+		ir2 := invr2[i]
+
+		// v.grad p (sphops.VDotGrad) and grad p (sphops.Grad).
+		vg := vrw[i]*dPrw[i] + vtw[i]*ir*dPtw[i] + vpw[i]*ir*ist*dPpw[i]
+		gpR := dPrw[i]
+		gpT := dPtw[i] * ir
+		gpP := dPpw[i] * (ir * m)
+
+		// Strain dissipation S (sphops.StrainSquared).
+		err := drvr[i]
+		ett := ir*dtvt[i] + vrw[i]*ir
+		epp := ir*ist*dpvp[i] + vrw[i]*ir + cot*vtw[i]*ir
+		ert := 0.5 * (ir*dtvr[i] + drvt[i] - vtw[i]*ir)
+		erp := 0.5 * (ir*ist*dpvr[i] + drvp[i] - vpw[i]*ir)
+		etp := 0.5 * (ir*ist*dpvt[i] + ir*dtvp[i] - cot*vpw[i]*ir)
+		sDiv := err + ett + epp
+		st := err*err + ett*ett + epp*epp +
+			2*(ert*ert+erp*erp+etp*etp) - sDiv*sDiv/3
+
+		// Tensor-divergence Christoffel terms (sphops.DivTensorVF).
+		advR := adv0[i]
+		advR -= (vtw[i]*ftw[i] + vpw[i]*fpw[i]) * ir
+		advT := adv1[i]
+		advT += (vtw[i]*frw[i] - cot*vpw[i]*fpw[i]) * ir
+		advP := adv2[i]
+		advP += (vpw[i]*frw[i] + cot*vpw[i]*ftw[i]) * ir
+
+		// Vector-Laplacian curvature coupling (sphops.LapVector).
+		lapR := lap0[i]
+		lapT := lap1[i]
+		lapP := lap2[i]
+		lapR -= 2 * ir2 * (vrw[i] + dtvt[i] + cot*vtw[i] + ist*dpvp[i])
+		lapT += ir2 * (2*dtvr[i] - ist2*vtw[i] - 2*cost*ist2*dpvp[i])
+		lapP += ir2 * (2*ist*dpvr[i] + 2*cost*ist2*dpvt[i] - ist2*vpw[i])
+
+		// grad(div v) (sphops.Grad on pl.DivV).
+		gdvR := gDrw[i]
+		gdvT := gDtw[i] * ir
+		gdvP := gDpw[i] * (ir * m)
+
+		// Continuity, eq. (2).
+		oRho[i] = -dFw[i]
+
+		// Lorentz force j x B.
+		fLr := jt[i]*bp[i] - jp[i]*bt[i]
+		fLt := jp[i]*br[i] - jr[i]*bp[i]
+		fLp := jr[i]*bt[i] - jt[i]*br[i]
+
+		// Gravity (radial) and Coriolis 2 rho v x Omega.
+		gR := -g0 * ir2
+		corR := 2 * rho[i] * (vtw[i]*omP - vpw[i]*omT)
+		corT := 2 * rho[i] * (vpw[i]*omR - vrw[i]*omP)
+		corP := 2 * rho[i] * (vrw[i]*omT - vtw[i]*omR)
+
+		// Momentum, eq. (3).
+		oFr[i] = -advR - gpR + fLr + rho[i]*gR + corR +
+			mu*(lapR+gdvR/3)
+		oFt[i] = -advT - gpT + fLt + corT +
+			mu*(lapT+gdvT/3)
+		oFp[i] = -advP - gpP + fLp + corP +
+			mu*(lapP+gdvP/3)
+
+		// Pressure, eq. (4).
+		jsq := jr[i]*jr[i] + jt[i]*jt[i] + jp[i]*jp[i]
+		oP[i] = -vg - gamma*pp[i]*dV[i] +
+			(gamma-1)*(kappa*lTw[i]+eta*jsq+2*mu*st)
+
+		// Induction, eq. (5): dA/dt = -E = v x B - eta j.
+		oAr[i] = vtw[i]*bp[i] - vpw[i]*bt[i] - eta*jr[i]
+		oAt[i] = vpw[i]*br[i] - vrw[i]*bp[i] - eta*jt[i]
+		oAp[i] = vrw[i]*bt[i] - vtw[i]*br[i] - eta*jp[i]
+	}
+}

@@ -2,6 +2,7 @@ package mhd
 
 import (
 	"math"
+	"sync"
 
 	"repro/internal/coords"
 	"repro/internal/field"
@@ -75,10 +76,24 @@ type Panel struct {
 	V, B, J *field.Vector
 	T       *field.Scalar
 
-	// Operator-output scratch for the momentum equation.
+	// div v, computed by RHSDivV each evaluation. A dedicated field
+	// rather than workspace scratch because a decomposed rank exchanges
+	// its seam halos (the aux exchange) between computing it and
+	// differentiating it for the compressive viscous force.
+	DivV *field.Scalar
+
+	// Operator-output scratch for the momentum equation (used by the
+	// unfused reference evaluation only; the fused kernel keeps these
+	// intermediates in per-worker rows).
 	adv, gp, lap, gdv *field.Vector
 
 	W *sphops.Workspace
+
+	// Per-worker scratch rows of the fused update kernel, recycled
+	// across evaluations through a mutex-guarded free list (workers grab
+	// one set per pool range, not per column, so contention is nil).
+	rowsMu   sync.Mutex
+	rowsFree []*rhsRows
 
 	// Rotation vector Omega in this panel's local spherical components,
 	// indexed [k*ntPadded + j] (independent of radius).
@@ -104,6 +119,7 @@ func NewPanel(p *grid.Patch, omega float64) *Panel {
 		B:     p.NewVector(),
 		J:     p.NewVector(),
 		T:     p.NewScalar(),
+		DivV:  p.NewScalar(),
 		adv:   p.NewVector(),
 		gp:    p.NewVector(),
 		lap:   p.NewVector(),
@@ -165,6 +181,28 @@ func (pl *Panel) precomputeOwnership() {
 			}
 		}
 	}
+}
+
+// getRows hands a worker a scratch-row set for the fused update kernel,
+// allocating on first use and recycling thereafter.
+func (pl *Panel) getRows() *rhsRows {
+	pl.rowsMu.Lock()
+	if n := len(pl.rowsFree); n > 0 {
+		s := pl.rowsFree[n-1]
+		pl.rowsFree = pl.rowsFree[:n-1]
+		pl.rowsMu.Unlock()
+		return s
+	}
+	pl.rowsMu.Unlock()
+	nrP, _, _ := pl.Patch.Padded()
+	return newRHSRows(nrP)
+}
+
+// putRows returns a scratch-row set to the free list.
+func (pl *Panel) putRows(s *rhsRows) {
+	pl.rowsMu.Lock()
+	pl.rowsFree = append(pl.rowsFree, s)
+	pl.rowsMu.Unlock()
 }
 
 // rimDistance returns the angular distance from (theta, phi) to the patch

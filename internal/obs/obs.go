@@ -58,6 +58,15 @@ const (
 	SpanCkptWrite
 	SpanCkptRead
 	SpanDiagnose
+	// SpanHaloOverlap covers compute done while halo messages are in
+	// flight (between posting the receives and completing them); its
+	// growth is exactly the wait time the overlapped schedule hides.
+	SpanHaloOverlap
+	// SpanRHSInterior / SpanRHSRim split the overlapped RHS update into
+	// the halo-independent interior evaluation and the seam rim finished
+	// after the exchange completes.
+	SpanRHSInterior
+	SpanRHSRim
 	numSpanKinds
 )
 
@@ -78,6 +87,9 @@ var spanNames = [numSpanKinds]string{
 	SpanCkptWrite:     "checkpoint.write",
 	SpanCkptRead:      "checkpoint.read",
 	SpanDiagnose:      "diagnose",
+	SpanHaloOverlap:   "halo.overlap",
+	SpanRHSInterior:   "rhs.interior",
+	SpanRHSRim:        "rhs.rim",
 }
 
 // String returns the span's trace name, e.g. "halo.wait".

@@ -29,6 +29,23 @@ func mmsLap(r, t, p float64) float64 {
 	return radial + theta + phi
 }
 
+// Manufactured vector v = (0, 0, f) and its exact curl in this
+// package's component convention:
+//
+//	curl_r = (1/r)(df/dt + cot(t) f)
+//	curl_t = -df/dr - f/r
+//	curl_p = 0.
+func mmsVecP(r, t, p float64) (vr, vt, vp float64) {
+	return 0, 0, mmsF(r, t, p)
+}
+
+func mmsCurlVecP(r, t, p float64) (cr, ct, cp float64) {
+	cr = math.Sin(math.Pi*r) * math.Sin(2*p) * math.Cos(2*t) / (r * math.Sin(t))
+	ct = -math.Cos(t) * math.Sin(2*p) * (math.Pi*math.Cos(math.Pi*r) + math.Sin(math.Pi*r)/r)
+	cp = 0
+	return
+}
+
 func fitOrder(hs, errs []float64) float64 {
 	n := float64(len(hs))
 	var sx, sy, sxx, sxy float64
@@ -77,6 +94,26 @@ func TestMMSFittedOrder(t *testing.T) {
 			w := NewWorkspace(p)
 			Div(p, v, out, w)
 			return maxErrScalar(p, out, mmsLap, (p.Nt-1)/8)
+		}},
+		// The fused single-pass region kernels behind the RHS schedule
+		// must converge at the same order as the generic ops they
+		// replace: a fusion that silently degraded a stencil would pass
+		// fixed-resolution comparisons against itself but fail the fit.
+		{"DivFused", func(p *grid.Patch) float64 {
+			v := field.NewVector(p.NewScalar().Shape)
+			out := p.NewScalar()
+			fillVector(p, v, mmsGrad)
+			w := NewWorkspace(p)
+			DivOn(p, p.OwnedRegion(), v, out, w)
+			return maxErrScalar(p, out, mmsLap, (p.Nt-1)/8)
+		}},
+		{"CurlFused", func(p *grid.Patch) float64 {
+			v := field.NewVector(p.NewScalar().Shape)
+			out := field.NewVector(v.R.Shape)
+			fillVector(p, v, mmsVecP)
+			w := NewWorkspace(p)
+			CurlOn(p, p.OwnedRegion(), v, out, w)
+			return maxErrVector(p, out, mmsCurlVecP, (p.Nt-1)/8)
 		}},
 	}
 	for _, c := range cases {

@@ -1,0 +1,277 @@
+package sphops
+
+import (
+	"repro/internal/field"
+	"repro/internal/grid"
+	"repro/internal/perfcount"
+)
+
+// Region-restricted, column-fused variants of the operators in ops.go.
+// Where the full-field forms make one derivative sweep per term over the
+// whole patch, these compute every derivative row and the metric combine
+// for one (j, k) column in a single pass before moving to the next — the
+// cache-blocking the fused right-hand side is built on — and touch only
+// the columns of the given region, which is what lets a decomposed rank
+// evaluate the interior while halo messages are still in flight and
+// finish the rim afterwards.
+//
+// Each column's derivative rows depend only on the input field, never on
+// another column's scratch, and the combine statements are copied from
+// the full-field forms, so for any region cover the results are bitwise
+// identical to the corresponding full-field sweep.
+
+// sweepOn runs fn over every column of reg. Each rectangle's phi extent
+// is range-split over the patch worker pool; distinct (j, k) columns own
+// disjoint output rows, so the parallel form is bit-identical to the
+// serial one. fn must only write rows of its own (j, k).
+func sweepOn(p *grid.Patch, reg grid.Region, fn func(j, k int)) {
+	for _, rc := range reg {
+		if rc.Empty() {
+			continue
+		}
+		rc := rc
+		p.Par.For(rc.K1-rc.K0, func(klo, khi int) {
+			for k := rc.K0 + klo; k < rc.K0+khi; k++ {
+				for j := rc.J0; j < rc.J1; j++ {
+					fn(j, k)
+				}
+			}
+		})
+	}
+}
+
+// countOn charges the aggregate a region evaluation owes the counters:
+// flopsPerNode flops on every region node across loopsPerColumn radial
+// loops per column, matching what the full-field sweeps charge when the
+// region covers the whole patch.
+func countOn(p *grid.Patch, reg grid.Region, flopsPerNode, loopsPerColumn int) {
+	cols := int64(reg.Columns())
+	n := cols * int64(p.Nr)
+	lpc := int64(loopsPerColumn)
+	perfcount.AddFlops(n * int64(flopsPerNode))
+	perfcount.AddVectorLoops(cols*lpc, n*lpc)
+}
+
+// DivOn computes Div over the columns of reg only (same metric form,
+// bitwise-identical values). The angular derivative rows of a column
+// are built by two stencil passes and the radial stencil is formed
+// inside the combine itself, with the one-sided radial closures
+// re-deriving the two global-boundary entries; every stencil and
+// combine statement matches the full-field sweep, so the values are
+// exact.
+func DivOn(p *grid.Patch, reg grid.Region, v *field.Vector, out *field.Scalar, w *Workspace) {
+	dt := w.Get()
+	dp := w.Get()
+	defer w.Put(dt, dp)
+	h := p.H
+	n := p.Nr
+	cr := 1 / (2 * p.Dr)
+	ct := 1 / (2 * p.Dt)
+	cp := 1 / (2 * p.Dp)
+	loT, hiT := p.GlobalEdge(2), p.GlobalEdge(3)
+	loP, hiP := p.GlobalEdge(4), p.GlobalEdge(5)
+	sweepOn(p, reg, func(j, k int) {
+		dtr := dt.Row(j, k)
+		dpr := dp.Row(j, k)
+
+		// Theta pass: d/dtheta of v_theta.
+		{
+			bw := dtr[h:][:n]
+			switch {
+			case loT && j == h:
+				t0, t1, t2 := v.T.Row(j, k)[h:][:n], v.T.Row(j+1, k)[h:][:n], v.T.Row(j+2, k)[h:][:n]
+				for i := 0; i < n; i++ {
+					bw[i] = ct * (-3*t0[i] + 4*t1[i] - t2[i])
+				}
+			case hiT && j == h+p.Nt-1:
+				t0, t1, t2 := v.T.Row(j, k)[h:][:n], v.T.Row(j-1, k)[h:][:n], v.T.Row(j-2, k)[h:][:n]
+				for i := 0; i < n; i++ {
+					bw[i] = ct * (3*t0[i] - 4*t1[i] + t2[i])
+				}
+			default:
+				tP, tM := v.T.Row(j+1, k)[h:][:n], v.T.Row(j-1, k)[h:][:n]
+				for i := 0; i < n; i++ {
+					bw[i] = ct * (tP[i] - tM[i])
+				}
+			}
+		}
+
+		// Phi pass: d/dphi of v_phi.
+		{
+			cw := dpr[h:][:n]
+			switch {
+			case loP && k == h:
+				p0, p1, p2 := v.P.Row(j, k)[h:][:n], v.P.Row(j, k+1)[h:][:n], v.P.Row(j, k+2)[h:][:n]
+				for i := 0; i < n; i++ {
+					cw[i] = cp * (-3*p0[i] + 4*p1[i] - p2[i])
+				}
+			case hiP && k == h+p.Np-1:
+				p0, p1, p2 := v.P.Row(j, k)[h:][:n], v.P.Row(j, k-1)[h:][:n], v.P.Row(j, k-2)[h:][:n]
+				for i := 0; i < n; i++ {
+					cw[i] = cp * (3*p0[i] - 4*p1[i] + p2[i])
+				}
+			default:
+				pP, pM := v.P.Row(j, k+1)[h:][:n], v.P.Row(j, k-1)[h:][:n]
+				for i := 0; i < n; i++ {
+					cw[i] = cp * (pP[i] - pM[i])
+				}
+			}
+		}
+
+		// Combine, with the radial stencil formed in place.
+		vrR := v.R.Row(j, k)
+		orR := out.Row(j, k)
+		or := orR[h:][:n]
+		vr := vrR[h:][:n]
+		vrp, vrm := vrR[h+1:][:n], vrR[h-1:][:n]
+		vt := v.T.Row(j, k)[h:][:n]
+		invr := p.InvR[h:][:n]
+		db, dc := dtr[h:][:n], dpr[h:][:n]
+		cot := p.CotT[j]
+		ist := p.InvSinT[j]
+		for i := 0; i < n; i++ {
+			ir := invr[i]
+			or[i] = (cr * (vrp[i] - vrm[i])) + 2*vr[i]*ir + ir*(db[i]+cot*vt[i]) + ir*ist*dc[i]
+		}
+		if p.GlobalEdge(0) {
+			i := h
+			ir := p.InvR[i]
+			orR[i] = (cr * (-3*vrR[i] + 4*vrR[i+1] - vrR[i+2])) + 2*vrR[i]*ir +
+				ir*(dtr[i]+cot*v.T.Row(j, k)[i]) + ir*ist*dpr[i]
+		}
+		if p.GlobalEdge(1) {
+			i := h + n - 1
+			ir := p.InvR[i]
+			orR[i] = (cr * (3*vrR[i] - 4*vrR[i-1] + vrR[i-2])) + 2*vrR[i]*ir +
+				ir*(dtr[i]+cot*v.T.Row(j, k)[i]) + ir*ist*dpr[i]
+		}
+	})
+	countOn(p, reg, 18, 4)
+}
+
+// CurlOn computes Curl over the columns of reg only (same metric form,
+// bitwise-identical values). The six derivative rows of a column are
+// built in one merged pass per direction — two stencils sharing each
+// pass's input rows — before the combine; every stencil and combine
+// statement matches the full-field sweep, so the values are exact.
+func CurlOn(p *grid.Patch, reg grid.Region, v *field.Vector, out *field.Vector, w *Workspace) {
+	dtvp := w.Get()
+	dpvt := w.Get()
+	dpvr := w.Get()
+	drvp := w.Get()
+	drvt := w.Get()
+	dtvr := w.Get()
+	defer w.Put(dtvp, dpvt, dpvr, drvp, drvt, dtvr)
+	h := p.H
+	n := p.Nr
+	cr := 1 / (2 * p.Dr)
+	ct := 1 / (2 * p.Dt)
+	cp := 1 / (2 * p.Dp)
+	loT, hiT := p.GlobalEdge(2), p.GlobalEdge(3)
+	loP, hiP := p.GlobalEdge(4), p.GlobalEdge(5)
+	sweepOn(p, reg, func(j, k int) {
+		a := dtvp.Row(j, k)
+		b := dpvt.Row(j, k)
+		c := dpvr.Row(j, k)
+		d := drvp.Row(j, k)
+		e := drvt.Row(j, k)
+		f := dtvr.Row(j, k)
+		vtR := v.T.Row(j, k)
+		vpR := v.P.Row(j, k)
+
+		// Radial pass: d/dr of v_theta and v_phi.
+		{
+			ew, dw := e[h:][:n], d[h:][:n]
+			tp, tm := vtR[h+1:][:n], vtR[h-1:][:n]
+			pp, pm := vpR[h+1:][:n], vpR[h-1:][:n]
+			for i := 0; i < n; i++ {
+				ew[i] = cr * (tp[i] - tm[i])
+				dw[i] = cr * (pp[i] - pm[i])
+			}
+			if p.GlobalEdge(0) {
+				i := h
+				e[i] = cr * (-3*vtR[i] + 4*vtR[i+1] - vtR[i+2])
+				d[i] = cr * (-3*vpR[i] + 4*vpR[i+1] - vpR[i+2])
+			}
+			if p.GlobalEdge(1) {
+				i := h + n - 1
+				e[i] = cr * (3*vtR[i] - 4*vtR[i-1] + vtR[i-2])
+				d[i] = cr * (3*vpR[i] - 4*vpR[i-1] + vpR[i-2])
+			}
+		}
+
+		// Theta pass: d/dtheta of v_phi and v_r.
+		{
+			aw, fw := a[h:][:n], f[h:][:n]
+			switch {
+			case loT && j == h:
+				p0, p1, p2 := v.P.Row(j, k)[h:][:n], v.P.Row(j+1, k)[h:][:n], v.P.Row(j+2, k)[h:][:n]
+				r0, r1, r2 := v.R.Row(j, k)[h:][:n], v.R.Row(j+1, k)[h:][:n], v.R.Row(j+2, k)[h:][:n]
+				for i := 0; i < n; i++ {
+					aw[i] = ct * (-3*p0[i] + 4*p1[i] - p2[i])
+					fw[i] = ct * (-3*r0[i] + 4*r1[i] - r2[i])
+				}
+			case hiT && j == h+p.Nt-1:
+				p0, p1, p2 := v.P.Row(j, k)[h:][:n], v.P.Row(j-1, k)[h:][:n], v.P.Row(j-2, k)[h:][:n]
+				r0, r1, r2 := v.R.Row(j, k)[h:][:n], v.R.Row(j-1, k)[h:][:n], v.R.Row(j-2, k)[h:][:n]
+				for i := 0; i < n; i++ {
+					aw[i] = ct * (3*p0[i] - 4*p1[i] + p2[i])
+					fw[i] = ct * (3*r0[i] - 4*r1[i] + r2[i])
+				}
+			default:
+				pP, pM := v.P.Row(j+1, k)[h:][:n], v.P.Row(j-1, k)[h:][:n]
+				rP, rM := v.R.Row(j+1, k)[h:][:n], v.R.Row(j-1, k)[h:][:n]
+				for i := 0; i < n; i++ {
+					aw[i] = ct * (pP[i] - pM[i])
+					fw[i] = ct * (rP[i] - rM[i])
+				}
+			}
+		}
+
+		// Phi pass: d/dphi of v_theta and v_r.
+		{
+			bw, cw := b[h:][:n], c[h:][:n]
+			switch {
+			case loP && k == h:
+				t0, t1, t2 := v.T.Row(j, k)[h:][:n], v.T.Row(j, k+1)[h:][:n], v.T.Row(j, k+2)[h:][:n]
+				r0, r1, r2 := v.R.Row(j, k)[h:][:n], v.R.Row(j, k+1)[h:][:n], v.R.Row(j, k+2)[h:][:n]
+				for i := 0; i < n; i++ {
+					bw[i] = cp * (-3*t0[i] + 4*t1[i] - t2[i])
+					cw[i] = cp * (-3*r0[i] + 4*r1[i] - r2[i])
+				}
+			case hiP && k == h+p.Np-1:
+				t0, t1, t2 := v.T.Row(j, k)[h:][:n], v.T.Row(j, k-1)[h:][:n], v.T.Row(j, k-2)[h:][:n]
+				r0, r1, r2 := v.R.Row(j, k)[h:][:n], v.R.Row(j, k-1)[h:][:n], v.R.Row(j, k-2)[h:][:n]
+				for i := 0; i < n; i++ {
+					bw[i] = cp * (3*t0[i] - 4*t1[i] + t2[i])
+					cw[i] = cp * (3*r0[i] - 4*r1[i] + r2[i])
+				}
+			default:
+				tP, tM := v.T.Row(j, k+1)[h:][:n], v.T.Row(j, k-1)[h:][:n]
+				rP, rM := v.R.Row(j, k+1)[h:][:n], v.R.Row(j, k-1)[h:][:n]
+				for i := 0; i < n; i++ {
+					bw[i] = cp * (tP[i] - tM[i])
+					cw[i] = cp * (rP[i] - rM[i])
+				}
+			}
+		}
+
+		orr := out.R.Row(j, k)[h:][:n]
+		otr := out.T.Row(j, k)[h:][:n]
+		opr := out.P.Row(j, k)[h:][:n]
+		vt := vtR[h:][:n]
+		vp := vpR[h:][:n]
+		invr := p.InvR[h:][:n]
+		aw, bw, cw := a[h:][:n], b[h:][:n], c[h:][:n]
+		dw, ew, fw := d[h:][:n], e[h:][:n], f[h:][:n]
+		cot := p.CotT[j]
+		ist := p.InvSinT[j]
+		for i := 0; i < n; i++ {
+			ir := invr[i]
+			orr[i] = ir*(aw[i]+cot*vp[i]) - ir*ist*bw[i]
+			otr[i] = ir*ist*cw[i] - dw[i] - vp[i]*ir
+			opr[i] = ew[i] + vt[i]*ir - ir*fw[i]
+		}
+	})
+	countOn(p, reg, 31, 7)
+}

@@ -10,8 +10,8 @@
 #                      per-function walks (irecv-wait, pow2-stride,
 #                      float-eq, cond-wait-loop, abort-on-err,
 #                      runwith-deadline, span-end, det-purity,
-#                      pool-disjoint, typed-err) plus the
-#                      interprocedural passes (tag-space,
+#                      pool-disjoint, typed-err, overlap-order) plus
+#                      the interprocedural passes (tag-space,
 #                      buf-lifetime) and the directive audit
 #                      (ignore-audit)
 #   4. go test       — the full test suite; the explicit -timeout turns
@@ -36,6 +36,10 @@
 #   7. traced smoke  — a 2-rank run with -trace and -runreport on,
 #                      proving the observability path exports a valid
 #                      Perfetto trace and run report end to end
+#   8. step gate     — the fused-RHS speedup gate: the committed
+#                      BENCH_kernels.json step section must claim
+#                      >=2x over the pre-fusion baseline, and a live
+#                      fused-vs-reference re-measure must not collapse
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -77,5 +81,8 @@ go run ./cmd/yycore -nr 9 -nt 13 -steps 4 -every 2 -procs 2 \
 	-trace "$obs_out/trace.json" -runreport "$obs_out/report.txt"
 go run ./cmd/yytrace -summary "$obs_out/trace.json" > "$obs_out/summary.txt"
 grep -q "Span Coverage" "$obs_out/report.txt"
+
+echo "==> step gate: go run ./cmd/yybench -gate-step BENCH_kernels.json"
+go run ./cmd/yybench -gate-step BENCH_kernels.json
 
 echo "==> all checks passed"
