@@ -33,6 +33,7 @@ func main() {
 		gate      = flag.String("gate", "", "re-run the halo benchmarks and fail if allocs/op regresses above this baseline BENCH_halo.json")
 		gateObs   = flag.String("gate-obs", "", "re-run the observability benchmarks and fail if allocs/op (strict) or ns/op (10x slack) regresses above this baseline BENCH_obs.json")
 		gateStep  = flag.String("gate-step", "", "check the committed fused-RHS speedup in this baseline BENCH_kernels.json and re-measure fused vs reference as a live tripwire")
+		gateStore = flag.String("gate-store", "", "re-run the run-ledger store benchmarks and fail if the dedup blob-write path allocates or regresses above this baseline BENCH_store.json")
 	)
 	flag.Parse()
 
@@ -48,7 +49,8 @@ func main() {
 	if *jsonDir != "" {
 		s := grid.NewSpec(17, 17)
 		check(bench.WriteBenchJSON(*jsonDir, s, []int{1, 2, 4}))
-		fmt.Fprintf(w, "wrote %s/BENCH_kernels.json, %s/BENCH_halo.json and %s/BENCH_obs.json\n", *jsonDir, *jsonDir, *jsonDir)
+		check(bench.WriteStoreBenchJSON(*jsonDir))
+		fmt.Fprintf(w, "wrote %s/BENCH_kernels.json, %s/BENCH_halo.json, %s/BENCH_obs.json and %s/BENCH_store.json\n", *jsonDir, *jsonDir, *jsonDir, *jsonDir)
 		ran = true
 	}
 	if *gate != "" {
@@ -64,6 +66,11 @@ func main() {
 	if *gateStep != "" {
 		check(bench.GateStep(*gateStep, grid.NewSpec(17, 17)))
 		fmt.Fprintf(w, "fused-RHS step gate passed against %s\n", *gateStep)
+		ran = true
+	}
+	if *gateStore != "" {
+		check(bench.GateStoreAllocs(*gateStore))
+		fmt.Fprintf(w, "run-ledger store gate passed against %s\n", *gateStore)
 		ran = true
 	}
 	if *all || *table == 1 {

@@ -8,6 +8,7 @@
 //	yycore -nr 25 -nt 25 -steps 200 -every 20
 //	yycore -nr 17 -nt 17 -steps 100 -procs 8       # goroutine-parallel
 //	yycore -nr 25 -nt 25 -steps 300 -slice out.ppm # equatorial T slice
+//	yycore -nr 9 -nt 13 -steps 10 -store run.store # campaign on the durable run ledger
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"repro/internal/perfcount"
 	"repro/internal/resilience"
 	"repro/internal/sph"
+	"repro/internal/store"
 	"repro/internal/viz"
 )
 
@@ -46,6 +48,8 @@ func main() {
 		perturb = flag.Float64("perturb", mhd.DefaultIC().PerturbAmp, "temperature perturbation amplitude")
 
 		campaign  = flag.String("campaign", "", "run a fault-tolerant checkpointed campaign in this directory (resumes if checkpoints exist)")
+		storeDir  = flag.String("store", "", "campaign: commit checkpoints to the content-addressed run-ledger store at this directory instead of loose files (audit with yystore)")
+		runID     = flag.String("runid", "", "campaign: run name inside the store's ref namespace (default campaign)")
 		ckptEvery = flag.Int("ckpt-every", 50, "campaign: steps between checkpoints")
 		retries   = flag.Int("retries", 3, "campaign: retry budget per segment")
 		backoff   = flag.Float64("backoff", 0.5, "campaign: dt multiplier per blow-up retry")
@@ -80,13 +84,17 @@ func main() {
 		cfg.Obs = rec
 	}
 
-	if *campaign != "" {
+	if *campaign != "" || *storeDir != "" {
 		np := *procs
 		if np == 0 {
 			np = 2
 		}
+		where := *campaign
+		if where == "" {
+			where = "store " + *storeDir
+		}
 		fmt.Printf("campaign: %d steps on %d ranks, checkpoint every %d steps in %s\n",
-			*steps, np, *ckptEvery, *campaign)
+			*steps, np, *ckptEvery, where)
 		rcfg := resilience.Config{
 			Core:            cfg,
 			NProcs:          np,
@@ -98,6 +106,18 @@ func main() {
 			Deadline:        *deadline,
 			Obs:             rec,
 			Events:          events,
+		}
+		if *storeDir != "" {
+			backend, err := store.NewDirBackend(*storeDir)
+			if err != nil {
+				fail(err)
+			}
+			st, err := store.Open(backend)
+			if err != nil {
+				fail(err)
+			}
+			rcfg.Store = st
+			rcfg.RunID = *runID
 		}
 		if *hbEvery > 0 {
 			rcfg.Heartbeat = &mpi.Heartbeat{Interval: *hbEvery}

@@ -33,6 +33,7 @@ import (
 	"strings"
 
 	"repro/internal/analyze"
+	"repro/internal/store"
 )
 
 func main() {
@@ -146,7 +147,7 @@ func writeJSON(path string, jfs []jsonFinding, out io.Writer) error {
 		_, err = out.Write(data)
 		return err
 	}
-	return os.WriteFile(path, data, 0o644)
+	return store.WriteFileAtomic(path, data, 0o644)
 }
 
 // escapeProp escapes a workflow-command property value.

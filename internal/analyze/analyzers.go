@@ -4,6 +4,7 @@ package analyze
 func All() []*Analyzer {
 	return []*Analyzer{
 		AbortOnErr,
+		AtomicArtifact,
 		BufLifetime,
 		CondWaitLoop,
 		DetPurity,

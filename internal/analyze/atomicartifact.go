@@ -1,0 +1,103 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicArtifact reports production code that writes run artifacts
+// outside the atomic commit path: a direct os.WriteFile, or an
+// os.Rename that commits a file no preceding Sync made durable.
+//
+// Paper provenance: the durable run ledger's integrity guarantee rests
+// on a single write discipline — temp file in the target directory,
+// write, fsync, rename, dir-fsync. os.WriteFile truncates the final
+// name first and writes in place, so a crash mid-write leaves a torn
+// file under a committed name that verification can only call corrupt;
+// a rename without a prior fsync can commit a name whose data never
+// left the page cache, so a host crash yields a whole-looking,
+// zero-length or stale artifact. Production artifacts must go through
+// store.WriteFileAtomic (or a store backend Put). Test files are out
+// of scope: tests tamper with committed files on purpose.
+var AtomicArtifact = &Analyzer{
+	Name: "atomic-artifact",
+	Doc: "artifact written outside the atomic temp-fsync-rename-dirfsync path; " +
+		"os.WriteFile tears under crash and an unsynced rename commits page-cache " +
+		"data — use store.WriteFileAtomic",
+	Run: runAtomicArtifact,
+}
+
+func runAtomicArtifact(pass *Pass) error {
+	for _, file := range pass.Files {
+		inspectWithParents(file, func(n ast.Node, parents []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !isOsPackage(pass, sel.X) {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "WriteFile":
+				pass.Reportf(call.Pos(),
+					"os.WriteFile writes in place: a crash mid-write leaves a torn file under the final name; use store.WriteFileAtomic")
+			case "Rename":
+				if !syncPrecedes(call, parents) {
+					pass.Reportf(call.Pos(),
+						"os.Rename commits a file with no preceding Sync in this function: a crash can commit data that never left the page cache; fsync the temp file first")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isOsPackage reports whether e names the imported "os" package.
+func isOsPackage(pass *Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	return ok && pkgName.Imported().Path() == "os"
+}
+
+// syncPrecedes reports whether a .Sync() call appears before the rename
+// inside the nearest enclosing function body. Positional, not
+// path-sensitive: the write discipline puts the fsync straight-line
+// above the rename, so a Sync anywhere earlier in the same function is
+// accepted as the durability point.
+func syncPrecedes(rename *ast.CallExpr, parents []ast.Node) bool {
+	var body *ast.BlockStmt
+	for i := len(parents) - 1; i >= 0; i-- {
+		switch fn := parents[i].(type) {
+		case *ast.FuncDecl:
+			body = fn.Body
+		case *ast.FuncLit:
+			body = fn.Body
+		}
+		if body != nil {
+			break
+		}
+	}
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found || (n != nil && n.Pos() >= rename.Pos()) {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Sync" && len(call.Args) == 0 {
+			found = true
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,11 @@
+package analyze
+
+import "testing"
+
+// TestAtomicArtifact runs the analyzer over its fixture: direct
+// os.WriteFile and unsynced renames in production code are true
+// positives; the full commit discipline, a Sync inside the renaming
+// closure, non-os lookalikes, suppressions and test files are clean.
+func TestAtomicArtifact(t *testing.T) {
+	runFixture(t, "atomicartifact", AtomicArtifact)
+}

@@ -1,0 +1,102 @@
+// Package atomicartifact is an atomic-artifact fixture: direct
+// os.WriteFile and unsynced os.Rename commits are flagged; the full
+// temp-fsync-rename-dirfsync discipline, non-os lookalikes and
+// justified suppressions are clean.
+package atomicartifact
+
+import (
+	"os"
+	"path/filepath"
+)
+
+func badWriteFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want "use store.WriteFileAtomic"
+}
+
+func badWriteFileIgnoredError(dir string, data []byte) {
+	_ = os.WriteFile(filepath.Join(dir, "report.txt"), data, 0o644) // want "use store.WriteFileAtomic"
+}
+
+func badUnsyncedRename(dir, final string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, "artifact-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	// Closed but never fsynced: the data may still sit in the page
+	// cache when the name commits.
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), final) // want "no preceding Sync"
+}
+
+func goodAtomicCommit(dir, final string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, "artifact-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+func goodSyncInsideClosure(dir, final string, data []byte) error {
+	commit := func(tmp *os.File) error {
+		if err := tmp.Sync(); err != nil {
+			return err
+		}
+		if err := tmp.Close(); err != nil {
+			return err
+		}
+		return os.Rename(tmp.Name(), final)
+	}
+	tmp, err := os.CreateTemp(dir, "artifact-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	return commit(tmp)
+}
+
+// fileAPI is a non-os lookalike: method names collide, package does
+// not.
+type fileAPI struct{}
+
+func (fileAPI) WriteFile(string, []byte, os.FileMode) error { return nil }
+func (fileAPI) Rename(string, string) error                 { return nil }
+
+func lookalikesAreFine(api fileAPI, data []byte) error {
+	if err := api.WriteFile("x", data, 0o644); err != nil {
+		return err
+	}
+	return api.Rename("x", "y")
+}
+
+func suppressedIsFine(path string, data []byte) error {
+	//yyvet:ignore atomic-artifact fixture: tamper-injection write, atomicity would defeat it
+	return os.WriteFile(path, data, 0o644)
+}

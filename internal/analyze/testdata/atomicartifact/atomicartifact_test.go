@@ -1,0 +1,15 @@
+package atomicartifact
+
+import (
+	"os"
+	"testing"
+)
+
+// Test files are outside atomic-artifact's contract: tests fabricate
+// and tamper with committed files on purpose, so a plain in-place
+// write here must stay clean.
+func TestPlainWriteIsOutOfScope(t *testing.T) {
+	if err := os.WriteFile("ignored", nil, 0o644); err != nil {
+		t.Skip("fixture never runs")
+	}
+}

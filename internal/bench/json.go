@@ -14,6 +14,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/mhd"
 	"repro/internal/par"
+	"repro/internal/store"
 )
 
 // KernelBench is one (kernel, worker-count) measurement of the intra-rank
@@ -285,7 +286,7 @@ func writeJSON(path string, v any) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return store.WriteFileAtomic(path, append(data, '\n'), 0o644)
 }
 
 // WriteBenchJSON runs the benchmark suites and writes

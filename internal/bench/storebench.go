@@ -1,0 +1,167 @@
+package bench
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/store"
+)
+
+// StoreBench is one measurement of the durable run ledger's write path.
+// The committed acceptance number is AllocsPerOp == 0 on StorePutDedup:
+// the steady-state shape of a deterministic campaign is re-putting a
+// bit-identical checkpoint, and that path is a sha256 plus an index hit
+// — it must never touch the allocator. StorePutFresh and LedgerAppend
+// are fsync-bound; their ns/op documents the commit cost a campaign
+// pays per segment, not a regression target beyond order of magnitude.
+type StoreBench struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// StoreReport is the BENCH_store.json document.
+type StoreReport struct {
+	Env        BenchEnv     `json:"env"`
+	Benchmarks []StoreBench `json:"benchmarks"`
+}
+
+// RunStoreBenches measures the store write path against a throwaway
+// local directory backend.
+func RunStoreBenches() (*StoreReport, error) {
+	dir, err := os.MkdirTemp("", "yybench-store-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	backend, err := store.NewDirBackend(dir)
+	if err != nil {
+		return nil, err
+	}
+	st, err := store.Open(backend)
+	if err != nil {
+		return nil, err
+	}
+
+	// A checkpoint-shaped payload, large enough that the sha256 cost
+	// dominates the dedup path the way it does in a real campaign.
+	payload := make([]byte, 64<<10)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	warm, err := st.Put(payload)
+	if err != nil {
+		return nil, err
+	}
+
+	// Fresh puts need a distinct blob per iteration; small, so the
+	// measurement is the commit path (temp+fsync+rename+dirfsync), not
+	// the hash of a large body.
+	fresh := make([]byte, 4<<10)
+	var freshN uint64
+
+	cases := []struct {
+		name string
+		fn   func() error
+	}{
+		{"StorePutDedup", func() error {
+			_, err := st.Put(payload)
+			return err
+		}},
+		{"StorePutFresh", func() error {
+			freshN++
+			binary.LittleEndian.PutUint64(fresh, freshN)
+			_, err := st.Put(fresh)
+			return err
+		}},
+		{"LedgerAppend", func() error {
+			_, err := st.Append(store.Manifest{
+				Run:       "bench",
+				Artifacts: []store.Artifact{{Name: "ckpt", Hash: warm, Size: int64(len(payload))}},
+			})
+			return err
+		}},
+	}
+	rep := &StoreReport{Env: benchEnv(grid.NewSpec(17, 17))}
+	for _, c := range cases {
+		fn := c.fn
+		var benchErr error
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for n := 0; n < b.N; n++ {
+				if err := fn(); err != nil {
+					benchErr = err
+					b.FailNow()
+				}
+			}
+		})
+		if benchErr != nil {
+			return nil, fmt.Errorf("bench: %s: %w", c.name, benchErr)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, StoreBench{
+			Name:        c.name,
+			NsPerOp:     float64(res.NsPerOp()),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+		})
+	}
+	return rep, nil
+}
+
+// GateStoreAllocs re-measures the store write path and fails if the
+// dedup hot path allocates at all (strict: zero is the committed
+// contract, independent of the baseline) or if any row's allocs/op or
+// ns/op regresses far past the committed BENCH_store.json (fsync-bound
+// rows get an order-of-magnitude ns allowance for shared-CI disks).
+func GateStoreAllocs(baselinePath string) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base StoreReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("bench: parsing baseline %s: %w", baselinePath, err)
+	}
+	baseline := map[string]StoreBench{}
+	for _, b := range base.Benchmarks {
+		baseline[b.Name] = b
+	}
+	cur, err := RunStoreBenches()
+	if err != nil {
+		return err
+	}
+	for _, b := range cur.Benchmarks {
+		if b.Name == "StorePutDedup" && b.AllocsPerOp > 0 {
+			return fmt.Errorf("bench: %s allocates %d allocs/op, want 0 — the steady-state blob-write path regressed",
+				b.Name, b.AllocsPerOp)
+		}
+		want, ok := baseline[b.Name]
+		if !ok {
+			continue
+		}
+		if b.AllocsPerOp > 2*want.AllocsPerOp+8 {
+			return fmt.Errorf("bench: %s allocates %d allocs/op, baseline %d — the store write path regressed",
+				b.Name, b.AllocsPerOp, want.AllocsPerOp)
+		}
+		if limit := 10*want.NsPerOp + 1e6; b.NsPerOp > limit {
+			return fmt.Errorf("bench: %s takes %.0f ns/op, baseline %.0f (limit %.0f) — the store write path regressed",
+				b.Name, b.NsPerOp, want.NsPerOp, limit)
+		}
+	}
+	return nil
+}
+
+// WriteStoreBenchJSON runs the store benchmarks and writes
+// BENCH_store.json into dir.
+func WriteStoreBenchJSON(dir string) error {
+	rep, err := RunStoreBenches()
+	if err != nil {
+		return err
+	}
+	return writeJSON(dir+"/BENCH_store.json", rep)
+}

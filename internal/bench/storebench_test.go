@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/store"
+)
+
+// TestStorePutDedupZeroAlloc pins the steady-state blob-write contract
+// directly: re-putting a blob the store already holds is a sha256 plus
+// an index hit and must not touch the allocator. BENCH_store.json and
+// yybench -gate-store pin the same number against the committed
+// baseline; this test catches the regression in `go test` without the
+// bench harness.
+func TestStorePutDedupZeroAlloc(t *testing.T) {
+	backend, err := store.NewDirBackend(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 64<<10)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	if _, err := st.Put(payload); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := st.Put(payload); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Put allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestGateStoreAllocs runs the committed baseline through the gate: the
+// gate must accept the numbers it was generated from (dedup row zero,
+// fsync rows within slack).
+func TestGateStoreAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-measures fsync-bound benchmarks")
+	}
+	if err := GateStoreAllocs("../../BENCH_store.json"); err != nil {
+		t.Fatal(err)
+	}
+}

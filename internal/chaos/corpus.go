@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+
+	"repro/internal/store"
 )
 
 // CorpusEntry is one committed regression scenario with the verdict it
@@ -36,5 +38,5 @@ func SaveCorpus(path string, entries []CorpusEntry) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return store.WriteFileAtomic(path, append(data, '\n'), 0o644)
 }

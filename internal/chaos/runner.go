@@ -14,6 +14,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/resilience"
 	"repro/internal/snapshot"
+	"repro/internal/store"
 )
 
 // Verdict classifies one scenario execution.
@@ -35,12 +36,16 @@ const (
 	// CampaignFailed: a kill schedule did not converge through the
 	// resilience campaign — a recoverability violation.
 	CampaignFailed Verdict = "campaign-failed"
+	// VerifyMiss: a store scenario's fired silent corruption escaped
+	// store.Verify, or object/ref damage survived scrub plus
+	// re-derivation — a durability violation (store arm only).
+	VerifyMiss Verdict = "verify-miss"
 )
 
-// Violation reports whether the verdict breaks one of the three
-// properties (liveness, safety, recoverability).
+// Violation reports whether the verdict breaks one of the four
+// properties (liveness, safety, recoverability, durability).
 func (v Verdict) Violation() bool {
-	return v == Wedge || v == Mismatch || v == CampaignFailed
+	return v == Wedge || v == Mismatch || v == CampaignFailed || v == VerifyMiss
 }
 
 // Outcome is the result of executing one scenario.
@@ -253,7 +258,7 @@ func (r *Runner) saveArtifacts(sc Scenario, campaignDir string, events []mpi.Eve
 	}
 	if campaignDir != "" {
 		if pm, err := os.ReadFile(filepath.Join(campaignDir, "postmortem.txt")); err == nil {
-			_ = os.WriteFile(filepath.Join(r.cfg.ArtifactDir, base+"-postmortem.txt"), pm, 0o644)
+			_ = store.WriteFileAtomic(filepath.Join(r.cfg.ArtifactDir, base+"-postmortem.txt"), pm, 0o644)
 		}
 	}
 	var b strings.Builder
@@ -261,7 +266,7 @@ func (r *Runner) saveArtifacts(sc Scenario, campaignDir string, events []mpi.Eve
 		b.WriteString(e.String())
 		b.WriteByte('\n')
 	}
-	_ = os.WriteFile(filepath.Join(r.cfg.ArtifactDir, base+"-timeline.txt"), []byte(b.String()), 0o644)
+	_ = store.WriteFileAtomic(filepath.Join(r.cfg.ArtifactDir, base+"-timeline.txt"), []byte(b.String()), 0o644)
 }
 
 // dtSchedule fixes every segment's time step to the configured DT so

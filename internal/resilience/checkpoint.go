@@ -175,13 +175,13 @@ func prune(dir string, keep int) error {
 	return nil
 }
 
-// writePostmortem saves a human-readable account of an exhausted
-// segment next to the checkpoints and returns its path (best effort:
-// an empty path means the write itself failed). The account ends with
-// the campaign's fault/heartbeat event timeline — what dropped, who was
+// postmortemText renders a human-readable account of an exhausted
+// segment — the sink persists it (atomically beside the checkpoints,
+// or as a ledger-pinned store blob). The account ends with the
+// campaign's fault/heartbeat event timeline — what dropped, who was
 // suspected or confirmed dead, and when — so a failed campaign is
-// diagnosable from this one file.
-func writePostmortem(dir string, segStart, attempts int, cause error, res *Result, events *mpi.EventLog) string {
+// diagnosable from this one artifact.
+func postmortemText(segStart, attempts int, cause error, res *Result, events *mpi.EventLog) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "campaign post-mortem\n")
 	fmt.Fprintf(&b, "failed segment start step: %d\n", segStart)
@@ -208,9 +208,5 @@ func writePostmortem(dir string, segStart, attempts int, cause error, res *Resul
 	} else {
 		fmt.Fprintf(&b, "event timeline: empty\n")
 	}
-	path := filepath.Join(dir, postmortemName)
-	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
-		return ""
-	}
-	return path
+	return b.String()
 }

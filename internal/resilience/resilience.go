@@ -17,7 +17,6 @@ import (
 	"errors"
 	"fmt"
 	"os"
-	"path/filepath"
 	"sync"
 	"time"
 
@@ -27,6 +26,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/obs"
 	"repro/internal/snapshot"
+	"repro/internal/store"
 )
 
 // ErrBlowUp tags segment failures caused by the solver itself (as
@@ -52,8 +52,19 @@ type Config struct {
 	// committed at every multiple (default: Steps, one segment).
 	CheckpointEvery int
 	// Dir is the campaign directory holding checkpoints and, on
-	// failure, the post-mortem. Required; created if missing.
+	// failure, the post-mortem. Required unless Store is set; created
+	// if missing.
 	Dir string
+	// Store, when non-nil, replaces the loose-file directory with the
+	// content-addressed artifact store: checkpoints dedup by sha256
+	// (bit-identical reruns share one blob), every segment commit
+	// appends a Merkle-chained ledger manifest recording the artifact
+	// hashes, the recovery decisions taken, and an event-log digest,
+	// and `yystore verify` can audit the whole campaign offline.
+	Store *store.Store
+	// RunID names this campaign inside the store's ref namespace
+	// (refs/runs/<RunID>/...); default "campaign". Store mode only.
+	RunID string
 	// MaxRetries bounds the retries per segment after the first attempt
 	// (default 3).
 	MaxRetries int
@@ -206,12 +217,15 @@ func RunCampaign(cfg Config) (*Result, error) {
 	if cfg.Steps <= 0 {
 		return nil, fmt.Errorf("resilience: campaign needs a positive step count, got %d", cfg.Steps)
 	}
-	if cfg.Dir == "" {
-		return nil, fmt.Errorf("resilience: campaign needs a directory for checkpoints")
+	if cfg.Dir == "" && cfg.Store == nil {
+		return nil, fmt.Errorf("resilience: campaign needs a directory or a store for checkpoints")
 	}
-	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
-		return nil, err
+	if cfg.Store == nil {
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			return nil, err
+		}
 	}
+	sink := cfg.sink()
 	spec := cfg.Core.Spec()
 	// NProcs 1 is the serial path: no layout, no runtime — segments
 	// advance a clone of the committed state directly.
@@ -267,8 +281,30 @@ func RunCampaign(cfg Config) (*Result, error) {
 		rc.Elastic = &el
 	}
 	defer func() { res.Events = events.Events() }()
+	// A crash between a past commit's temp write and its rename strands
+	// a *.tmp file that nothing would ever reclaim; sweep such orphans
+	// before touching the checkpoints.
+	if swept, err := sink.sweep(); err != nil {
+		return nil, fmt.Errorf("resilience: sweeping orphan temp files: %w", err)
+	} else if len(swept) > 0 {
+		events.Notef("note", "swept %d orphan temp file(s): %v", len(swept), swept)
+	}
+	// lastRec marks how much of res.Recoveries earlier commits have
+	// already reported, so each ledger entry carries only its own
+	// segment's recovery decisions.
+	lastRec := 0
+	commitMeta := func(note string) segMeta {
+		recMu.Lock()
+		var recs []string
+		for _, d := range res.Recoveries[lastRec:] {
+			recs = append(recs, d.String())
+		}
+		lastRec = len(res.Recoveries)
+		recMu.Unlock()
+		return segMeta{note: note, recoveries: recs, events: events}
+	}
 	cr := drv.Begin(obs.SpanCkptRead)
-	state, _, err := loadNewest(cfg.Dir, spec)
+	state, _, err := sink.newest(spec)
 	cr.End()
 	if err != nil {
 		return nil, err
@@ -281,7 +317,7 @@ func RunCampaign(cfg Config) (*Result, error) {
 		// Commit the origin so the very first rollback has a checkpoint
 		// to reload.
 		cw := drv.Begin(obs.SpanCkptWrite)
-		_, err := writeCheckpointFile(cfg.Dir, state)
+		err := sink.write(state, commitMeta("origin"))
 		cw.End()
 		if err != nil {
 			return nil, err
@@ -315,12 +351,7 @@ func RunCampaign(cfg Config) (*Result, error) {
 		reload := func() (*snapshot.Interior, error) {
 			cr := drv.Begin(obs.SpanCkptRead)
 			defer cr.End()
-			f, err := os.Open(filepath.Join(cfg.Dir, ckptName(segStart)))
-			if err != nil {
-				return nil, err
-			}
-			defer f.Close()
-			in, err := snapshot.ReadInterior(f)
+			in, err := sink.segment(segStart)
 			if err != nil {
 				return nil, err
 			}
@@ -344,7 +375,7 @@ func RunCampaign(cfg Config) (*Result, error) {
 				// corrupted the in-memory state, so reload the segment's
 				// own checkpoint from disk.
 				rb := drv.Begin(obs.SpanCkptRead)
-				st, _, err := loadNewest(cfg.Dir, spec)
+				st, _, err := sink.newest(spec)
 				rb.End()
 				if err != nil {
 					return res, err
@@ -422,12 +453,15 @@ func RunCampaign(cfg Config) (*Result, error) {
 				res.DTs = append(res.DTs, dt)
 				commitEnds = append(commitEnds, state.Step)
 				cw := drv.Begin(obs.SpanCkptWrite)
-				_, werr := writeCheckpointFile(cfg.Dir, state)
+				werr := sink.write(state, commitMeta("segment"))
 				cw.End()
 				if werr != nil {
+					// Checkpoint-write failures abort immediately — never
+					// into the dt-backoff retry ladder. In particular a
+					// full disk surfaces as the typed *store.DiskFullError.
 					return res, werr
 				}
-				if err := prune(cfg.Dir, cfg.Keep); err != nil {
+				if err := sink.prune(cfg.Keep); err != nil {
 					return res, err
 				}
 				committed = true
@@ -442,7 +476,7 @@ func RunCampaign(cfg Config) (*Result, error) {
 			continue
 		}
 		if !committed {
-			pm := writePostmortem(cfg.Dir, segStart, cfg.MaxRetries+1, lastErr, res, events)
+			pm := sink.postmortem(postmortemText(segStart, cfg.MaxRetries+1, lastErr, res, events))
 			return res, fmt.Errorf("resilience: segment at step %d failed after %d attempts (post-mortem: %s): %w",
 				segStart, cfg.MaxRetries+1, pm, lastErr)
 		}

@@ -1,0 +1,327 @@
+package resilience
+
+// The checkpoint sink abstracts where a campaign's durable artifacts
+// live: a plain run directory (the original substrate, dirSink) or a
+// content-addressed store with a Merkle-chained ledger
+// (internal/store, storeSink). The campaign loop speaks only to this
+// interface, so recovery semantics — the newest-valid fallback ladder,
+// rollback, rewind, rank-replacement reload — are identical over both;
+// the store additionally dedups bit-identical checkpoints and appends
+// one ledger manifest per commit so every recovery decision is
+// verifiable offline.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"repro/internal/grid"
+	"repro/internal/mhd"
+	"repro/internal/mpi"
+	"repro/internal/snapshot"
+	"repro/internal/store"
+)
+
+// segMeta is the provenance a commit carries into the ledger (ignored
+// by the plain directory sink).
+type segMeta struct {
+	// note labels the commit ("origin", "segment").
+	note string
+	// recoveries are the recovery decisions taken since the previous
+	// commit, rendered.
+	recoveries []string
+	// events is the campaign event log at commit time; the sink
+	// digests it.
+	events *mpi.EventLog
+}
+
+// ckptSink is the storage substrate of one campaign.
+type ckptSink interface {
+	// sweep removes orphaned temp files left by a crashed writer and
+	// returns their names.
+	sweep() ([]string, error)
+	// newest restores the newest checkpoint that reads back valid,
+	// skipping corrupt ones (returned in skipped), exactly like
+	// loadNewest. (nil, skipped, nil) means a fresh campaign.
+	newest(spec grid.Spec) (sv *mhd.Solver, skipped []string, err error)
+	// write durably commits a checkpoint of sv.
+	write(sv *mhd.Solver, meta segMeta) error
+	// segment loads the checkpoint committed at exactly the given
+	// step, in layout-neutral form (the rank-replacement reload path).
+	segment(step int) (*snapshot.Interior, error)
+	// prune retires all but the newest keep checkpoints.
+	prune(keep int) error
+	// postmortem durably saves the failure account and returns a
+	// human-readable location ("" if even that failed).
+	postmortem(text string) string
+}
+
+// sink builds the campaign's storage substrate from its config.
+func (c Config) sink() ckptSink {
+	if c.Store != nil {
+		run := c.RunID
+		if run == "" {
+			run = "campaign"
+		}
+		return &storeSink{st: c.Store, run: run}
+	}
+	return &dirSink{dir: c.Dir}
+}
+
+// dirSink is the loose-files substrate: checkpoints under
+// Config.Dir/ckpt-*.yyck, postmortem.txt beside them.
+type dirSink struct {
+	dir string
+}
+
+func (d *dirSink) sweep() ([]string, error) {
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return nil, err
+	}
+	var swept []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.Contains(e.Name(), ".tmp-") {
+			continue
+		}
+		if err := os.Remove(filepath.Join(d.dir, e.Name())); err != nil {
+			return nil, fmt.Errorf("resilience: sweeping orphan temp %s: %w", e.Name(), err)
+		}
+		swept = append(swept, e.Name())
+	}
+	return swept, nil
+}
+
+func (d *dirSink) newest(spec grid.Spec) (*mhd.Solver, []string, error) {
+	return loadNewest(d.dir, spec)
+}
+
+func (d *dirSink) write(sv *mhd.Solver, _ segMeta) error {
+	_, err := writeCheckpointFile(d.dir, sv)
+	if errors.Is(err, syscall.ENOSPC) {
+		// Surface a full disk as the typed error so callers (and the
+		// campaign's own abort path) can tell it apart from transient
+		// faults that deserve the retry ladder.
+		return &store.DiskFullError{Path: d.dir, Err: err}
+	}
+	return err
+}
+
+func (d *dirSink) segment(step int) (*snapshot.Interior, error) {
+	path := filepath.Join(d.dir, ckptName(step))
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	in, err := snapshot.ReadInterior(f)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %s: %w", path, err)
+	}
+	return in, nil
+}
+
+func (d *dirSink) prune(keep int) error {
+	return prune(d.dir, keep)
+}
+
+func (d *dirSink) postmortem(text string) string {
+	path := filepath.Join(d.dir, postmortemName)
+	if err := store.WriteFileAtomic(path, []byte(text), 0o644); err != nil {
+		return ""
+	}
+	return path
+}
+
+// storeSink is the content-addressed substrate: checkpoint blobs in
+// the store, mutable refs runs/<run>/ckpt-%09d pointing at them, and
+// one Merkle-chained ledger entry per commit.
+type storeSink struct {
+	st  *store.Store
+	run string
+	// committed counts ledger entries this campaign appended (Note
+	// context only; the chain itself lives in the store).
+	committed int
+}
+
+func (s *storeSink) refName(step int) string {
+	return fmt.Sprintf("runs/%s/ckpt-%09d", s.run, step)
+}
+
+// refStep parses the step out of a checkpoint ref name.
+func (s *storeSink) refStep(name string) (int, bool) {
+	i := strings.LastIndex(name, "/ckpt-")
+	if i < 0 {
+		return 0, false
+	}
+	step, err := strconv.Atoi(name[i+len("/ckpt-"):])
+	if err != nil || step < 0 {
+		return 0, false
+	}
+	return step, true
+}
+
+func (s *storeSink) sweep() ([]string, error) {
+	return s.st.Sweep()
+}
+
+// ckptSteps lists the run's checkpoint steps ascending, from its refs.
+func (s *storeSink) ckptSteps() ([]int, error) {
+	refs, err := s.st.Refs("runs/" + s.run + "/")
+	if err != nil {
+		return nil, err
+	}
+	var steps []int
+	for _, r := range refs {
+		if step, ok := s.refStep(r.Name); ok {
+			steps = append(steps, step)
+		}
+	}
+	sort.Ints(steps)
+	return steps, nil
+}
+
+func (s *storeSink) newest(spec grid.Spec) (*mhd.Solver, []string, error) {
+	steps, err := s.ckptSteps()
+	if err != nil {
+		return nil, nil, err
+	}
+	var skipped []string
+	// The same fallback ladder as loadNewest: a corrupt, missing or
+	// undecodable newest checkpoint is skipped (the store's typed
+	// errors land in skipped) and the scan falls back to the
+	// next-newest; only a readable checkpoint with the wrong grid is a
+	// hard error.
+	for i := len(steps) - 1; i >= 0; i-- {
+		name := s.refName(steps[i])
+		sv, err := s.readCkpt(steps[i])
+		if err != nil {
+			skipped = append(skipped, fmt.Sprintf("%s: %v", name, err))
+			continue
+		}
+		if sv.Spec != spec {
+			return nil, skipped, fmt.Errorf("resilience: checkpoint %s holds grid %dx%dx%d, campaign wants %dx%dx%d — wrong run id or reconfigured resolution",
+				name, sv.Spec.Nr, sv.Spec.Nt, sv.Spec.Np, spec.Nr, spec.Nt, spec.Np)
+		}
+		return sv, skipped, nil
+	}
+	return nil, skipped, nil
+}
+
+func (s *storeSink) readCkpt(step int) (*mhd.Solver, error) {
+	h, err := s.st.Ref(s.refName(step))
+	if err != nil {
+		return nil, err
+	}
+	data, err := s.st.Get(h)
+	if err != nil {
+		return nil, err
+	}
+	return snapshot.ReadCheckpoint(bytes.NewReader(data))
+}
+
+func (s *storeSink) write(sv *mhd.Solver, meta segMeta) error {
+	var buf bytes.Buffer
+	if err := snapshot.WriteCheckpoint(&buf, sv); err != nil {
+		return fmt.Errorf("resilience: encoding checkpoint: %w", err)
+	}
+	data := buf.Bytes()
+	h, err := s.st.Put(data)
+	if err != nil {
+		return err
+	}
+	name := fmt.Sprintf("ckpt-%09d", sv.Step)
+	if err := s.st.SetRef(s.refName(sv.Step), h); err != nil {
+		return err
+	}
+	m := store.Manifest{
+		Run:  s.run,
+		Step: sv.Step,
+		Note: meta.note,
+		Artifacts: []store.Artifact{
+			{Name: name, Role: "checkpoint", Hash: h, Size: int64(len(data))},
+		},
+		Recoveries: meta.recoveries,
+	}
+	if meta.events != nil {
+		m.EventDigest = digestEvents(meta.events)
+	}
+	if _, err := s.st.Append(m); err != nil {
+		return err
+	}
+	s.committed++
+	return nil
+}
+
+func (s *storeSink) segment(step int) (*snapshot.Interior, error) {
+	h, err := s.st.Ref(s.refName(step))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("resilience: no checkpoint ref at step %d: %w", step, err)
+		}
+		return nil, err
+	}
+	data, err := s.st.Get(h)
+	if err != nil {
+		return nil, err
+	}
+	in, err := snapshot.ReadInterior(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %s: %w", s.refName(step), err)
+	}
+	return in, nil
+}
+
+// prune deletes all but the newest keep checkpoint *refs*. The blobs
+// stay — possibly shared with other runs — until a gc sweep finds them
+// unreachable from every ref and ledger entry.
+func (s *storeSink) prune(keep int) error {
+	steps, err := s.ckptSteps()
+	if err != nil {
+		return err
+	}
+	for len(steps) > keep {
+		if err := s.st.DelRef(s.refName(steps[0])); err != nil {
+			return err
+		}
+		steps = steps[1:]
+	}
+	return nil
+}
+
+func (s *storeSink) postmortem(text string) string {
+	h, err := s.st.Put([]byte(text))
+	if err != nil {
+		return ""
+	}
+	ref := "runs/" + s.run + "/postmortem"
+	if err := s.st.SetRef(ref, h); err != nil {
+		return ""
+	}
+	// The failure account is itself ledger-pinned: an aborted campaign
+	// leaves a verifiable record of why.
+	if _, err := s.st.Append(store.Manifest{
+		Run: s.run, Note: "postmortem",
+		Artifacts: []store.Artifact{{Name: "postmortem", Role: "postmortem", Hash: h, Size: int64(len(text))}},
+	}); err != nil {
+		return ""
+	}
+	return "store:" + ref
+}
+
+// digestEvents hashes the rendered event timeline, so the ledger pins
+// which fault history led to each commit without storing the log.
+func digestEvents(events *mpi.EventLog) store.Hash {
+	var b strings.Builder
+	for _, e := range events.Events() {
+		fmt.Fprintf(&b, "%s\n", e)
+	}
+	return store.HashOf([]byte(b.String()))
+}

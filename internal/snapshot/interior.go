@@ -87,10 +87,12 @@ func (in *Interior) Row(panel, scalar, j, k int) []float64 {
 func ReadInterior(r io.Reader) (*Interior, error) {
 	// No read-ahead buffering here: every read below requests exact byte
 	// counts, so the hashed prefix ends exactly where the trailing
-	// checksum begins.
-	crc, br, h, err := readHeader(r)
+	// checksum begins — and the counter can name the offset of any
+	// decode failure.
+	cr := &countingReader{r: r}
+	crc, br, h, err := readHeader(cr)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w (at byte offset %d)", err, cr.n)
 	}
 	in := &Interior{
 		Spec: grid.Spec{Nr: int(h.Nr), Nt: int(h.Nt), Np: int(h.Np), RI: h.RI, RO: h.RO},
@@ -104,14 +106,15 @@ func ReadInterior(r io.Reader) (*Interior, error) {
 		for si := range in.Fields[pi] {
 			slab := make([]float64, slabLen)
 			if err := readFloats(br, slab); err != nil {
-				return nil, fmt.Errorf("snapshot: reading field: %w", err)
+				return nil, fmt.Errorf("snapshot: reading field (panel %d, scalar %d) at byte offset %d: %w",
+					pi, si, cr.n, err)
 			}
 			in.Fields[pi][si] = slab
 		}
 	}
 	// Everything consumed through the tee has been hashed; the stored
-	// checksum itself arrives from the raw reader.
-	if err := verifyChecksum(r, crc); err != nil {
+	// checksum itself arrives from the counted raw reader.
+	if err := verifyChecksum(cr, crc, cr.n); err != nil {
 		return nil, err
 	}
 	return in, nil

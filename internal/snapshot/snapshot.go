@@ -18,6 +18,7 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
+	"os"
 
 	"repro/internal/coords"
 	"repro/internal/grid"
@@ -87,6 +88,20 @@ func WriteCheckpoint(w io.Writer, sv *mhd.Solver) error {
 	return binary.Write(w, binary.LittleEndian, crc.Sum32())
 }
 
+// countingReader tracks how many bytes have been consumed, so decode
+// and checksum failures can name the byte offset of the damage instead
+// of forcing a manual hexdump hunt.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
 // readHeader consumes and validates a checkpoint's magic and header
 // through a CRC tee; the returned hash and tee reader continue the
 // checksummed payload read.
@@ -127,15 +142,17 @@ func readHeader(r io.Reader) (hash.Hash32, io.Reader, header, error) {
 
 // verifyChecksum reads the stored trailing CRC-32 from the raw
 // (un-teed) reader and compares it against the hash of everything
-// consumed so far.
-func verifyChecksum(r io.Reader, crc hash.Hash32) error {
+// consumed so far; payloadEnd is the byte offset where the hashed
+// payload stopped (and the stored checksum begins).
+func verifyChecksum(r io.Reader, crc hash.Hash32, payloadEnd int64) error {
 	sum := crc.Sum32()
 	var stored uint32
 	if err := binary.Read(r, binary.LittleEndian, &stored); err != nil {
-		return fmt.Errorf("snapshot: reading checksum: %w", err)
+		return fmt.Errorf("snapshot: reading checksum at byte offset %d: %w", payloadEnd, err)
 	}
 	if stored != sum {
-		return fmt.Errorf("snapshot: checksum mismatch: stored %08x, computed %08x", stored, sum)
+		return fmt.Errorf("snapshot: checksum mismatch over bytes 0..%d: stored %08x at offset %d, computed %08x",
+			payloadEnd-1, stored, payloadEnd, sum)
 	}
 	return nil
 }
@@ -150,6 +167,22 @@ func ReadCheckpoint(r io.Reader) (*mhd.Solver, error) {
 		return nil, err
 	}
 	return in.Solver()
+}
+
+// ReadCheckpointFile reads a checkpoint from disk, prefixing every
+// failure with the file path so a corrupt checkpoint names both the
+// file and (via the decode errors) the byte offset of the damage.
+func ReadCheckpointFile(path string) (*mhd.Solver, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sv, err := ReadCheckpoint(f)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %s: %w", path, err)
+	}
+	return sv, nil
 }
 
 func writeFloats(w io.Writer, data []float64) error {

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/binary"
 	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -298,4 +300,69 @@ func TestReadCheckpointEmpty(t *testing.T) {
 	if _, err := ReadCheckpoint(bytes.NewReader(nil)); err == nil {
 		t.Error("empty checkpoint read back without error")
 	}
+}
+
+// TestReadErrorsNameOffset is the diagnosability satellite: decode and
+// checksum failures name the byte offset of the damage, so a corrupt
+// checkpoint is localizable without a hexdump hunt.
+func TestReadErrorsNameOffset(t *testing.T) {
+	raw := checkpointBytes(t)
+
+	// A payload bit flip trips the trailing checksum; the message names
+	// the stored and computed sums and the payload extent.
+	mut := append([]byte(nil), raw...)
+	mut[len(raw)/2] ^= 0x4
+	_, err := ReadCheckpoint(bytes.NewReader(mut))
+	if err == nil || !strings.Contains(err.Error(), "checksum mismatch over bytes 0..") ||
+		!strings.Contains(err.Error(), "at offset") {
+		t.Errorf("payload flip: got %v, want a checksum mismatch naming the offsets", err)
+	}
+
+	// A truncated payload fails mid-field; the message names the panel,
+	// the scalar, and the byte offset reached.
+	_, err = ReadCheckpoint(bytes.NewReader(raw[:len(raw)/2]))
+	if err == nil || !strings.Contains(err.Error(), "reading field") ||
+		!strings.Contains(err.Error(), "at byte offset") {
+		t.Errorf("truncation: got %v, want a field-read failure naming the offset", err)
+	}
+
+	// A header failure names the offset too.
+	_, err = ReadCheckpoint(bytes.NewReader(raw[:7]))
+	if err == nil || !strings.Contains(err.Error(), "at byte offset") {
+		t.Errorf("short header: got %v, want an offset-annotated header failure", err)
+	}
+}
+
+// TestReadCheckpointFileNamesPath: the file-level reader prefixes
+// failures with the path, completing the "which file, which byte"
+// diagnosis.
+func TestReadCheckpointFileNamesPath(t *testing.T) {
+	raw := checkpointBytes(t)
+	path := filepath.Join(t.TempDir(), "ckpt-000000001.yyck")
+	mut := append([]byte(nil), raw...)
+	mut[len(raw)/2] ^= 0x4
+	if err := os.WriteFile(path, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadCheckpointFile(path)
+	if err == nil || !strings.Contains(err.Error(), path) || !strings.Contains(err.Error(), "checksum mismatch") {
+		t.Errorf("got %v, want an error naming %s and the checksum mismatch", err, path)
+	}
+
+	sv, err := ReadCheckpointFile(pathWrite(t, raw))
+	if err != nil {
+		t.Fatalf("clean file: %v", err)
+	}
+	if sv == nil || sv.Step != makeSolver(t, 1).Step {
+		t.Fatal("clean file restored wrong state")
+	}
+}
+
+func pathWrite(t *testing.T, raw []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "ckpt-000000001.yyck")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
 }

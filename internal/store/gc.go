@@ -1,0 +1,81 @@
+package store
+
+// Garbage collection: a mark-and-sweep over content-addressed objects.
+// The mark set is every hash any ledger entry pins plus every hash any
+// ref points at; everything else under objects/ is garbage. The safety
+// property — GC never collects a ledger-reachable object — is enforced
+// structurally: the mark phase must read the *entire* ledger and ref
+// space successfully before a single object is removed. Any unreadable
+// or undecodable entry aborts the sweep with an error, because a
+// ledger we cannot fully read is a reachability set we cannot bound.
+
+import (
+	"fmt"
+)
+
+// GCReport summarizes a sweep.
+type GCReport struct {
+	// Marked is the number of distinct reachable hashes.
+	Marked int `json:"marked"`
+	// Swept are the unreachable objects removed.
+	Swept []Hash `json:"swept,omitempty"`
+	// Kept is the number of reachable objects left in place.
+	Kept int `json:"kept"`
+}
+
+func (r *GCReport) String() string {
+	return fmt.Sprintf("store gc: %d reachable, %d kept, %d swept", r.Marked, r.Kept, len(r.Swept))
+}
+
+// GC removes every object unreachable from the ledger and the refs.
+// It refuses to run — returning an error with nothing removed — if any
+// part of the reachability set cannot be read, so a damaged store must
+// be scrubbed before it can be collected.
+func (s *Store) GC() (*GCReport, error) {
+	mark := map[Hash]struct{}{}
+
+	entries, err := s.Entries()
+	if err != nil {
+		return nil, fmt.Errorf("store: gc refusing to sweep, ledger unreadable: %w", err)
+	}
+	for _, m := range entries {
+		for _, a := range m.Artifacts {
+			mark[a.Hash] = struct{}{}
+		}
+	}
+
+	refs, err := s.Refs("")
+	if err != nil {
+		return nil, fmt.Errorf("store: gc refusing to sweep, refs unlistable: %w", err)
+	}
+	for _, r := range refs {
+		if r.Err != nil {
+			return nil, fmt.Errorf("store: gc refusing to sweep, ref %s unreadable: %w", r.Name, r.Err)
+		}
+		mark[r.Hash] = struct{}{}
+	}
+
+	names, err := s.primary.List("objects/")
+	if err != nil {
+		return nil, fmt.Errorf("store: gc listing objects: %w", err)
+	}
+	rep := &GCReport{Marked: len(mark)}
+	for _, name := range names {
+		h, ok := parseObjectName(name)
+		if !ok {
+			return nil, fmt.Errorf("store: gc refusing to sweep, alien object %q", name)
+		}
+		if _, reachable := mark[h]; reachable {
+			rep.Kept++
+			continue
+		}
+		if err := s.primary.Remove(name); err != nil {
+			return nil, fmt.Errorf("store: gc removing %s: %w", name, err)
+		}
+		s.mu.Lock()
+		delete(s.index, h)
+		s.mu.Unlock()
+		rep.Swept = append(rep.Swept, h)
+	}
+	return rep, nil
+}

@@ -1,0 +1,204 @@
+package store
+
+// Scrub: the repair half of verification. Where Verify only reports,
+// Scrub re-materializes damaged or missing blobs from surviving
+// replicas (hash-checked before use — a rotten replica repairs
+// nothing), and quarantines what it cannot repair: the damaged bytes
+// move to quarantine/<hash> for forensics, the object is dropped from
+// the index, and subsequent Gets fail with the typed
+// *MissingObjectError the resilience recovery ladder falls back
+// through. Because campaigns are deterministic by design, a rerun then
+// re-derives the bit-identical blob and re-Puts it under the same
+// content address — quarantine is how the store asks the simulation to
+// heal it. Scrub also drops refs whose content no longer parses and
+// advances an absent/unparsable/one-stale chain anchor; damaged ledger
+// entries are never rewritten — the chain is append-only history and
+// its damage is kept tamper-evident.
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RepairAction records what Scrub did to one object, ref, or anchor.
+type RepairAction struct {
+	Hash Hash `json:"hash,omitzero"`
+	// Name is set for non-object repairs (refs, the chain anchor).
+	Name string `json:"name,omitempty"`
+	// Outcome: "repaired-from-replica", "quarantined", "dropped-ref",
+	// "re-anchored" (plus their "-failed" variants).
+	Outcome string `json:"outcome"`
+	Detail  string `json:"detail,omitempty"`
+}
+
+// ScrubReport is the outcome of a scrub pass.
+type ScrubReport struct {
+	// Verify is the pre-scrub walk the pass acted on.
+	Verify *VerifyReport `json:"verify"`
+	// Actions are the repairs and quarantines taken (empty without
+	// repair mode).
+	Actions []RepairAction `json:"actions,omitempty"`
+	// SweptTemps are the orphan temps removed.
+	SweptTemps []string `json:"swept_temps,omitempty"`
+	// Unrepaired are objects that stayed damaged or absent: nothing
+	// held good bytes for them. Quarantined objects appear here too —
+	// they need a re-derivation pass to come back.
+	Unrepaired []Hash `json:"unrepaired,omitempty"`
+}
+
+func (r *ScrubReport) String() string {
+	var b strings.Builder
+	b.WriteString(r.Verify.String())
+	fmt.Fprintf(&b, "scrub: %d actions, %d temps swept, %d unrepaired\n",
+		len(r.Actions), len(r.SweptTemps), len(r.Unrepaired))
+	for _, a := range r.Actions {
+		fmt.Fprintf(&b, "  %-22s %s %s\n", a.Outcome, a.Hash.Short(), a.Detail)
+	}
+	for _, h := range r.Unrepaired {
+		fmt.Fprintf(&b, "  unrepaired             %s\n", h.Short())
+	}
+	return b.String()
+}
+
+// Scrub verifies the store and, when repair is set, heals what it can:
+// damaged or missing objects are re-fetched from replicas, unrepairable
+// ones quarantined, orphan temps swept. Without repair it is Verify
+// plus a temp sweep report (nothing is modified but the temps).
+func (s *Store) Scrub(repair bool) (*ScrubReport, error) {
+	ver, err := s.Verify()
+	if err != nil {
+		return nil, err
+	}
+	rep := &ScrubReport{Verify: ver}
+	if !repair {
+		return rep, nil
+	}
+
+	// One object can be reported once per reference path; act once.
+	seen := map[Hash]struct{}{}
+	for _, f := range ver.Findings {
+		if f.Kind != FindingCorruptObject && f.Kind != FindingMissingObject {
+			continue
+		}
+		h, err := ParseHash(f.Name)
+		if err != nil {
+			continue // alien names are not content-addressed repairables
+		}
+		if _, done := seen[h]; done {
+			continue
+		}
+		seen[h] = struct{}{}
+		act, repaired := s.repairObject(h, f.Kind)
+		rep.Actions = append(rep.Actions, act)
+		if !repaired {
+			rep.Unrepaired = append(rep.Unrepaired, h)
+		}
+	}
+
+	// Refs whose content no longer parses point at nothing recoverable:
+	// drop them. The checkpoint blob they once named (if any) stays
+	// ledger-pinned, so nothing reachable is lost — only one rung of
+	// rollback depth, which the next campaign commit rebuilds.
+	for _, f := range ver.Findings {
+		if f.Kind != FindingBadRef {
+			continue
+		}
+		if err := s.primary.Remove(refPrefix + f.Name); err != nil {
+			rep.Actions = append(rep.Actions, RepairAction{Name: f.Name, Outcome: "drop-ref-failed",
+				Detail: err.Error()})
+			continue
+		}
+		rep.Actions = append(rep.Actions, RepairAction{Name: f.Name, Outcome: "dropped-ref",
+			Detail: "content did not parse as a hash; any object it named remains ledger-pinned"})
+	}
+
+	if act, acted := s.scrubAnchor(); acted {
+		rep.Actions = append(rep.Actions, act)
+	}
+
+	swept, err := s.Sweep()
+	if err != nil {
+		return nil, fmt.Errorf("store: sweeping temps: %w", err)
+	}
+	rep.SweptTemps = swept
+	return rep, nil
+}
+
+// repairObject tries each replica in turn for good bytes; failing
+// that, it quarantines whatever damaged bytes exist and drops the
+// object so a deterministic re-derivation can re-Put it.
+func (s *Store) repairObject(h Hash, kind FindingKind) (RepairAction, bool) {
+	name := objectName(h)
+	for i, r := range s.replicas {
+		data, err := r.Get(name)
+		if err != nil || HashOf(data) != h {
+			continue // absent or rotten replica; keep looking
+		}
+		if err := s.primary.Put(name, data); err != nil {
+			return RepairAction{Hash: h, Outcome: "quarantined",
+				Detail: fmt.Sprintf("replica %d held good bytes but rewrite failed: %v", i, err)}, false
+		}
+		s.mu.Lock()
+		s.index[h] = struct{}{}
+		s.mu.Unlock()
+		return RepairAction{Hash: h, Outcome: "repaired-from-replica",
+			Detail: fmt.Sprintf("replica %d", i)}, true
+	}
+
+	// Quarantine: preserve the damaged bytes for forensics, then make
+	// the damage honest — a missing object with a typed error beats a
+	// silently wrong one.
+	detail := "no replica held good bytes"
+	if kind == FindingCorruptObject {
+		if data, err := s.primary.Get(name); err == nil {
+			if err := s.primary.Put("quarantine/"+h.String(), data); err != nil {
+				detail = fmt.Sprintf("quarantine copy failed: %v", err)
+			}
+		}
+		if err := s.primary.Remove(name); err != nil {
+			return RepairAction{Hash: h, Outcome: "quarantined",
+				Detail: fmt.Sprintf("removing damaged object failed: %v", err)}, false
+		}
+	}
+	s.mu.Lock()
+	delete(s.index, h)
+	s.mu.Unlock()
+	return RepairAction{Hash: h, Outcome: "quarantined", Detail: detail}, false
+}
+
+// scrubAnchor re-anchors the chain when the anchor itself is the
+// damaged party: absent, unparsable, or lagging by the one-entry crash
+// window. A parsable anchor naming any *other* hash is deliberately
+// left alone — rewriting it would launder a tampered or bit-rotted
+// tail entry, and tamper evidence outranks tidiness. Returns whether
+// it acted.
+func (s *Store) scrubAnchor() (RepairAction, bool) {
+	names, err := s.primary.List(ledgerPrefix)
+	if err != nil || len(names) == 0 {
+		return RepairAction{}, false
+	}
+	headOf := func(name string) Hash {
+		raw, err := s.primary.Get(name)
+		if err != nil {
+			return Hash{}
+		}
+		return HashOf(raw)
+	}
+	head := headOf(names[len(names)-1])
+	if raw, err := s.primary.Get(anchorName); err == nil {
+		if h, perr := ParseHash(strings.TrimSpace(string(raw))); perr == nil {
+			if h == head {
+				return RepairAction{}, false // healthy
+			}
+			if len(names) < 2 || h != headOf(names[len(names)-2]) {
+				return RepairAction{}, false // mismatch: tamper-evident, not ours to rewrite
+			}
+			// Exactly one entry stale: the crash window. Advance it.
+		}
+	}
+	if err := s.primary.Put(anchorName, []byte(head.String()+"\n")); err != nil {
+		return RepairAction{Name: anchorName, Outcome: "re-anchor-failed", Detail: err.Error()}, true
+	}
+	return RepairAction{Name: anchorName, Outcome: "re-anchored",
+		Detail: "anchor was absent, unparsable, or one entry stale"}, true
+}

@@ -10,10 +10,10 @@
 #                      per-function walks (irecv-wait, pow2-stride,
 #                      float-eq, cond-wait-loop, abort-on-err,
 #                      runwith-deadline, span-end, det-purity,
-#                      pool-disjoint, typed-err, overlap-order) plus
-#                      the interprocedural passes (tag-space,
-#                      buf-lifetime) and the directive audit
-#                      (ignore-audit)
+#                      pool-disjoint, typed-err, overlap-order,
+#                      atomic-artifact) plus the interprocedural
+#                      passes (tag-space, buf-lifetime) and the
+#                      directive audit (ignore-audit)
 #   4. go test       — the full test suite; the explicit -timeout turns
 #                      any residual runtime wedge into a stack-dumped
 #                      failure instead of a hung CI job
@@ -29,17 +29,29 @@
 #                      corpora replayed for their recorded verdicts —
 #                      the base corpus plus the rank-replacement
 #                      corpus (kill -> heartbeat confirm -> surgical
-#                      respawn, final state byte-equal to golden).
+#                      respawn, final state byte-equal to golden) and
+#                      the store-fault corpus (torn writes, bit rot,
+#                      ENOSPC, crash points against the run ledger,
+#                      through detect -> scrub -> re-derive).
 #                      Violating scenarios drop postmortem + event
-#                      timeline artifacts into CHAOS_ART for CI to
-#                      upload
+#                      timeline (or verify + scrub report) artifacts
+#                      into CHAOS_ART for CI to upload
 #   7. traced smoke  — a 2-rank run with -trace and -runreport on,
 #                      proving the observability path exports a valid
 #                      Perfetto trace and run report end to end
-#   8. step gate     — the fused-RHS speedup gate: the committed
+#   8. store smoke   — a store-backed campaign (yycore -store) audited
+#                      offline with yystore verify and gc: the ledger
+#                      chain, Merkle roots and anchor must come back
+#                      clean, and GC must keep every ledger-reachable
+#                      object
+#   9. step gate     — the fused-RHS speedup gate: the committed
 #                      BENCH_kernels.json step section must claim
 #                      >=2x over the pre-fusion baseline, and a live
 #                      fused-vs-reference re-measure must not collapse
+#  10. store gate    — the run-ledger write-path gate: the dedup blob
+#                      write (the steady-state shape of deterministic
+#                      reruns) must stay allocation-free against the
+#                      committed BENCH_store.json
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -59,8 +71,8 @@ go run ./cmd/yyvet -p "${YYVET_PROCS:-0}" ${YYVET_JSON:+-json "$YYVET_JSON"} ${Y
 echo "==> go test -timeout 120s ./..."
 go test -timeout 120s ./...
 
-echo "==> go test -race -timeout 240s ./internal/mpi ./internal/decomp ./internal/overset ./internal/resilience ./internal/par ./internal/chaos ./internal/obs"
-go test -race -timeout 240s ./internal/mpi ./internal/decomp ./internal/overset ./internal/resilience ./internal/par ./internal/chaos ./internal/obs
+echo "==> go test -race -timeout 240s ./internal/mpi ./internal/decomp ./internal/overset ./internal/resilience ./internal/par ./internal/chaos ./internal/obs ./internal/store"
+go test -race -timeout 240s ./internal/mpi ./internal/decomp ./internal/overset ./internal/resilience ./internal/par ./internal/chaos ./internal/obs ./internal/store
 
 # Violating chaos scenarios leave their postmortem.txt and event
 # timeline under $chaos_art; CI exports CHAOS_ART and uploads the
@@ -75,6 +87,9 @@ go run ./cmd/yychaos -corpus internal/chaos/testdata/corpus.json -artifacts "$ch
 echo "==> chaos replacement corpus: go run ./cmd/yychaos -corpus internal/chaos/testdata/corpus_replace.json"
 go run ./cmd/yychaos -corpus internal/chaos/testdata/corpus_replace.json -artifacts "$chaos_art"
 
+echo "==> chaos store corpus: go run ./cmd/yychaos -store-corpus internal/chaos/testdata/corpus_store.json"
+go run ./cmd/yychaos -store-corpus internal/chaos/testdata/corpus_store.json -artifacts "$chaos_art"
+
 obs_out="${OBS_OUT:-$(mktemp -d)}"
 echo "==> traced smoke: go run ./cmd/yycore -nr 9 -nt 13 -steps 4 -every 2 -procs 2 -trace $obs_out/trace.json -runreport $obs_out/report.txt"
 go run ./cmd/yycore -nr 9 -nt 13 -steps 4 -every 2 -procs 2 \
@@ -82,7 +97,20 @@ go run ./cmd/yycore -nr 9 -nt 13 -steps 4 -every 2 -procs 2 \
 go run ./cmd/yytrace -summary "$obs_out/trace.json" > "$obs_out/summary.txt"
 grep -q "Span Coverage" "$obs_out/report.txt"
 
+store_dir="${STORE_OUT:-$(mktemp -d)}/run.store"
+echo "==> store smoke: go run ./cmd/yycore -nr 9 -nt 13 -steps 4 -ckpt-every 2 -store $store_dir"
+go run ./cmd/yycore -nr 9 -nt 13 -steps 4 -ckpt-every 2 -store "$store_dir"
+go run ./cmd/yystore -root "$store_dir" verify
+go run ./cmd/yystore -root "$store_dir" gc
+# Post-GC verify: the sweep must not have collected anything the
+# ledger or refs still reach. STORE_REPORT, when exported by CI, gets
+# the machine-readable report for upload.
+go run ./cmd/yystore -root "$store_dir" verify ${STORE_REPORT:+-o "$STORE_REPORT"}
+
 echo "==> step gate: go run ./cmd/yybench -gate-step BENCH_kernels.json"
 go run ./cmd/yybench -gate-step BENCH_kernels.json
+
+echo "==> store gate: go run ./cmd/yybench -gate-store BENCH_store.json"
+go run ./cmd/yybench -gate-store BENCH_store.json
 
 echo "==> all checks passed"
