@@ -12,9 +12,14 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
+	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/mhd"
@@ -24,6 +29,7 @@ import (
 	"repro/internal/resilience"
 	"repro/internal/sph"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 	"repro/internal/viz"
 )
 
@@ -59,6 +65,11 @@ func main() {
 
 		trace     = flag.String("trace", "", "record per-rank phase spans and write a Chrome trace_event JSON here (view in ui.perfetto.dev)")
 		runreport = flag.String("runreport", "", "write a PROGINF-style run report here at the end (\"-\" = stdout)")
+
+		teleAddr   = flag.String("telemetry", "", "serve live telemetry at this host:port (\":0\" picks a free port): /metrics, /progress, /events, /debug/pprof; watch with yywatch")
+		teleFile   = flag.String("telemetry-addr-file", "", "write the bound telemetry address to this file (scripts scraping a :0 server)")
+		linger     = flag.Duration("linger", 0, "keep the telemetry server up this long after the run finishes")
+		killSilent = flag.String("inject-kill-silent", "", "campaign: script a silent rank death as rank@step (fault-injection testing; pair with -hb/-replace)")
 	)
 	flag.Parse()
 
@@ -78,10 +89,36 @@ func main() {
 	var rec *obs.Recorder
 	var events *mpi.EventLog
 	perf0 := perfcount.Read()
-	if *trace != "" || *runreport != "" {
+	if *trace != "" || *runreport != "" || *teleAddr != "" {
 		rec = obs.New(obs.Config{})
 		events = mpi.NewEventLog()
 		cfg.Obs = rec
+	}
+
+	// Live telemetry: serve the pull-based plane for the whole run. The
+	// plane reads shared memory the ranks publish into lock-free slots;
+	// scraping it never perturbs the physics.
+	var plane *telemetry.Plane
+	if *teleAddr != "" {
+		plane = telemetry.New(telemetry.Config{})
+		addr, err := plane.Serve(*teleAddr)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("telemetry: serving http://%s (metrics, progress, events, debug/pprof)\n", addr)
+		if *teleFile != "" {
+			if err := store.WriteFileAtomic(*teleFile, []byte(addr+"\n"), 0o644); err != nil {
+				fail(err)
+			}
+		}
+		cfg.Telemetry = plane
+		defer func() {
+			if *linger > 0 {
+				fmt.Printf("telemetry: lingering %s for late scrapes\n", *linger)
+				time.Sleep(*linger)
+			}
+			plane.Close()
+		}()
 	}
 
 	if *campaign != "" || *storeDir != "" {
@@ -106,6 +143,15 @@ func main() {
 			Deadline:        *deadline,
 			Obs:             rec,
 			Events:          events,
+			Telemetry:       plane,
+		}
+		if *killSilent != "" {
+			rank, step, err := parseRankStep(*killSilent)
+			if err != nil {
+				fail(err)
+			}
+			rcfg.Faults = mpi.NewFaultPlan().KillSilent(rank, step)
+			fmt.Printf("fault injection: silent death of rank %d at step %d\n", rank, step)
 		}
 		if *storeDir != "" {
 			backend, err := store.NewDirBackend(*storeDir)
@@ -144,20 +190,22 @@ func main() {
 			fail(err)
 		}
 		fmt.Printf("campaign complete at step %d\n", res.FinalStep)
-		writeObs(*trace, *runreport, rec, events, perf0)
+		writeObs(*trace, *runreport, rec, events, perf0, plane, rcfg.Store, rcfg.RunID, res.FinalStep)
 		return
 	}
 
 	if *procs > 0 {
 		fmt.Printf("running %d steps on %d goroutine ranks (2 panels x 2-D grid)\n", *steps, *procs)
+		plane.Attach(telemetry.Campaign{Run: "yycore", TotalSteps: *steps, Events: events, Recorder: rec})
 		hist, err := core.RunParallel(cfg, *procs, *steps, *every, 0)
 		if err != nil {
 			fail(err)
 		}
+		plane.Finish(*steps)
 		for _, d := range hist {
 			fmt.Println(d)
 		}
-		writeObs(*trace, *runreport, rec, events, perf0)
+		writeObs(*trace, *runreport, rec, events, perf0, plane, nil, "", *steps)
 		return
 	}
 
@@ -185,6 +233,7 @@ func main() {
 		spec.Nr, spec.Nt, spec.Np, spec.TotalPoints(),
 		runPrm.RayleighEstimate(spec.RO-spec.RI), runPrm.Ekman(spec.RO-spec.RI))
 	fmt.Println(sim.Diagnostics())
+	plane.Attach(telemetry.Campaign{Run: "yycore", TotalSteps: *steps, Events: events, Recorder: rec})
 	for done := 0; done < *steps; done += *every {
 		n := *every
 		if *steps-done < n {
@@ -193,10 +242,12 @@ func main() {
 		if err := sim.Step(n); err != nil {
 			fail(err)
 		}
+		plane.Commit(done + n)
 		d := sim.Diagnostics()
 		m := sph.MagneticMoment(sim.Solver)
 		fmt.Printf("%s dipole=%.4g\n", d, sph.MomentMagnitude(m))
 	}
+	plane.Finish(*steps)
 
 	if *ckptOut != "" {
 		f, err := os.Create(*ckptOut)
@@ -236,43 +287,75 @@ func main() {
 		fmt.Printf("wrote %s\n", *slice)
 	}
 	sim.Close()
-	writeObs(*trace, *runreport, rec, events, perf0)
+	writeObs(*trace, *runreport, rec, events, perf0, plane, nil, "", *steps)
+}
+
+// parseRankStep parses a "rank@step" fault-injection site.
+func parseRankStep(s string) (rank, step int, err error) {
+	at := strings.IndexByte(s, '@')
+	if at < 0 {
+		return 0, 0, fmt.Errorf("yycore: fault site %q is not rank@step", s)
+	}
+	rank, err = strconv.Atoi(s[:at])
+	if err == nil {
+		step, err = strconv.Atoi(s[at+1:])
+	}
+	if err != nil || rank < 0 || step < 0 {
+		return 0, 0, fmt.Errorf("yycore: fault site %q is not rank@step", s)
+	}
+	return rank, step, nil
 }
 
 // writeObs exports the run's observability products: the Perfetto trace
 // (with the event log merged as instants) and/or the PROGINF-style run
-// report. A nil recorder means neither flag was set.
-func writeObs(tracePath, reportPath string, rec *obs.Recorder, events *mpi.EventLog, perf0 perfcount.Snapshot) {
+// report (with the telemetry plane's latched alerts in its health
+// header). A nil recorder means none of the obs flags were set. When
+// the run committed to a store, the trace and report are additionally
+// rendered (even without their file flags) and pinned into the run's
+// ledger next to the checkpoints, so `yystore ls` shows them and gc
+// protects them.
+func writeObs(tracePath, reportPath string, rec *obs.Recorder, events *mpi.EventLog, perf0 perfcount.Snapshot, plane *telemetry.Plane, st *store.Store, runID string, step int) {
 	if rec == nil {
 		return
 	}
-	if tracePath != "" {
-		f, err := os.Create(tracePath)
-		if err != nil {
+	commit := st != nil
+	var arts []resilience.Artifact
+	if tracePath != "" || commit {
+		var buf bytes.Buffer
+		if err := core.WriteTrace(&buf, rec, events); err != nil {
 			fail(err)
 		}
-		if err := core.WriteTrace(f, rec, events); err != nil {
-			fail(err)
-		}
-		f.Close()
-		fmt.Printf("wrote trace %s (open in https://ui.perfetto.dev)\n", tracePath)
-	}
-	if reportPath != "" {
-		w := os.Stdout
-		if reportPath != "-" {
-			f, err := os.Create(reportPath)
-			if err != nil {
+		if tracePath != "" {
+			if err := store.WriteFileAtomic(tracePath, buf.Bytes(), 0o644); err != nil {
 				fail(err)
 			}
-			defer f.Close()
-			w = f
+			fmt.Printf("wrote trace %s (open in https://ui.perfetto.dev)\n", tracePath)
 		}
-		if err := core.WriteRunReport(w, rec, perfcount.Read().Sub(perf0)); err != nil {
+		arts = append(arts, resilience.Artifact{Name: "trace.json", Role: "trace", Data: buf.Bytes()})
+	}
+	if reportPath != "" || commit {
+		var buf bytes.Buffer
+		if err := core.WriteRunReport(&buf, rec, perfcount.Read().Sub(perf0), events, plane.AlertStrings()); err != nil {
 			fail(err)
 		}
-		if reportPath != "-" {
+		switch reportPath {
+		case "":
+		case "-":
+			io.Copy(os.Stdout, bytes.NewReader(buf.Bytes())) //nolint:errcheck
+		default:
+			if err := store.WriteFileAtomic(reportPath, buf.Bytes(), 0o644); err != nil {
+				fail(err)
+			}
 			fmt.Printf("wrote run report %s\n", reportPath)
 		}
+		arts = append(arts, resilience.Artifact{Name: "report.txt", Role: "report", Data: buf.Bytes()})
+	}
+	if commit && len(arts) > 0 {
+		if err := resilience.CommitArtifacts(st, runID, step, "run-artifacts", arts); err != nil {
+			fmt.Fprintln(os.Stderr, "yycore: committing run artifacts:", err)
+			return
+		}
+		fmt.Printf("committed %d run artifact(s) into the store ledger\n", len(arts))
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 )
@@ -49,18 +50,9 @@ func main() {
 		os.Exit(2)
 	}
 
-	var merged []event
-	for i, path := range flag.Args() {
-		tf, err := load(path)
-		if err != nil {
-			fail(err)
-		}
-		for _, ev := range tf.TraceEvents {
-			// Each input file becomes its own process row, so merged
-			// runs do not collide on (pid, tid).
-			ev.PID = i
-			merged = append(merged, ev)
-		}
+	merged, err := merge(flag.Args())
+	if err != nil {
+		fail(err)
 	}
 
 	if *out != "" {
@@ -78,7 +70,25 @@ func main() {
 			return
 		}
 	}
-	summarize(merged)
+	summarize(os.Stdout, merged)
+}
+
+// merge loads every input and reassigns each file's events to its own
+// process row, so merged runs do not collide on (pid, tid) — even when
+// the inputs were all recorded as the same pid.
+func merge(paths []string) ([]event, error) {
+	var merged []event
+	for i, path := range paths {
+		tf, err := load(path)
+		if err != nil {
+			return nil, err
+		}
+		for _, ev := range tf.TraceEvents {
+			ev.PID = i
+			merged = append(merged, ev)
+		}
+	}
+	return merged, nil
 }
 
 func load(path string) (traceFile, error) {
@@ -106,7 +116,7 @@ type rowKey struct {
 
 // summarize prints, per track, each span name's count, total time and
 // share of the track's wall span, plus the instants seen.
-func summarize(evs []event) {
+func summarize(w io.Writer, evs []event) {
 	names := map[trackKey]string{}
 	rows := map[rowKey]*struct {
 		count int
@@ -135,17 +145,17 @@ func summarize(evs []event) {
 			}
 			r.count++
 			r.total += ev.Dur
-			w, ok := walls[tk]
+			span, ok := walls[tk]
 			if !ok {
-				w = [2]float64{ev.TS, ev.TS + ev.Dur}
+				span = [2]float64{ev.TS, ev.TS + ev.Dur}
 			}
-			if ev.TS < w[0] {
-				w[0] = ev.TS
+			if ev.TS < span[0] {
+				span[0] = ev.TS
 			}
-			if ev.TS+ev.Dur > w[1] {
-				w[1] = ev.TS + ev.Dur
+			if ev.TS+ev.Dur > span[1] {
+				span[1] = ev.TS + ev.Dur
 			}
-			walls[tk] = w
+			walls[tk] = span
 		case "i":
 			instants[ev.Name]++
 		}
@@ -167,8 +177,8 @@ func summarize(evs []event) {
 			label = fmt.Sprintf("tid %d", tk.tid)
 		}
 		wall := walls[tk][1] - walls[tk][0]
-		fmt.Printf("\n[pid %d] %s  (wall %.3f ms)\n", tk.pid, label, wall/1e3)
-		fmt.Printf("  %-18s %8s %14s %8s\n", "span", "count", "total(ms)", "%wall")
+		fmt.Fprintf(w, "\n[pid %d] %s  (wall %.3f ms)\n", tk.pid, label, wall/1e3)
+		fmt.Fprintf(w, "  %-18s %8s %14s %8s\n", "span", "count", "total(ms)", "%wall")
 		type line struct {
 			name  string
 			count int
@@ -186,18 +196,18 @@ func summarize(evs []event) {
 			if wall > 0 {
 				pct = 100 * l.total / wall
 			}
-			fmt.Printf("  %-18s %8d %14.3f %8.2f\n", l.name, l.count, l.total/1e3, pct)
+			fmt.Fprintf(w, "  %-18s %8d %14.3f %8.2f\n", l.name, l.count, l.total/1e3, pct)
 		}
 	}
 	if len(instants) > 0 {
-		fmt.Printf("\nInstants:\n")
+		fmt.Fprintf(w, "\nInstants:\n")
 		keys := make([]string, 0, len(instants))
 		for k := range instants {
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
 		for _, k := range keys {
-			fmt.Printf("  %-24s %6d\n", k, instants[k])
+			fmt.Fprintf(w, "  %-24s %6d\n", k, instants[k])
 		}
 	}
 }

@@ -3,6 +3,7 @@ package analyze
 import (
 	"go/ast"
 	"go/types"
+	"path/filepath"
 )
 
 // detPackages names the packages whose results must be bit-identical
@@ -15,6 +16,16 @@ var detPackages = map[string]bool{
 	"decomp": true, "core": true, "snapshot": true,
 }
 
+// detPartialFiles extends the purity contract into packages that are
+// only partially deterministic, keyed by package name then file base
+// name. In telemetry, the publisher path (publish.go) runs on the
+// solver's step path and must stay clock-free and rand-free like the
+// numerics it interleaves with; the collector side (plane, server,
+// pprof) legitimately reads the wall clock and is exempt.
+var detPartialFiles = map[string]map[string]bool{
+	"telemetry": {"publish.go": true},
+}
+
 // DetPurity flags nondeterminism sources inside the deterministic
 // packages: wall-clock reads (time.Now/Since/Until), math/rand, and
 // range over a map, whose iteration order varies run to run and can
@@ -23,16 +34,21 @@ var detPackages = map[string]bool{
 // whitelisted with a justified //yyvet:ignore.
 var DetPurity = &Analyzer{
 	Name: "det-purity",
-	Doc: "the deterministic packages (fd, sphops, mhd, decomp, core, snapshot) must not read the " +
-		"wall clock, use math/rand, or iterate maps where the order can reach numerics or outputs.",
+	Doc: "the deterministic packages (fd, sphops, mhd, decomp, core, snapshot) and the telemetry " +
+		"publisher path must not read the wall clock, use math/rand, or iterate maps where the " +
+		"order can reach numerics or outputs.",
 	Run: runDetPurity,
 }
 
 func runDetPurity(pass *Pass) error {
-	if !detPackages[pass.Pkg.Name()] {
+	partial := detPartialFiles[pass.Pkg.Name()]
+	if !detPackages[pass.Pkg.Name()] && partial == nil {
 		return nil
 	}
 	for _, file := range pass.Files {
+		if partial != nil && !partial[filepath.Base(pass.Fset.Position(file.Pos()).Filename)] {
+			continue
+		}
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.CallExpr:

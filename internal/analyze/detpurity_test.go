@@ -8,3 +8,10 @@ import "testing"
 func TestDetPurity(t *testing.T) {
 	runFixture(t, "detpurity", DetPurity)
 }
+
+// TestDetPurityPartialPackage: in partially-deterministic packages the
+// contract applies file by file — telemetry's publisher path is
+// checked, its collector side is exempt.
+func TestDetPurityPartialPackage(t *testing.T) {
+	runFixture(t, "detpartial", DetPurity)
+}

@@ -1,0 +1,18 @@
+// Collector side of the telemetry fixture: plane.go is off the step
+// path, so wall-clock reads and map iteration here are legitimate and
+// must not be flagged.
+package telemetry
+
+import "time"
+
+func collectorTick() time.Time {
+	return time.Now()
+}
+
+func collectorRate(samples map[int]float64) float64 {
+	var s float64
+	for _, v := range samples {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,18 @@
+// Package telemetry fixture, publisher side: publish.go is on the
+// solver's step path, so the purity contract applies to this file even
+// though the package as a whole is not in the deterministic set.
+package telemetry
+
+import "time"
+
+func publishStamp() time.Time {
+	return time.Now() // want "time.Now in deterministic package"
+}
+
+func publishSum(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m { // want "range over map in deterministic package"
+		s += v
+	}
+	return s
+}

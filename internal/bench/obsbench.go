@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/grid"
 	"repro/internal/obs"
+	"repro/internal/telemetry"
 )
 
 // ObsBench is one measurement of the observability hot path. The
@@ -35,6 +36,12 @@ func RunObsBenches() *ObsReport {
 	rec.CommDelivered(0, 5, 1024)
 	rec.CommWaited(0, 5, 1000)
 
+	// The telemetry publisher rides the same step path as the spans:
+	// a seqlock publish (and the collector's read) must stay at zero
+	// allocations too.
+	pub := &telemetry.RankPub{}
+	snap := telemetry.Snapshot{Step: 1, DT: 1e-3, DivB: 1e-9}
+
 	cases := []struct {
 		name string
 		fn   func()
@@ -43,6 +50,8 @@ func RunObsBenches() *ObsReport {
 		{"CommDelivered", func() { rec.CommDelivered(0, 5, 1024) }},
 		{"CommWaitHistObserve", func() { rec.CommWaited(0, 5, 1000) }},
 		{"SetGauge", func() { rr.SetGauge("dt", 1e-3) }},
+		{"TelemetryPublish", func() { snap.Step++; pub.Publish(snap) }},
+		{"TelemetryRead", func() { pub.Read() }},
 	}
 	rep := &ObsReport{Env: benchEnv(grid.NewSpec(17, 17))}
 	for _, c := range cases {

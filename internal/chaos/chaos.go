@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/decomp"
 	"repro/internal/mpi"
+	"repro/internal/telemetry"
 )
 
 // Config sizes the solver runs the fuzzer drives. Zero values select
@@ -53,6 +54,12 @@ type Config struct {
 	// timeline, named after the scenario — what a CI job uploads when a
 	// chaos stage goes red. Empty disables collection.
 	ArtifactDir string
+	// Telemetry, when non-nil, is a live telemetry plane attached to
+	// every scenario run: ranks publish step snapshots into it and its
+	// anomaly engine consumes the run's event timeline, so the scripted
+	// faults must surface as latched telemetry alerts. Pure
+	// observability — the verdict logic never reads the plane.
+	Telemetry *telemetry.Plane
 }
 
 func (c Config) withDefaults() Config {

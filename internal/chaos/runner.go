@@ -15,6 +15,7 @@ import (
 	"repro/internal/resilience"
 	"repro/internal/snapshot"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 )
 
 // Verdict classifies one scenario execution.
@@ -137,14 +138,20 @@ func (r *Runner) execute(sc Scenario) Outcome {
 		return r.executeCampaign(sc, plan)
 	}
 	events := mpi.NewEventLog()
+	cc := r.coreConfig()
+	if r.cfg.Telemetry != nil {
+		r.cfg.Telemetry.Attach(telemetry.Campaign{Run: "chaos", TotalSteps: r.cfg.Steps, Events: events})
+		cc.Telemetry = r.cfg.Telemetry
+	}
 
 	var buf bytes.Buffer
-	_, err = core.RunParallelCheckpointWith(r.coreConfig(), mpi.RunConfig{
+	_, err = core.RunParallelCheckpointWith(cc, mpi.RunConfig{
 		Deadline:    r.cfg.Deadline,
 		Faults:      plan,
 		Reliability: &mpi.Reliability{AckTimeout: r.cfg.AckTimeout},
 		Events:      events,
 	}, r.cfg.NProcs, r.cfg.Steps, r.cfg.DT, &buf)
+	r.cfg.Telemetry.Evaluate()
 	if err != nil {
 		return Outcome{Scenario: sc, Verdict: CleanAbort, Detail: err.Error()}
 	}
@@ -190,6 +197,7 @@ func (r *Runner) executeCampaign(sc Scenario, plan *mpi.FaultPlan) Outcome {
 		Reliability:     &mpi.Reliability{AckTimeout: r.cfg.AckTimeout},
 		Heartbeat:       &mpi.Heartbeat{Interval: campaignHeartbeat},
 		DTSchedule:      dtSchedule(r.cfg),
+		Telemetry:       r.cfg.Telemetry,
 	}
 	if sc.Replace {
 		rcfg.Replace = &mpi.Elastic{}

@@ -28,6 +28,7 @@ import (
 	"repro/internal/par"
 	"repro/internal/snapshot"
 	"repro/internal/sph"
+	"repro/internal/telemetry"
 	"repro/internal/viz"
 )
 
@@ -62,6 +63,12 @@ type Config struct {
 	// PROGINF-style run report. Tracing never perturbs the physics: a
 	// traced run's checkpoint is byte-identical to an untraced one.
 	Obs *obs.Recorder
+	// Telemetry, when non-nil, is the live telemetry plane each rank
+	// publishes step snapshots into (seqlock double buffers: no locks,
+	// no allocations, no clock reads on the step path). Like Obs, it
+	// never perturbs the physics — a telemetrized run's checkpoint is
+	// byte-identical to a dark one.
+	Telemetry *telemetry.Plane
 }
 
 func (c Config) withDefaults() Config {
@@ -274,6 +281,7 @@ func RunParallel(cfg Config, nProcs, steps, recordEvery int, dt float64) ([]mhd.
 		}
 		defer r.Close()
 		r.SetObs(rr)
+		r.SetTelemetry(cfg.Telemetry.Rank(w.Rank()))
 		sp.End()
 		step := dt
 		if step <= 0 {
@@ -360,6 +368,7 @@ func RunParallelCheckpointWith(cfg Config, rc mpi.RunConfig, nProcs, steps int, 
 		}
 		defer r.Close()
 		r.SetObs(rr)
+		r.SetTelemetry(cfg.Telemetry.Rank(wc.Rank()))
 		sp.End()
 		step := dt
 		if step <= 0 {

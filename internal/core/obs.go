@@ -35,12 +35,17 @@ func WriteTrace(w io.Writer, rec *obs.Recorder, log *mpi.EventLog) error {
 }
 
 // WriteRunReport builds the PROGINF-style run report from the recorder
-// and the given perfcount interval and writes it to w.
-func WriteRunReport(w io.Writer, rec *obs.Recorder, perf perfcount.Snapshot) error {
+// and the given perfcount interval and writes it to w. The event log
+// (may be nil) contributes its overwrite count to the report's health
+// header; alerts (may be nil) are the run's latched telemetry alerts,
+// rendered one per line under it.
+func WriteRunReport(w io.Writer, rec *obs.Recorder, perf perfcount.Snapshot, log *mpi.EventLog, alerts []string) error {
 	rep := rec.BuildReport(perf)
 	if rep == nil {
 		return nil
 	}
+	rep.EventsDropped = log.Dropped()
+	rep.Alerts = alerts
 	_, err := io.WriteString(w, rep.Format())
 	return err
 }

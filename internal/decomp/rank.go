@@ -11,6 +11,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/overset"
 	"repro/internal/par"
+	"repro/internal/telemetry"
 )
 
 // Tag spaces for the three communication phases of a stage.
@@ -79,6 +80,13 @@ type Rank struct {
 	obs    *obs.RankRec
 	lastDT float64
 
+	// tele is the rank's live-telemetry publish slot (nil when the run
+	// is untelemetrized). snap is the writer-owned staging snapshot:
+	// the step path updates its fields and republishes it, so a
+	// scraper between Diagnose calls still sees the last diagnostics.
+	tele *telemetry.RankPub
+	snap telemetry.Snapshot
+
 	// Overlapped-RHS schedule state: the owned columns split once into
 	// the seam-independent interior and the width-1 rim (the stencil
 	// radius), plus the toggle that falls back to the fully sequential
@@ -100,6 +108,16 @@ type Rank struct {
 func (r *Rank) SetObs(rr *obs.RankRec) {
 	r.obs = rr
 	r.pool.SetGauge(rr.PoolGauge())
+}
+
+// SetTelemetry attaches the rank's live-telemetry publish slot. Like
+// SetObs it is wired at segment setup; a nil slot keeps the rank
+// silent and costs one nil check per step. Publishing is a fixed
+// number of atomic stores into rank-owned memory — no clock reads, no
+// allocation, no communication — so a telemetrized run stays
+// bit-identical to a silent one.
+func (r *Rank) SetTelemetry(pub *telemetry.RankPub) {
+	r.tele = pub
 }
 
 // NewRank builds the rank-local solver for world rank w of the layout,
@@ -733,6 +751,13 @@ func (r *Rank) AdvanceScheme(dt float64, scheme mhd.Integrator) {
 	r.applyConstraints()
 	r.Time += dt
 	r.StepN++
+	if r.tele != nil {
+		r.snap.Step = int64(r.StepN)
+		r.snap.DT = dt
+		r.snap.Spans = int64(r.obs.Len())
+		r.snap.SpanDropped = r.obs.Dropped()
+		r.tele.Publish(r.snap)
+	}
 }
 
 // EstimateDT returns the globally reduced stable time step.
@@ -759,14 +784,24 @@ func (r *Rank) Diagnose() mhd.Diagnostics {
 	c = r.obs.Begin(obs.SpanCollective)
 	r.World.Allreduce(maxs, mpi.OpMax)
 	c.End()
-	if r.obs != nil {
+	if r.obs != nil || r.tele != nil {
 		// Per-step physics gauges, computed from already-reduced values
 		// and rank-local fields only — tracing must add no collectives,
 		// so it can never change the run's communication pattern.
 		if dx := mhd.MinGridSpacing(r.Layout.Spec); dx > 0 && r.lastDT > 0 {
-			r.obs.SetGauge("cfl", r.lastDT*maxs[0]/dx)
+			cfl := r.lastDT * maxs[0] / dx
+			r.obs.SetGauge("cfl", cfl)
+			r.snap.CFL = cfl
 		}
-		r.obs.SetGauge("divb", mhd.DivBMax(r.PL))
+		divb := mhd.DivBMax(r.PL)
+		r.obs.SetGauge("divb", divb)
+		if r.tele != nil {
+			r.snap.DivB = divb
+			r.snap.Mass, r.snap.KineticE, r.snap.MagneticE, r.snap.InternalE = sums[0], sums[1], sums[2], sums[3]
+			r.snap.MaxV, r.snap.MaxB = maxs[0], maxs[1]
+			r.snap.Step = int64(r.StepN)
+			r.tele.Publish(r.snap)
+		}
 	}
 	return mhd.Diagnostics{
 		Time: r.Time, Step: r.StepN,

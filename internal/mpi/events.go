@@ -128,6 +128,50 @@ func (l *EventLog) Len() int {
 	return l.n
 }
 
+// Total returns the number of events ever appended: the retained ring
+// plus the overwritten ones. It is the cursor space for Tail.
+func (l *EventLog) Total() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped + int64(l.n)
+}
+
+// Tail returns the events appended after the seen total (a value from
+// a previous Tail or Total call; 0 reads from the beginning), oldest
+// first, together with the new total to resume from. Events that were
+// already overwritten before being read are skipped — Dropped counts
+// them. This is the incremental-consumer interface the live telemetry
+// plane's SSE stream and event-kind counters poll.
+func (l *EventLog) Tail(seen int64) ([]Event, int64) {
+	if l == nil {
+		return nil, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	total := l.dropped + int64(l.n)
+	oldest := total - int64(l.n) // total index of the oldest retained event
+	if seen < oldest {
+		seen = oldest
+	}
+	if seen >= total {
+		return nil, total
+	}
+	count := int(total - seen)
+	first := l.head - l.n
+	if first < 0 {
+		first += len(l.ring)
+	}
+	first = (first + int(seen-oldest)) % len(l.ring)
+	out := make([]Event, 0, count)
+	for i := 0; i < count; i++ {
+		out = append(out, l.ring[(first+i)%len(l.ring)])
+	}
+	return out, total
+}
+
 // Dropped returns how many events were overwritten because the log was
 // full.
 func (l *EventLog) Dropped() int64 {

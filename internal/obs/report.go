@@ -54,6 +54,18 @@ type Report struct {
 	Perf   perfcount.Snapshot
 
 	PoolBusyNS, PoolWallNS, PoolCalls, PoolWorkers int64
+
+	// Observability health, surfaced at the top of the report: data
+	// silently discarded is the one thing a summary must not hide.
+	// SpansDropped totals the spans overwritten across every rank's
+	// full ring (BuildReport fills it); EventsDropped counts events
+	// overwritten in the bounded run EventLog and Alerts lists the
+	// latched telemetry anomaly alerts — both set by the caller, since
+	// obs is a leaf package that cannot import the runtime or the
+	// telemetry plane.
+	SpansDropped  int64
+	EventsDropped int64
+	Alerts        []string
 }
 
 // summarize reduces one rank's ring into a RankSummary. Exclusive times
@@ -131,6 +143,7 @@ func (r *Recorder) BuildReport(perf perfcount.Snapshot) *Report {
 		} else {
 			rep.Ranks = append(rep.Ranks, sum)
 		}
+		rep.SpansDropped += sum.Dropped
 		if int(rr.maxStep)+1 > rep.Steps {
 			rep.Steps = int(rr.maxStep) + 1
 		}
@@ -225,6 +238,21 @@ func (rep *Report) Format() string {
 	b.WriteString("Run Information (live solver):\n")
 	b.WriteString("==============================\n")
 	b.WriteString("Note: measured by internal/obs from rank start till rank finish.\n")
+	// Health first: dropped observability data and anomaly alerts must
+	// not be buried under the timing tables.
+	spanNote, eventNote := "", ""
+	if rep.SpansDropped > 0 {
+		spanNote = "  ** DATA LOST: raise obs.Config.SpanCap **"
+	}
+	if rep.EventsDropped > 0 {
+		eventNote = "  ** DATA LOST: raise the EventLog capacity **"
+	}
+	fmt.Fprintf(&b, "%-28s: %14d%s\n", "Spans Dropped (all ranks)", rep.SpansDropped, spanNote)
+	fmt.Fprintf(&b, "%-28s: %14d%s\n", "Events Dropped", rep.EventsDropped, eventNote)
+	fmt.Fprintf(&b, "%-28s: %14d\n", "Telemetry Alerts", len(rep.Alerts))
+	for _, a := range rep.Alerts {
+		fmt.Fprintf(&b, "  ALERT %s\n", a)
+	}
 	fmt.Fprintf(&b, "Per-rank data of %d processes:%16s[rank]%16s[rank]%12s\n",
 		len(rep.Ranks), "Min", "Max", "Average")
 	b.WriteString("=============================\n")

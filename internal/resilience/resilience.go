@@ -27,6 +27,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/snapshot"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 )
 
 // ErrBlowUp tags segment failures caused by the solver itself (as
@@ -120,6 +121,16 @@ type Config struct {
 	// campaign timeline (so the caller can merge it into a trace
 	// afterwards); nil lets the campaign create its own.
 	Events *mpi.EventLog
+	// Telemetry, when non-nil, is the live telemetry plane: every rank
+	// publishes its step snapshot into a lock-free slot, the driver
+	// feeds the plane campaign progress (segment starts, commits,
+	// retries, completion) for the /progress and /metrics endpoints,
+	// and — unless the plane disables it — each committed segment is
+	// bracketed by a CPU profile whose pprof blob (plus a heap snapshot
+	// at the boundary) is durably saved next to the checkpoint. The
+	// plane reads shared memory only; a telemetrized campaign's
+	// committed trajectory is sha256-identical to a dark one.
+	Telemetry *telemetry.Plane
 }
 
 func (c Config) withDefaults() Config {
@@ -141,6 +152,19 @@ func (c Config) withDefaults() Config {
 		c.Keep = 2
 	}
 	return c
+}
+
+// runName labels the campaign for telemetry and artifact commits: the
+// store run id when the ledger substrate is in use, the checkpoint
+// directory otherwise.
+func (c Config) runName() string {
+	if c.Store != nil {
+		if c.RunID != "" {
+			return c.RunID
+		}
+		return "campaign"
+	}
+	return c.Dir
 }
 
 // RecoveryMode names one of the campaign's recovery paths, most to
@@ -252,6 +276,15 @@ func RunCampaign(cfg Config) (*Result, error) {
 		Events:      events,
 		Obs:         cfg.Obs,
 	}
+	plane := cfg.Telemetry
+	plane.Attach(telemetry.Campaign{
+		Run:        cfg.runName(),
+		TotalSteps: cfg.Steps,
+		MinDT:      cfg.MinDT,
+		Events:     events,
+		Recorder:   cfg.Obs,
+		Store:      cfg.Store,
+	})
 	// The campaign driver records on its own pseudo-rank track:
 	// checkpoint I/O and validation between segments.
 	drv := cfg.Obs.Driver()
@@ -371,6 +404,7 @@ func RunCampaign(cfg Config) (*Result, error) {
 		for attempt := 0; attempt <= cfg.MaxRetries; attempt++ {
 			if attempt > 0 {
 				res.Retries++
+				plane.Retry()
 				// Roll back: the failed attempt may have consumed or
 				// corrupted the in-memory state, so reload the segment's
 				// own checkpoint from disk.
@@ -430,7 +464,16 @@ func RunCampaign(cfg Config) (*Result, error) {
 			recMu.Lock()
 			curSeg, curAttempt = segIdx, attempt
 			recMu.Unlock()
+			plane.SegmentStart(segIdx, attempt)
 			events.Notef("note", "segment start=%d steps=%d attempt=%d dt=%.6g", segStart, n, attempt, dt)
+			// Continuous profiling: bracket the attempt with a CPU
+			// profile. Profiling is signal-driven and process-global — it
+			// perturbs scheduling, never arithmetic — so the committed
+			// trajectory is unchanged.
+			var prof *telemetry.SegProfiler
+			if plane.ProfileSegments() {
+				prof = telemetry.StartSegProfile()
+			}
 			var (
 				next *mhd.Solver
 				diag mhd.Diagnostics
@@ -439,8 +482,9 @@ func RunCampaign(cfg Config) (*Result, error) {
 			if cfg.NProcs == 1 {
 				next, diag, err = runSerialSegment(state, dt, n)
 			} else {
-				next, diag, err = runSegment(cfg.Core, layout, rc, state, dt, n, reload)
+				next, diag, err = runSegment(cfg.Core, layout, rc, plane, state, dt, n, reload)
 			}
+			cpuProfile := prof.Stop()
 			if err == nil {
 				err = validate(next, cfg)
 			}
@@ -464,6 +508,28 @@ func RunCampaign(cfg Config) (*Result, error) {
 				if err := sink.prune(cfg.Keep); err != nil {
 					return res, err
 				}
+				plane.Commit(state.Step)
+				// Save the committed attempt's profiles next to its
+				// checkpoint. Best-effort: a campaign never fails over a
+				// lost profile.
+				if plane.ProfileSegments() {
+					var arts []runArtifact
+					if len(cpuProfile) > 0 {
+						arts = append(arts, runArtifact{
+							name: fmt.Sprintf("profile-cpu-%09d.pb.gz", state.Step),
+							role: "profile.cpu", data: cpuProfile,
+						})
+					}
+					if heap := telemetry.HeapProfile(); len(heap) > 0 {
+						arts = append(arts, runArtifact{
+							name: fmt.Sprintf("profile-heap-%09d.pb.gz", state.Step),
+							role: "profile.heap", data: heap,
+						})
+					}
+					if err := sink.artifacts(state.Step, "profiles", arts); err != nil {
+						events.Notef("note", "profile commit at step %d failed: %v", state.Step, err)
+					}
+				}
 				committed = true
 				break
 			}
@@ -476,6 +542,10 @@ func RunCampaign(cfg Config) (*Result, error) {
 			continue
 		}
 		if !committed {
+			// Latch the final alert state before the failure account is
+			// written, so the post-mortem's timeline carries the
+			// telemetry.alert events that saw the campaign die.
+			plane.Evaluate()
 			pm := sink.postmortem(postmortemText(segStart, cfg.MaxRetries+1, lastErr, res, events))
 			return res, fmt.Errorf("resilience: segment at step %d failed after %d attempts (post-mortem: %s): %w",
 				segStart, cfg.MaxRetries+1, pm, lastErr)
@@ -483,6 +553,7 @@ func RunCampaign(cfg Config) (*Result, error) {
 		res.FinalStep = state.Step
 		res.Final = state
 	}
+	plane.Finish(res.FinalStep)
 	return res, nil
 }
 
@@ -510,7 +581,7 @@ func runSerialSegment(src *mhd.Solver, dt float64, steps int) (*mhd.Solver, mhd.
 // from the segment's checkpoint via reload instead of the in-memory
 // src, and rank 0's gathered result is overwritten so the final epoch
 // wins.
-func runSegment(ccfg core.Config, layout *decomp.Layout, rc mpi.RunConfig, src *mhd.Solver, dt float64, steps int, reload func() (*snapshot.Interior, error)) (*mhd.Solver, mhd.Diagnostics, error) {
+func runSegment(ccfg core.Config, layout *decomp.Layout, rc mpi.RunConfig, plane *telemetry.Plane, src *mhd.Solver, dt float64, steps int, reload func() (*snapshot.Interior, error)) (*mhd.Solver, mhd.Diagnostics, error) {
 	var (
 		mu   sync.Mutex
 		next *mhd.Solver
@@ -527,6 +598,7 @@ func runSegment(ccfg core.Config, layout *decomp.Layout, rc mpi.RunConfig, src *
 		}
 		defer r.Close()
 		r.SetObs(rr)
+		r.SetTelemetry(plane.Rank(w.Rank()))
 		sp.End()
 		var in *snapshot.Interior
 		if w.Rank() == 0 {

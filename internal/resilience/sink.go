@@ -61,6 +61,49 @@ type ckptSink interface {
 	// postmortem durably saves the failure account and returns a
 	// human-readable location ("" if even that failed).
 	postmortem(text string) string
+	// artifacts durably saves auxiliary run artifacts (segment pprof
+	// profiles, traces, run reports): loose files beside the
+	// checkpoints for the directory sink, blobs pinned by one ledger
+	// manifest for the store sink. An empty list is a no-op.
+	artifacts(step int, note string, arts []runArtifact) error
+}
+
+// runArtifact is one auxiliary blob a campaign commits beside its
+// checkpoints: a segment CPU/heap profile, a Chrome trace, a run
+// report.
+type runArtifact struct {
+	// name is the artifact's file/ref name; role classifies it in the
+	// ledger ("profile.cpu", "profile.heap", "trace", "report").
+	name, role string
+	data       []byte
+}
+
+// Artifact is one post-run artifact for CommitArtifacts.
+type Artifact struct {
+	// Name is the artifact's ref name inside the run's namespace; Role
+	// classifies it in the ledger manifest ("trace", "report").
+	Name, Role string
+	Data       []byte
+}
+
+// CommitArtifacts pins post-run artifacts — the Chrome trace and the
+// run report a driver renders after the campaign — into the campaign
+// run's store ledger, so `yystore ls` shows them next to the
+// checkpoints and gc keeps them reachable. An empty runID selects the
+// default campaign namespace.
+func CommitArtifacts(st *store.Store, runID string, step int, note string, arts []Artifact) error {
+	if st == nil {
+		return fmt.Errorf("resilience: CommitArtifacts needs a store")
+	}
+	if runID == "" {
+		runID = "campaign"
+	}
+	s := &storeSink{st: st, run: runID}
+	ra := make([]runArtifact, 0, len(arts))
+	for _, a := range arts {
+		ra = append(ra, runArtifact{name: a.Name, role: a.Role, data: a.Data})
+	}
+	return s.artifacts(step, note, ra)
 }
 
 // sink builds the campaign's storage substrate from its config.
@@ -138,6 +181,15 @@ func (d *dirSink) postmortem(text string) string {
 		return ""
 	}
 	return path
+}
+
+func (d *dirSink) artifacts(_ int, _ string, arts []runArtifact) error {
+	for _, a := range arts {
+		if err := store.WriteFileAtomic(filepath.Join(d.dir, a.name), a.data, 0o644); err != nil {
+			return fmt.Errorf("resilience: writing artifact %s: %w", a.name, err)
+		}
+	}
+	return nil
 }
 
 // storeSink is the content-addressed substrate: checkpoint blobs in
@@ -314,6 +366,32 @@ func (s *storeSink) postmortem(text string) string {
 		return ""
 	}
 	return "store:" + ref
+}
+
+// artifacts puts every blob, points a run-namespaced ref at each (so
+// `yystore ls` shows them and gc marks them live), and pins the whole
+// batch with one ledger manifest.
+func (s *storeSink) artifacts(step int, note string, arts []runArtifact) error {
+	if len(arts) == 0 {
+		return nil
+	}
+	m := store.Manifest{Run: s.run, Step: step, Note: note}
+	for _, a := range arts {
+		h, err := s.st.Put(a.data)
+		if err != nil {
+			return err
+		}
+		if err := s.st.SetRef("runs/"+s.run+"/"+a.name, h); err != nil {
+			return err
+		}
+		m.Artifacts = append(m.Artifacts, store.Artifact{
+			Name: a.name, Role: a.role, Hash: h, Size: int64(len(a.data)),
+		})
+	}
+	if _, err := s.st.Append(m); err != nil {
+		return err
+	}
+	return nil
 }
 
 // digestEvents hashes the rendered event timeline, so the ledger pins

@@ -29,6 +29,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Hash is the content address of a blob: its sha256.
@@ -135,6 +136,37 @@ type Store struct {
 	index map[Hash]struct{} // objects known present on the primary
 	seq   int               // next ledger sequence number
 	head  Hash              // chain hash of the newest ledger entry
+
+	// Write-path counters for the live telemetry plane: lock-free so
+	// reading them never contends with the allocation-free dedup fast
+	// path they instrument.
+	putBytes   atomic.Int64
+	dedupHits  atomic.Int64
+	dedupBytes atomic.Int64
+}
+
+// Stats is a point-in-time read of the store's write-path counters.
+// Objects is durable state; the byte/hit counters are per-process
+// (they start at zero on Open).
+type Stats struct {
+	// Objects is the number of blobs in the index.
+	Objects int
+	// PutBytes counts bytes newly committed by Put (dedup misses).
+	PutBytes int64
+	// DedupHits counts Puts satisfied by an existing identical blob,
+	// and DedupBytes the bytes those Puts did not rewrite.
+	DedupHits  int64
+	DedupBytes int64
+}
+
+// Stats returns the current counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Objects:    s.Objects(),
+		PutBytes:   s.putBytes.Load(),
+		DedupHits:  s.dedupHits.Load(),
+		DedupBytes: s.dedupBytes.Load(),
+	}
 }
 
 // Open loads a store rooted at the primary backend: the object index
@@ -186,6 +218,8 @@ func (s *Store) Put(data []byte) (Hash, error) {
 	_, ok := s.index[h]
 	s.mu.RUnlock()
 	if ok {
+		s.dedupHits.Add(1)
+		s.dedupBytes.Add(int64(len(data)))
 		return h, nil
 	}
 	name := objectName(h)
@@ -200,6 +234,7 @@ func (s *Store) Put(data []byte) (Hash, error) {
 	s.mu.Lock()
 	s.index[h] = struct{}{}
 	s.mu.Unlock()
+	s.putBytes.Add(int64(len(data)))
 	return h, nil
 }
 

@@ -1,0 +1,255 @@
+package telemetry
+
+// The anomaly engine: streaming rules evaluated over the published
+// snapshots and the run's event timeline. Alerts latch — a rule fires
+// one alert, and further triggers only bump its count — so a sick run
+// produces a short diagnosis, not an alert flood. Fired alerts are
+// appended to the shared mpi.EventLog as telemetry.alert events by the
+// plane, which routes them to the SSE stream, the post-mortem and the
+// run report for free.
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// Rule names, stable identifiers for /metrics labels and assertions.
+const (
+	RuleRankDead        = "rank-dead"
+	RuleRetransmitStorm = "retransmit-storm"
+	RuleHBFlap          = "hb-flap"
+	RuleEventDrops      = "event-drops"
+	RuleSpanDrops       = "span-drops"
+	RuleDTCollapse      = "dt-collapse"
+	RuleDivBGrowth      = "divb-growth"
+	RuleEnergyDrift     = "energy-drift"
+)
+
+// Rules are the anomaly thresholds. Zero fields select defaults; a
+// negative value disables that rule.
+type Rules struct {
+	// DivBGrowth fires when a rank's |div B| grows by this factor over
+	// its retained gauge history (default 100; the solenoidal cleaner
+	// holds divB flat in a healthy run, so two orders of magnitude is
+	// a real departure).
+	DivBGrowth float64
+	// EnergyDriftFrac fires when the total energy drifts from its
+	// first observed value by this fraction (default 0.5).
+	EnergyDriftFrac float64
+	// DTCollapse fires when a published dt falls to within this factor
+	// of the campaign's MinDT floor (default 2; needs MinDT > 0).
+	DTCollapse float64
+	// RetransmitStorm fires when one evaluation consumes at least this
+	// many new xport.retransmit events (default 10).
+	RetransmitStorm int
+	// HBFlap fires after this many suspect→clear heartbeat cycles
+	// (default 2: one clear is a hiccup, repeats are flapping).
+	HBFlap int
+}
+
+func (r Rules) withDefaults() Rules {
+	//yyvet:ignore float-eq zero-valued rule thresholds mean unset; defaulting keys on the exact zero value
+	if r.DivBGrowth == 0 {
+		r.DivBGrowth = 100
+	}
+	//yyvet:ignore float-eq zero means unset
+	if r.EnergyDriftFrac == 0 {
+		r.EnergyDriftFrac = 0.5
+	}
+	//yyvet:ignore float-eq zero means unset
+	if r.DTCollapse == 0 {
+		r.DTCollapse = 2
+	}
+	if r.RetransmitStorm == 0 {
+		r.RetransmitStorm = 10
+	}
+	if r.HBFlap == 0 {
+		r.HBFlap = 2
+	}
+	return r
+}
+
+// Alert is one latched rule firing.
+type Alert struct {
+	// Rule is the rule name (Rule* constants).
+	Rule string
+	// Detail is the human-readable trigger account.
+	Detail string
+	// Step is the freshest published step when the rule first fired.
+	Step int64
+	// Count is how many evaluations have re-triggered the rule since.
+	Count int64
+}
+
+func (a Alert) String() string {
+	if a.Count > 1 {
+		return fmt.Sprintf("%-16s step=%-6d %s (x%d)", a.Rule, a.Step, a.Detail, a.Count)
+	}
+	return fmt.Sprintf("%-16s step=%-6d %s", a.Rule, a.Step, a.Detail)
+}
+
+// divbTrack is one rank's retained |div B| extrema, fed only when the
+// published value changes (Diagnose cadence, not step cadence).
+type divbTrack struct {
+	last, min, max float64
+	seen           bool
+}
+
+// engine is the rule evaluator. All state is guarded by the owning
+// plane's mutex.
+type engine struct {
+	rules Rules
+	minDT float64
+
+	cursor int64            // event-log consumption cursor (total index)
+	kinds  map[string]int64 // cumulative event count per kind
+
+	divb   map[int]*divbTrack
+	e0     float64 // first observed total energy
+	e0set  bool
+	latest Snapshot // freshest snapshot seen (by step)
+
+	fired map[string]*Alert // latch: rule -> alert (pointers into order)
+	order []*Alert
+}
+
+func newEngine(rules Rules) *engine {
+	return &engine{
+		rules: rules.withDefaults(),
+		kinds: map[string]int64{},
+		divb:  map[int]*divbTrack{},
+		fired: map[string]*Alert{},
+	}
+}
+
+// kindCounts copies the cumulative per-kind event counts (for /metrics).
+func (e *engine) kindCounts() map[string]int64 {
+	out := make(map[string]int64, len(e.kinds))
+	for k, v := range e.kinds {
+		out[k] = v
+	}
+	return out
+}
+
+// evaluate consumes new events, folds in the snapshots, and returns
+// the alerts that fired for the first time this round.
+func (e *engine) evaluate(snaps map[int]Snapshot, events *mpi.EventLog) []Alert {
+	newRetransmits := e.consume(events)
+
+	var spanDrops int64
+	for _, s := range snaps {
+		if s.Step >= e.latest.Step {
+			e.latest = s
+		}
+		spanDrops += s.SpanDropped
+	}
+	e.trackDivB(snaps)
+	step := e.latest.Step
+
+	var fired []Alert
+	trigger := func(rule, detail string) {
+		if a := e.fired[rule]; a != nil {
+			a.Count++
+			return
+		}
+		a := &Alert{Rule: rule, Detail: detail, Step: step, Count: 1}
+		e.fired[rule] = a
+		e.order = append(e.order, a)
+		fired = append(fired, *a)
+	}
+
+	if n := e.kinds["hb.confirm"] + e.kinds["fault.kill"] + e.kinds["fault.kill-silent"]; n > 0 {
+		trigger(RuleRankDead, fmt.Sprintf("%d rank death(s) confirmed (heartbeat or scripted kill)", n))
+	}
+	if e.rules.RetransmitStorm > 0 && newRetransmits >= int64(e.rules.RetransmitStorm) {
+		trigger(RuleRetransmitStorm, fmt.Sprintf("%d retransmission(s) in one evaluation window (threshold %d)",
+			newRetransmits, e.rules.RetransmitStorm))
+	}
+	if e.rules.HBFlap > 0 && e.kinds["hb.clear"] >= int64(e.rules.HBFlap) {
+		trigger(RuleHBFlap, fmt.Sprintf("%d heartbeat suspect→clear cycle(s) (threshold %d) — a rank keeps going quiet",
+			e.kinds["hb.clear"], e.rules.HBFlap))
+	}
+	if d := events.Dropped(); d > 0 {
+		trigger(RuleEventDrops, fmt.Sprintf("%d event(s) overwritten in the bounded EventLog ring", d))
+	}
+	if spanDrops > 0 {
+		trigger(RuleSpanDrops, fmt.Sprintf("%d span record(s) dropped from full obs rings — raise obs.Config.SpanCap", spanDrops))
+	}
+	if e.rules.DTCollapse > 0 && e.minDT > 0 && e.latest.DT > 0 && e.latest.DT <= e.rules.DTCollapse*e.minDT {
+		trigger(RuleDTCollapse, fmt.Sprintf("dt %.3e within %.1fx of the %.3e MinDT floor — blow-up retries are shrinking the step",
+			e.latest.DT, e.rules.DTCollapse, e.minDT))
+	}
+	if e.rules.DivBGrowth > 0 {
+		for rank, t := range e.divb {
+			if t.min > 0 && t.max >= e.rules.DivBGrowth*t.min {
+				trigger(RuleDivBGrowth, fmt.Sprintf("rank %d |div B| grew %.3e -> %.3e (>= %.0fx) — solenoidal constraint degrading",
+					rank, t.min, t.max, e.rules.DivBGrowth))
+				break
+			}
+		}
+	}
+	if e.rules.EnergyDriftFrac > 0 {
+		total := e.latest.KineticE + e.latest.MagneticE + e.latest.InternalE
+		//yyvet:ignore float-eq the exact zero of an unpublished snapshot means no baseline yet
+		if !e.e0set && total != 0 {
+			e.e0, e.e0set = total, true
+		}
+		if e.e0set {
+			drift := (total - e.e0) / e.e0
+			if drift < 0 {
+				drift = -drift
+			}
+			if drift > e.rules.EnergyDriftFrac {
+				trigger(RuleEnergyDrift, fmt.Sprintf("total energy drifted %.1f%% from its initial %.6g (threshold %.0f%%)",
+					100*drift, e.e0, 100*e.rules.EnergyDriftFrac))
+			}
+		}
+	}
+	return fired
+}
+
+// consume folds the event log's new entries into the per-kind counters
+// and returns the number of new retransmit events this round.
+func (e *engine) consume(events *mpi.EventLog) int64 {
+	if events == nil {
+		return 0
+	}
+	evs, total := events.Tail(e.cursor)
+	e.cursor = total
+	var retransmits int64
+	for _, ev := range evs {
+		e.kinds[ev.Kind]++
+		if ev.Kind == "xport.retransmit" {
+			retransmits++
+		}
+	}
+	return retransmits
+}
+
+// trackDivB updates each rank's |div B| extrema, sampling only value
+// changes so the window reflects Diagnose updates, not step repeats.
+func (e *engine) trackDivB(snaps map[int]Snapshot) {
+	for rank, s := range snaps {
+		//yyvet:ignore float-eq the exact zero of a pre-Diagnose snapshot means no gauge yet
+		if s.DivB == 0 {
+			continue
+		}
+		t := e.divb[rank]
+		if t == nil {
+			t = &divbTrack{}
+			e.divb[rank] = t
+		}
+		//yyvet:ignore float-eq gauge republished unchanged between Diagnose calls; sampling keys on exact repeats
+		if t.seen && s.DivB == t.last {
+			continue
+		}
+		if !t.seen || s.DivB < t.min {
+			t.min = s.DivB
+		}
+		if !t.seen || s.DivB > t.max {
+			t.max = s.DivB
+		}
+		t.last, t.seen = s.DivB, true
+	}
+}

@@ -1,0 +1,55 @@
+package telemetry
+
+// Continuous profiling: the campaign driver brackets every segment
+// attempt with a CPU profile and snapshots the heap at the boundary;
+// the resulting pprof blobs are committed into the run's store
+// manifest next to the segment's checkpoint (see the sink's artifacts
+// path in internal/resilience). Profiling is process-global and
+// signal-driven — it perturbs scheduling, never arithmetic, so a
+// profiled campaign stays sha256-identical to an unprofiled one (the
+// same argument, and the same golden tests, as for the chaos delay
+// faults).
+
+import (
+	"bytes"
+	"runtime/pprof"
+)
+
+// SegProfiler is one segment's CPU profile capture. Only one CPU
+// profile can run per process; when another holder (a test, a pprof
+// HTTP scrape) already has it, StartSegProfile degrades to an
+// inactive profiler whose Stop returns nil.
+type SegProfiler struct {
+	buf    bytes.Buffer
+	active bool
+}
+
+// StartSegProfile begins a CPU profile for the segment, if the
+// process-wide profiler is free.
+func StartSegProfile() *SegProfiler {
+	sp := &SegProfiler{}
+	if err := pprof.StartCPUProfile(&sp.buf); err == nil {
+		sp.active = true
+	}
+	return sp
+}
+
+// Stop ends the capture and returns the pprof bytes (nil when the
+// profiler never engaged). Safe on nil and safe to call twice.
+func (sp *SegProfiler) Stop() []byte {
+	if sp == nil || !sp.active {
+		return nil
+	}
+	pprof.StopCPUProfile()
+	sp.active = false
+	return sp.buf.Bytes()
+}
+
+// HeapProfile returns the current heap profile in pprof format.
+func HeapProfile() []byte {
+	var buf bytes.Buffer
+	if p := pprof.Lookup("heap"); p != nil {
+		p.WriteTo(&buf, 0) //nolint:errcheck — a bytes.Buffer write cannot fail
+	}
+	return buf.Bytes()
+}

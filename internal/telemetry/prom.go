@@ -1,0 +1,240 @@
+package telemetry
+
+// Hand-rolled Prometheus text exposition (format version 0.0.4). The
+// repository is stdlib-only, and the format is simple enough that a
+// writer is smaller than a client library: one HELP/TYPE pair per
+// family, then `name{label="value"} number` samples, label values
+// escaped per the spec.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+func tagKey(comm, tag int) obs.TagKey { return obs.TagKey{Comm: comm, Tag: tag} }
+
+type promWriter struct {
+	w io.Writer
+}
+
+func (pw promWriter) family(name, typ, help string) {
+	fmt.Fprintf(pw.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// sample writes one exposition line. Labels are pre-ordered pairs.
+func (pw promWriter) sample(name string, labels [][2]string, v float64) {
+	if len(labels) == 0 {
+		fmt.Fprintf(pw.w, "%s %s\n", name, formatValue(v))
+		return
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l[0])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l[1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	fmt.Fprintf(pw.w, "%s %s\n", b.String(), formatValue(v))
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// writeMetrics renders the whole plane state as one exposition
+// document. Families and labeled samples come out in sorted order, so
+// consecutive scrapes of a quiet plane are byte-comparable.
+func (p *Plane) writeMetrics(w io.Writer) {
+	pw := promWriter{w: w}
+	info := p.Progress()
+	snaps := p.snapshots()
+
+	pw.family("yy_progress_committed_step", "gauge", "Last durably committed campaign step.")
+	pw.sample("yy_progress_committed_step", nil, float64(info.CommittedStep))
+	pw.family("yy_progress_live_step", "gauge", "Freshest step any rank has published.")
+	pw.sample("yy_progress_live_step", nil, float64(info.LiveStep))
+	pw.family("yy_progress_total_steps", "gauge", "Campaign step target.")
+	pw.sample("yy_progress_total_steps", nil, float64(info.TotalSteps))
+	pw.family("yy_progress_segment", "gauge", "Current campaign segment index.")
+	pw.sample("yy_progress_segment", nil, float64(info.Segment))
+	pw.family("yy_progress_retries_total", "counter", "Failed segment attempts across the campaign.")
+	pw.sample("yy_progress_retries_total", nil, float64(info.Retries))
+	pw.family("yy_progress_done", "gauge", "1 once the run has finished.")
+	done := 0.0
+	if info.Done {
+		done = 1
+	}
+	pw.sample("yy_progress_done", nil, done)
+	if info.RateStepsPerSec > 0 {
+		pw.family("yy_progress_steps_per_second", "gauge", "Observed live step rate.")
+		pw.sample("yy_progress_steps_per_second", nil, info.RateStepsPerSec)
+	}
+
+	// Per-rank step state, sorted by rank.
+	ranks := make([]int, 0, len(snaps))
+	for rank := range snaps {
+		ranks = append(ranks, rank)
+	}
+	sort.Ints(ranks)
+	if len(ranks) > 0 {
+		pw.family("yy_rank_step", "gauge", "Completed steps per rank.")
+		for _, rank := range ranks {
+			pw.sample("yy_rank_step", rankLabel(rank), float64(snaps[rank].Step))
+		}
+		pw.family("yy_rank_dt", "gauge", "Last step size per rank.")
+		for _, rank := range ranks {
+			pw.sample("yy_rank_dt", rankLabel(rank), snaps[rank].DT)
+		}
+		pw.family("yy_rank_cfl", "gauge", "Last CFL number per rank (0 until the first Diagnose).")
+		for _, rank := range ranks {
+			pw.sample("yy_rank_cfl", rankLabel(rank), snaps[rank].CFL)
+		}
+		pw.family("yy_rank_divb", "gauge", "Last max |div B| per rank (0 until the first Diagnose).")
+		for _, rank := range ranks {
+			pw.sample("yy_rank_divb", rankLabel(rank), snaps[rank].DivB)
+		}
+		pw.family("yy_rank_spans", "gauge", "Spans held in each rank's obs ring.")
+		for _, rank := range ranks {
+			pw.sample("yy_rank_spans", rankLabel(rank), float64(snaps[rank].Spans))
+		}
+		pw.family("yy_rank_span_drops_total", "counter", "Spans overwritten in each rank's full obs ring.")
+		for _, rank := range ranks {
+			pw.sample("yy_rank_span_drops_total", rankLabel(rank), float64(snaps[rank].SpanDropped))
+		}
+		// The reduced diagnostics are identical on every rank; export
+		// the freshest rank's copy once.
+		latest := snaps[ranks[0]]
+		for _, rank := range ranks {
+			if snaps[rank].Step > latest.Step {
+				latest = snaps[rank]
+			}
+		}
+		pw.family("yy_energy", "gauge", "Globally reduced energy components at the last Diagnose.")
+		pw.sample("yy_energy", [][2]string{{"component", "kinetic"}}, latest.KineticE)
+		pw.sample("yy_energy", [][2]string{{"component", "magnetic"}}, latest.MagneticE)
+		pw.sample("yy_energy", [][2]string{{"component", "internal"}}, latest.InternalE)
+		pw.family("yy_mass", "gauge", "Globally reduced total mass at the last Diagnose.")
+		pw.sample("yy_mass", nil, latest.Mass)
+	}
+
+	p.writeEventMetrics(pw)
+	p.writeObsMetrics(pw)
+	p.writeStoreMetrics(pw)
+}
+
+func rankLabel(rank int) [][2]string {
+	return [][2]string{{"rank", strconv.Itoa(rank)}}
+}
+
+func (p *Plane) writeEventMetrics(pw promWriter) {
+	p.mu.Lock()
+	events := p.events
+	kinds := p.eng.kindCounts()
+	alerts := make([]Alert, 0, len(p.eng.order))
+	for _, a := range p.eng.order {
+		alerts = append(alerts, *a)
+	}
+	p.mu.Unlock()
+
+	pw.family("yy_events_total", "counter", "Events ever appended to the run timeline.")
+	pw.sample("yy_events_total", nil, float64(events.Total()))
+	pw.family("yy_events_dropped_total", "counter", "Events overwritten in the bounded EventLog ring.")
+	pw.sample("yy_events_dropped_total", nil, float64(events.Dropped()))
+	if len(kinds) > 0 {
+		names := make([]string, 0, len(kinds))
+		for k := range kinds {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		pw.family("yy_event_kind_total", "counter", "Events consumed by the collector, by kind (retransmits, heartbeat transitions, faults).")
+		for _, k := range names {
+			pw.sample("yy_event_kind_total", [][2]string{{"kind", k}}, float64(kinds[k]))
+		}
+	}
+	pw.family("yy_alerts_total", "counter", "Anomaly-rule firings (latched; the count is re-trigger evaluations).")
+	sort.Slice(alerts, func(i, j int) bool { return alerts[i].Rule < alerts[j].Rule })
+	for _, a := range alerts {
+		pw.sample("yy_alerts_total", [][2]string{{"rule", a.Rule}}, float64(a.Count))
+	}
+}
+
+func (p *Plane) writeObsMetrics(pw promWriter) {
+	p.mu.Lock()
+	rec := p.rec
+	p.mu.Unlock()
+	if rec == nil {
+		return
+	}
+	stats := rec.TagStats()
+	keys := make([]struct{ comm, tag int }, 0, len(stats))
+	for k := range stats {
+		keys = append(keys, struct{ comm, tag int }{k.Comm, k.Tag})
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].comm != keys[j].comm {
+			return keys[i].comm < keys[j].comm
+		}
+		return keys[i].tag < keys[j].tag
+	})
+	if len(keys) > 0 {
+		tagLabels := func(comm, tag int) [][2]string {
+			return [][2]string{{"comm", strconv.Itoa(comm)}, {"tag", strconv.Itoa(tag)}}
+		}
+		pw.family("yy_comm_msgs_total", "counter", "Messages delivered per (comm, tag) stream.")
+		for _, k := range keys {
+			st := stats[tagKey(k.comm, k.tag)]
+			pw.sample("yy_comm_msgs_total", tagLabels(k.comm, k.tag), float64(st.Msgs.Load()))
+		}
+		pw.family("yy_comm_bytes_total", "counter", "Bytes delivered per (comm, tag) stream.")
+		for _, k := range keys {
+			st := stats[tagKey(k.comm, k.tag)]
+			pw.sample("yy_comm_bytes_total", tagLabels(k.comm, k.tag), float64(st.Bytes.Load()))
+		}
+		pw.family("yy_comm_wait_seconds_mean", "gauge", "Mean receive-wait per (comm, tag) stream.")
+		for _, k := range keys {
+			st := stats[tagKey(k.comm, k.tag)]
+			pw.sample("yy_comm_wait_seconds_mean", tagLabels(k.comm, k.tag), st.Wait.Mean()/1e9)
+		}
+	}
+	pool := rec.Pool()
+	if pool != nil && pool.Workers.Load() > 0 {
+		pw.family("yy_pool_utilization", "gauge", "Worker-pool busy fraction (busy / (wall x workers)).")
+		pw.sample("yy_pool_utilization", nil, pool.Utilization())
+		pw.family("yy_pool_workers", "gauge", "Worker-pool width.")
+		pw.sample("yy_pool_workers", nil, float64(pool.Workers.Load()))
+	}
+}
+
+func (p *Plane) writeStoreMetrics(pw promWriter) {
+	p.mu.Lock()
+	st := p.st
+	p.mu.Unlock()
+	if st == nil {
+		return
+	}
+	stats := st.Stats()
+	pw.family("yy_store_objects", "gauge", "Blobs indexed in the content-addressed store.")
+	pw.sample("yy_store_objects", nil, float64(stats.Objects))
+	pw.family("yy_store_put_bytes_total", "counter", "Bytes newly committed to the store this process.")
+	pw.sample("yy_store_put_bytes_total", nil, float64(stats.PutBytes))
+	pw.family("yy_store_dedup_hits_total", "counter", "Puts satisfied by an existing identical blob this process.")
+	pw.sample("yy_store_dedup_hits_total", nil, float64(stats.DedupHits))
+	pw.family("yy_store_dedup_bytes_total", "counter", "Bytes not rewritten thanks to content-address dedup this process.")
+	pw.sample("yy_store_dedup_bytes_total", nil, float64(stats.DedupBytes))
+}

@@ -1,0 +1,117 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestPublishReadRoundtrip: what goes in comes out, field for field.
+func TestPublishReadRoundtrip(t *testing.T) {
+	p := &RankPub{}
+	if _, ok := p.Read(); ok {
+		t.Fatal("Read reported ok before any publish")
+	}
+	want := Snapshot{
+		Step: 42, DT: 1.5e-3, CFL: 0.21, DivB: 3e-9,
+		Mass: 12.5, KineticE: 1.25, MagneticE: 0.5, InternalE: 30,
+		MaxV: 2.5, MaxB: 0.75, Spans: 1000, SpanDropped: 7,
+	}
+	p.Publish(want)
+	got, ok := p.Read()
+	if !ok {
+		t.Fatal("Read not ok after publish")
+	}
+	if got != want {
+		t.Fatalf("roundtrip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	if p.Seq() != 1 {
+		t.Fatalf("Seq = %d, want 1", p.Seq())
+	}
+}
+
+// TestPublishNil: the off switch is a nil receiver.
+func TestPublishNil(t *testing.T) {
+	var p *RankPub
+	p.Publish(Snapshot{Step: 1}) // must not panic
+	if _, ok := p.Read(); ok {
+		t.Fatal("nil pub read ok")
+	}
+	if p.Seq() != 0 {
+		t.Fatal("nil pub nonzero seq")
+	}
+}
+
+// TestPublishZeroAlloc pins the step-path contract: a publish (and a
+// read) allocates nothing.
+func TestPublishZeroAlloc(t *testing.T) {
+	p := &RankPub{}
+	s := Snapshot{Step: 1, DT: 0.5}
+	if n := testing.AllocsPerRun(200, func() {
+		s.Step++
+		p.Publish(s)
+	}); n != 0 {
+		t.Fatalf("Publish allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		p.Read()
+	}); n != 0 {
+		t.Fatalf("Read allocates %v/op, want 0", n)
+	}
+}
+
+// TestSeqlockTornReads hammers one writer against many readers; every
+// read must be internally consistent (all fields derived from Step), a
+// torn read would mix generations. Run under -race this also proves
+// the all-atomic access discipline.
+func TestSeqlockTornReads(t *testing.T) {
+	p := &RankPub{}
+	stamp := func(step int64) Snapshot {
+		f := float64(step)
+		return Snapshot{
+			Step: step, DT: f, CFL: 2 * f, DivB: 3 * f,
+			Mass: 4 * f, KineticE: 5 * f, MagneticE: 6 * f, InternalE: 7 * f,
+			MaxV: 8 * f, MaxB: 9 * f, Spans: 10 * step, SpanDropped: 11 * step,
+		}
+	}
+	const steps = 20000
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := int64(1); i <= steps; i++ {
+			p.Publish(stamp(i))
+		}
+	}()
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var last int64
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				s, ok := p.Read()
+				if !ok {
+					continue
+				}
+				if want := stamp(s.Step); s != want {
+					t.Errorf("torn read: %+v, want %+v", s, want)
+					return
+				}
+				if s.Step < last {
+					t.Errorf("step went backwards: %d after %d", s.Step, last)
+					return
+				}
+				last = s.Step
+			}
+		}()
+	}
+	<-done
+	wg.Wait()
+	if s, ok := p.Read(); !ok || s.Step != steps {
+		t.Fatalf("final read = %+v ok=%v, want step %d", s, ok, steps)
+	}
+}

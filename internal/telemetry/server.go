@@ -1,0 +1,196 @@
+package telemetry
+
+// The embedded HTTP server: /metrics (Prometheus text exposition),
+// /progress (campaign JSON), /events (server-sent events tailing the
+// bounded mpi.EventLog), /debug/pprof (the standard profiling
+// endpoints). Serving is strictly pull: scrapers read shared memory
+// the ranks already published; nothing here touches the step path.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	httppprof "net/http/pprof"
+	"time"
+
+	"repro/internal/mpi"
+)
+
+type server struct {
+	http *http.Server
+	ln   net.Listener
+	stop chan struct{}
+}
+
+// Serve binds the plane's HTTP endpoints to addr (host:port; port 0
+// picks a free one) and starts the background collector tick. It
+// returns the bound address. Nil-safe: a nil plane serves nothing and
+// returns an error.
+func (p *Plane) Serve(addr string) (string, error) {
+	if p == nil {
+		return "", fmt.Errorf("telemetry: serve on a nil plane")
+	}
+	p.mu.Lock()
+	already := p.srv != nil
+	p.mu.Unlock()
+	if already {
+		return "", fmt.Errorf("telemetry: plane is already serving")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", p.handleMetrics)
+	mux.HandleFunc("/progress", p.handleProgress)
+	mux.HandleFunc("/events", p.handleEvents)
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	mux.HandleFunc("/", p.handleIndex)
+	s := &server{
+		http: &http.Server{Handler: mux},
+		ln:   ln,
+		stop: make(chan struct{}),
+	}
+	p.mu.Lock()
+	p.srv = s
+	p.mu.Unlock()
+	go s.http.Serve(ln) //nolint:errcheck — Close tears the listener down
+	go p.loop(s.stop)
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the served address ("" when not serving).
+func (p *Plane) Addr() string {
+	if p == nil {
+		return ""
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.srv == nil {
+		return ""
+	}
+	return p.srv.ln.Addr().String()
+}
+
+// Close stops the collector tick and the HTTP server (open SSE streams
+// are cut). Safe on a nil or never-served plane.
+func (p *Plane) Close() error {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	s := p.srv
+	p.srv = nil
+	p.mu.Unlock()
+	if s == nil {
+		return nil
+	}
+	close(s.stop)
+	return s.http.Close()
+}
+
+// loop is the collector heartbeat: rate/ETA samples and rule
+// evaluation at the configured interval, until Close.
+func (p *Plane) loop(stop chan struct{}) {
+	t := time.NewTicker(p.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			p.tick()
+		}
+	}
+}
+
+func (p *Plane) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	// A scrape is also an evaluation: alert state on /metrics is never
+	// staler than the scrape asking for it.
+	p.Evaluate()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p.writeMetrics(w)
+}
+
+func (p *Plane) handleProgress(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(p.Progress()) //nolint:errcheck — a broken scrape socket is the scraper's problem
+}
+
+// sseEvent is the JSON payload of one /events message.
+type sseEvent struct {
+	AtMS   float64 `json:"at_ms"`
+	Kind   string  `json:"kind"`
+	Detail string  `json:"detail"`
+}
+
+// handleEvents streams the run's event timeline as server-sent events:
+// a replay of the retained ring, then live tailing. Message ids are
+// total-appended indices, so a reconnecting client can spot gaps.
+func (p *Plane) handleEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintf(w, ": event stream of run %s\n\n", p.runName())
+	fl.Flush()
+	var cursor int64
+	poll := time.NewTicker(200 * time.Millisecond)
+	defer poll.Stop()
+	for {
+		events := p.Events()
+		evs, total := events.Tail(cursor)
+		base := total - int64(len(evs))
+		for i, ev := range evs {
+			if err := writeSSE(w, base+int64(i)+1, ev); err != nil {
+				return
+			}
+		}
+		cursor = total
+		if len(evs) > 0 {
+			fl.Flush()
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-poll.C:
+		}
+	}
+}
+
+func writeSSE(w http.ResponseWriter, id int64, ev mpi.Event) error {
+	data, err := json.Marshal(sseEvent{
+		AtMS:   float64(ev.At) / 1e6,
+		Kind:   ev.Kind,
+		Detail: ev.Detail,
+	})
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", id, ev.Kind, data)
+	return err
+}
+
+func (p *Plane) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "yy telemetry plane — run %s\n\n", p.runName())
+	fmt.Fprintln(w, "  /metrics       Prometheus text exposition")
+	fmt.Fprintln(w, "  /progress      campaign progress JSON (step, segment, ETA)")
+	fmt.Fprintln(w, "  /events        server-sent event stream of the fault timeline")
+	fmt.Fprintln(w, "  /debug/pprof/  live CPU/heap/goroutine profiles")
+}

@@ -39,16 +39,21 @@
 #   7. traced smoke  — a 2-rank run with -trace and -runreport on,
 #                      proving the observability path exports a valid
 #                      Perfetto trace and run report end to end
-#   8. store smoke   — a store-backed campaign (yycore -store) audited
+#   8. telemetry smoke — a live 2-rank campaign with a scripted silent
+#                      rank death, served over -telemetry and scraped
+#                      by yywatch while it runs: the Prometheus
+#                      exposition must parse and the injected fault
+#                      must surface as a latched rank-dead alert
+#   9. store smoke   — a store-backed campaign (yycore -store) audited
 #                      offline with yystore verify and gc: the ledger
 #                      chain, Merkle roots and anchor must come back
 #                      clean, and GC must keep every ledger-reachable
 #                      object
-#   9. step gate     — the fused-RHS speedup gate: the committed
+#  10. step gate     — the fused-RHS speedup gate: the committed
 #                      BENCH_kernels.json step section must claim
 #                      >=2x over the pre-fusion baseline, and a live
 #                      fused-vs-reference re-measure must not collapse
-#  10. store gate    — the run-ledger write-path gate: the dedup blob
+#  11. store gate    — the run-ledger write-path gate: the dedup blob
 #                      write (the steady-state shape of deterministic
 #                      reruns) must stay allocation-free against the
 #                      committed BENCH_store.json
@@ -71,8 +76,8 @@ go run ./cmd/yyvet -p "${YYVET_PROCS:-0}" ${YYVET_JSON:+-json "$YYVET_JSON"} ${Y
 echo "==> go test -timeout 120s ./..."
 go test -timeout 120s ./...
 
-echo "==> go test -race -timeout 240s ./internal/mpi ./internal/decomp ./internal/overset ./internal/resilience ./internal/par ./internal/chaos ./internal/obs ./internal/store"
-go test -race -timeout 240s ./internal/mpi ./internal/decomp ./internal/overset ./internal/resilience ./internal/par ./internal/chaos ./internal/obs ./internal/store
+echo "==> go test -race -timeout 240s ./internal/mpi ./internal/decomp ./internal/overset ./internal/resilience ./internal/par ./internal/chaos ./internal/obs ./internal/store ./internal/telemetry"
+go test -race -timeout 240s ./internal/mpi ./internal/decomp ./internal/overset ./internal/resilience ./internal/par ./internal/chaos ./internal/obs ./internal/store ./internal/telemetry
 
 # Violating chaos scenarios leave their postmortem.txt and event
 # timeline under $chaos_art; CI exports CHAOS_ART and uploads the
@@ -96,6 +101,32 @@ go run ./cmd/yycore -nr 9 -nt 13 -steps 4 -every 2 -procs 2 \
 	-trace "$obs_out/trace.json" -runreport "$obs_out/report.txt"
 go run ./cmd/yytrace -summary "$obs_out/trace.json" > "$obs_out/summary.txt"
 grep -q "Span Coverage" "$obs_out/report.txt"
+
+# A live 2-rank campaign with a scripted silent rank death: yycore
+# serves /metrics, /progress, /events and /debug/pprof while the
+# campaign runs; yywatch follows it to completion, then validates that
+# the exposition parses and that the injected fault surfaced as a
+# latched rank-dead alert (exit 1 if the alarm never fired, exit 2 if
+# the scrape itself is broken). -linger keeps the server up for the
+# post-run checks; the watcher reads the :0-bound address from the
+# addr file.
+tele_out="${TELE_OUT:-$(mktemp -d)}"
+echo "==> telemetry smoke: yycore -campaign -telemetry + silent kill, scraped live by yywatch"
+go build -o "$tele_out/yycore" ./cmd/yycore
+go build -o "$tele_out/yywatch" ./cmd/yywatch
+"$tele_out/yycore" -nr 9 -nt 13 -steps 6 -procs 2 -campaign "$tele_out/camp" -ckpt-every 2 \
+	-hb 5ms -inject-kill-silent 1@2 \
+	-telemetry 127.0.0.1:0 -telemetry-addr-file "$tele_out/addr" -linger 120s \
+	>"$tele_out/yycore.log" 2>&1 &
+tele_pid=$!
+"$tele_out/yywatch" -addr-file "$tele_out/addr" -interval 200ms -timeout 90s
+# Keep the scraped exposition and final progress line as CI artifacts
+# next to the yycore log, then assert on them.
+"$tele_out/yywatch" -addr-file "$tele_out/addr" -metrics >"$tele_out/metrics.txt"
+"$tele_out/yywatch" -addr-file "$tele_out/addr" -once >"$tele_out/progress.txt"
+"$tele_out/yywatch" -addr-file "$tele_out/addr" -check -expect-alert rank-dead
+kill "$tele_pid" 2>/dev/null || true
+wait "$tele_pid" 2>/dev/null || true
 
 store_dir="${STORE_OUT:-$(mktemp -d)}/run.store"
 echo "==> store smoke: go run ./cmd/yycore -nr 9 -nt 13 -steps 4 -ckpt-every 2 -store $store_dir"
